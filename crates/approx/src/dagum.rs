@@ -1,0 +1,187 @@
+//! The optimal Monte-Carlo estimation of Dagum, Karp, Luby & Ross
+//! ("An Optimal Algorithm for Monte Carlo Estimation", SIAM J. Comput. 2000).
+//!
+//! The paper's experiments use this technique to determine a small
+//! sufficient number of Karp–Luby iterations (within a constant factor of
+//! optimal) instead of the worst-case `4·m·ln(2/δ)/ε²` bound: statistics are
+//! first collected by running the simulation a small number of times, and
+//! the final number of iterations is derived from the observed mean and
+//! variance. We implement the full AA algorithm: the stopping-rule phase,
+//! the variance-estimation phase, and the final estimation phase.
+
+use uprob_wsd::{WorldTable, WsSet};
+
+use crate::karp_luby::KarpLuby;
+use crate::{ApproximationOptions, Result};
+
+/// Result of the optimal Monte-Carlo estimation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StoppingRuleResult {
+    /// The (scaled) probability estimate.
+    pub estimate: f64,
+    /// Iterations used by the stopping-rule phase.
+    pub stopping_iterations: u64,
+    /// Iterations used by the variance and estimation phases.
+    pub refinement_iterations: u64,
+}
+
+impl StoppingRuleResult {
+    /// Total number of Monte-Carlo iterations.
+    pub fn total_iterations(&self) -> u64 {
+        self.stopping_iterations + self.refinement_iterations
+    }
+}
+
+/// λ = e − 2, the constant of the zero-one estimator theorem.
+const LAMBDA: f64 = std::f64::consts::E - 2.0;
+
+/// Runs the AA algorithm on the Karp–Luby estimator variable `Z ∈ [0, 1]`
+/// (whose expectation is `confidence / M`), returning the confidence
+/// estimate `M · μ̂`.
+///
+/// # Errors
+///
+/// Fails if ε or δ are invalid or the set refers to unknown variables.
+pub fn optimal_monte_carlo(
+    set: &WsSet,
+    table: &WorldTable,
+    options: &ApproximationOptions,
+) -> Result<StoppingRuleResult> {
+    options.validate()?;
+    let estimator = KarpLuby::new(set, table)?;
+    if estimator.num_descriptors() == 0 {
+        return Ok(StoppingRuleResult {
+            estimate: 0.0,
+            stopping_iterations: 0,
+            refinement_iterations: 0,
+        });
+    }
+    if set.contains_universal() {
+        return Ok(StoppingRuleResult {
+            estimate: 1.0,
+            stopping_iterations: 0,
+            refinement_iterations: 0,
+        });
+    }
+    let mut rng = options.rng();
+    let mut world = estimator.scratch();
+    // The AA algorithm works with accuracy ε' = min(1/2, sqrt(ε)) in its
+    // first phase and δ/3 per phase.
+    let epsilon = options.epsilon;
+    let delta = options.delta / 3.0;
+    let epsilon1 = (epsilon.sqrt()).min(0.5);
+
+    // Phase 1: stopping rule with accuracy (ε₁, δ/3) — gives a coarse μ̂.
+    let upsilon = 4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon * epsilon);
+    let upsilon1 = 1.0 + (1.0 + epsilon1) * 4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon1 * epsilon1);
+    let mut sum = 0.0;
+    let mut n1 = 0u64;
+    while sum < upsilon1 {
+        sum += estimator.sample(&mut rng, &mut world);
+        n1 += 1;
+    }
+    let mu_hat = upsilon1 / n1 as f64;
+
+    // Phase 2: estimate the variance ρ̂ from pairs of samples.
+    let n2 = (upsilon * epsilon1 / mu_hat).ceil().max(1.0) as u64;
+    let mut variance_sum = 0.0;
+    for _ in 0..n2 {
+        let a = estimator.sample(&mut rng, &mut world);
+        let b = estimator.sample(&mut rng, &mut world);
+        variance_sum += (a - b) * (a - b) / 2.0;
+    }
+    let rho_hat = (variance_sum / n2 as f64).max(epsilon * mu_hat);
+
+    // Phase 3: final estimate with the optimal number of samples.
+    let n3 = (upsilon * rho_hat / (mu_hat * mu_hat)).ceil().max(1.0) as u64;
+    let mut final_sum = 0.0;
+    for _ in 0..n3 {
+        final_sum += estimator.sample(&mut rng, &mut world);
+    }
+    let mu_final = final_sum / n3 as f64;
+    Ok(StoppingRuleResult {
+        estimate: (estimator.total_weight() * mu_final).min(1.0),
+        stopping_iterations: n1,
+        refinement_iterations: 2 * n2 + n3,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_wsd::{VarId, WsDescriptor};
+
+    fn independent_booleans(n: usize, p: f64) -> (WorldTable, Vec<VarId>, WsSet) {
+        let mut w = WorldTable::new();
+        let vars: Vec<VarId> = (0..n)
+            .map(|i| w.add_boolean(&format!("t{i}"), p).unwrap())
+            .collect();
+        let set: WsSet = vars
+            .iter()
+            .map(|&v| WsDescriptor::from_pairs(&w, &[(v, 1)]).unwrap())
+            .collect();
+        (w, vars, set)
+    }
+
+    #[test]
+    fn optimal_estimation_is_accurate() {
+        let (w, _, set) = independent_booleans(8, 0.2);
+        let exact = 1.0 - 0.8f64.powi(8);
+        let options = ApproximationOptions::default()
+            .with_epsilon(0.05)
+            .with_delta(0.05)
+            .with_seed(3);
+        let result = optimal_monte_carlo(&set, &w, &options).unwrap();
+        assert!(
+            (result.estimate - exact).abs() <= 0.05 * exact + 0.01,
+            "estimate {} vs exact {exact}",
+            result.estimate
+        );
+        assert!(result.total_iterations() > 0);
+    }
+
+    #[test]
+    fn optimal_stopping_beats_the_worst_case_bound() {
+        // The point of the Dagum et al. technique in the paper's experiments
+        // is to pick a number of iterations much smaller than the classic
+        // worst-case bound 4·m·ln(2/δ)/ε² while keeping the (ε, δ)
+        // guarantee. Check that on a near-certain union the adaptive run
+        // stays well below that bound and remains accurate.
+        let options = ApproximationOptions::default()
+            .with_epsilon(0.05)
+            .with_delta(0.05)
+            .with_seed(11);
+        let (w_many, _, set_many) = independent_booleans(64, 0.5);
+        let estimator = KarpLuby::new(&set_many, &w_many).unwrap();
+        let worst_case = estimator.iteration_bound(options.epsilon, options.delta);
+        let near_certain = optimal_monte_carlo(&set_many, &w_many, &options).unwrap();
+        assert!(near_certain.estimate > 0.99);
+        assert!(
+            near_certain.total_iterations() < worst_case / 2,
+            "adaptive {} vs worst case {worst_case}",
+            near_certain.total_iterations()
+        );
+        // A rare union is also handled accurately.
+        let (w_rare, _, set_rare) = independent_booleans(2, 0.01);
+        let rare = optimal_monte_carlo(&set_rare, &w_rare, &options).unwrap();
+        assert!(rare.estimate < 0.05);
+    }
+
+    #[test]
+    fn degenerate_sets_short_circuit() {
+        let (w, _, _) = independent_booleans(2, 0.5);
+        let options = ApproximationOptions::default();
+        let empty = optimal_monte_carlo(&WsSet::empty(), &w, &options).unwrap();
+        assert_eq!(empty.estimate, 0.0);
+        assert_eq!(empty.total_iterations(), 0);
+        let all = optimal_monte_carlo(&WsSet::universal(), &w, &options).unwrap();
+        assert_eq!(all.estimate, 1.0);
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let (w, _, set) = independent_booleans(2, 0.5);
+        let options = ApproximationOptions::default().with_delta(1.5);
+        assert!(optimal_monte_carlo(&set, &w, &options).is_err());
+    }
+}

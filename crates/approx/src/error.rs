@@ -1,0 +1,60 @@
+//! Error type for the approximation algorithms.
+
+use std::fmt;
+
+use uprob_wsd::WsdError;
+
+/// Errors raised by the Monte-Carlo estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApproxError {
+    /// An ε or δ parameter outside the open interval (0, 1).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// An error bubbled up from the ws-descriptor layer.
+    Wsd(WsdError),
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} must lie in (0, 1)")
+            }
+            ApproxError::Wsd(e) => write!(f, "world-set descriptor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApproxError::Wsd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WsdError> for ApproxError {
+    fn from(e: WsdError) -> Self {
+        ApproxError::Wsd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ApproxError::InvalidParameter {
+            name: "epsilon",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("epsilon"));
+        assert!(e.to_string().contains("2"));
+    }
+}

@@ -1,0 +1,170 @@
+//! # uprob-approx — Monte-Carlo approximation of ws-set confidence
+//!
+//! The approximation baseline that the paper's experiments (Section 7)
+//! compare the exact algorithms against:
+//!
+//! * [`karp_luby`]: the Karp–Luby *coverage* estimator for the probability
+//!   of a union of ws-descriptors (the DNF-counting FPRAS of Karp & Luby,
+//!   in the faster unbiased-estimator form described in Vazirani's book and
+//!   similar to the self-adjusting coverage algorithm of Karp, Luby &
+//!   Madras), generalised from Boolean DNF to ws-descriptors over
+//!   finite-domain variables;
+//! * [`dagum`]: the optimal Monte-Carlo stopping rule of Dagum, Karp, Luby &
+//!   Ross used by the paper to pick a small sufficient number of iterations;
+//! * [`naive`]: plain Monte-Carlo world sampling, as a sanity baseline.
+//!
+//! All estimators are deterministic given a seed, so benchmark runs are
+//! reproducible.
+//!
+//! ```
+//! use uprob_wsd::{WorldTable, WsDescriptor, WsSet};
+//! use uprob_approx::{karp_luby::KarpLuby, ApproximationOptions};
+//!
+//! let mut w = WorldTable::new();
+//! let a = w.add_boolean("a", 0.5).unwrap();
+//! let b = w.add_boolean("b", 0.5).unwrap();
+//! let s = WsSet::from_descriptors(vec![
+//!     WsDescriptor::from_pairs(&w, &[(a, 1)]).unwrap(),
+//!     WsDescriptor::from_pairs(&w, &[(b, 1)]).unwrap(),
+//! ]);
+//! let estimate = KarpLuby::new(&s, &w)
+//!     .unwrap()
+//!     .estimate_fixed(20_000, &mut ApproximationOptions::default().rng());
+//! assert!((estimate - 0.75).abs() < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dagum;
+pub mod error;
+pub mod karp_luby;
+pub mod naive;
+pub mod sampler;
+
+pub use dagum::{optimal_monte_carlo, StoppingRuleResult};
+pub use error::ApproxError;
+pub use karp_luby::{karp_luby_epsilon_delta, KarpLuby};
+pub use naive::naive_monte_carlo;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ApproxError>;
+
+/// Options shared by the approximation algorithms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproximationOptions {
+    /// Relative error bound ε (0 < ε < 1).
+    pub epsilon: f64,
+    /// Failure probability δ (0 < δ < 1).
+    pub delta: f64,
+    /// Seed for the deterministic random number generator.
+    pub seed: u64,
+}
+
+impl Default for ApproximationOptions {
+    fn default() -> Self {
+        ApproximationOptions {
+            epsilon: 0.1,
+            delta: 0.01,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl ApproximationOptions {
+    /// Returns a copy with the given ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Returns a copy with the given δ.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Returns a copy with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The seeded random number generator used by the estimators.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Validates ε and δ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApproxError::InvalidParameter`] if either bound is outside
+    /// `(0, 1)`.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(ApproxError::InvalidParameter {
+                name: "epsilon",
+                value: self.epsilon,
+            });
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(ApproxError::InvalidParameter {
+                name: "delta",
+                value: self.delta,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_valid() {
+        let options = ApproximationOptions::default();
+        assert!(options.validate().is_ok());
+        assert_eq!(options.epsilon, 0.1);
+        assert_eq!(options.delta, 0.01);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let options = ApproximationOptions::default()
+            .with_epsilon(0.01)
+            .with_delta(0.05)
+            .with_seed(7);
+        assert_eq!(options.epsilon, 0.01);
+        assert_eq!(options.delta, 0.05);
+        assert_eq!(options.seed, 7);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(ApproximationOptions::default()
+            .with_epsilon(0.0)
+            .validate()
+            .is_err());
+        assert!(ApproximationOptions::default()
+            .with_epsilon(1.5)
+            .validate()
+            .is_err());
+        assert!(ApproximationOptions::default()
+            .with_delta(0.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        use rand::RngExt;
+        let mut a = ApproximationOptions::default().with_seed(3).rng();
+        let mut b = ApproximationOptions::default().with_seed(3).rng();
+        assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+    }
+}

@@ -1,0 +1,125 @@
+//! Naive Monte-Carlo estimation of ws-set confidence.
+//!
+//! Samples complete assignments of the relevant variables and counts the
+//! fraction that satisfy at least one descriptor. Unlike the Karp–Luby
+//! estimator this is *not* an FPRAS — for small probabilities the relative
+//! error explodes — but it is a useful sanity baseline and is the natural
+//! "simulate the database" approach.
+
+use uprob_wsd::{WorldTable, WsSet};
+
+use crate::sampler::SetSampler;
+use crate::{ApproximationOptions, Result};
+
+/// Result of a naive Monte-Carlo run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NaiveResult {
+    /// Fraction of sampled worlds covered by the ws-set.
+    pub estimate: f64,
+    /// Number of sampled worlds.
+    pub iterations: u64,
+}
+
+/// Estimates the confidence of `set` by sampling `iterations` worlds.
+///
+/// # Errors
+///
+/// Fails if the set refers to variables unknown to `table`.
+pub fn naive_monte_carlo(
+    set: &WsSet,
+    table: &WorldTable,
+    iterations: u64,
+    options: &ApproximationOptions,
+) -> Result<NaiveResult> {
+    let sampler = SetSampler::new(set, table)?;
+    if sampler.num_descriptors() == 0 || iterations == 0 {
+        return Ok(NaiveResult {
+            estimate: 0.0,
+            iterations: 0,
+        });
+    }
+    if set.contains_universal() {
+        return Ok(NaiveResult {
+            estimate: 1.0,
+            iterations: 0,
+        });
+    }
+    let mut rng = options.rng();
+    let mut world = sampler.scratch();
+    let mut hits = 0u64;
+    for _ in 0..iterations {
+        sampler.sample_world(&mut rng, &mut world);
+        if sampler.covered(&world) {
+            hits += 1;
+        }
+    }
+    Ok(NaiveResult {
+        estimate: hits as f64 / iterations as f64,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_wsd::WsDescriptor;
+
+    #[test]
+    fn naive_estimate_is_close_on_moderate_probabilities() {
+        let mut w = WorldTable::new();
+        let a = w.add_boolean("a", 0.4).unwrap();
+        let b = w.add_boolean("b", 0.4).unwrap();
+        let set = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(a, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(b, 1)]).unwrap(),
+        ]);
+        let exact = 1.0 - 0.6 * 0.6;
+        let result = naive_monte_carlo(
+            &set,
+            &w,
+            50_000,
+            &ApproximationOptions::default().with_seed(5),
+        )
+        .unwrap();
+        assert!((result.estimate - exact).abs() < 0.01);
+        assert_eq!(result.iterations, 50_000);
+    }
+
+    #[test]
+    fn naive_estimate_underestimates_rare_events_badly() {
+        // With few samples and a rare event, the estimate collapses to 0 —
+        // the motivation for the Karp–Luby estimator.
+        let mut w = WorldTable::new();
+        let a = w.add_boolean("a", 1e-6).unwrap();
+        let set = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(a, 1)]).unwrap()
+        ]);
+        let result = naive_monte_carlo(
+            &set,
+            &w,
+            1_000,
+            &ApproximationOptions::default().with_seed(6),
+        )
+        .unwrap();
+        assert_eq!(result.estimate, 0.0);
+    }
+
+    #[test]
+    fn degenerate_sets() {
+        let mut w = WorldTable::new();
+        w.add_boolean("a", 0.5).unwrap();
+        let options = ApproximationOptions::default();
+        assert_eq!(
+            naive_monte_carlo(&WsSet::empty(), &w, 100, &options)
+                .unwrap()
+                .estimate,
+            0.0
+        );
+        assert_eq!(
+            naive_monte_carlo(&WsSet::universal(), &w, 100, &options)
+                .unwrap()
+                .estimate,
+            1.0
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Ablation: conditioning overhead over pure confidence computation, on a
+//! row-level constraint over probabilistic TPC-H (the paper reports that
+//! materialising the conditioned database adds only a small overhead over
+//! computing the confidence of the condition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use uprob_core::{condition, confidence, ConditioningOptions, DecompositionOptions};
+use uprob_datagen::{TpchConfig, TpchDatabase};
+use uprob_query::Constraint;
+use uprob_urel::{Comparison, Expr, Predicate};
+
+fn bench_conditioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_conditioning");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for scale in [0.01, 0.02] {
+        let data = TpchDatabase::generate(
+            TpchConfig::scale(scale).with_row_scale(0.03).with_seed(7),
+        );
+        let constraint = Constraint::row_filter(
+            "lineitem",
+            Predicate::cmp(Expr::col("quantity"), Comparison::Lt, Expr::val(49i64)),
+        );
+        let satisfying = constraint.satisfying_ws_set(&data.db).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("confidence_only", scale),
+            &satisfying,
+            |b, ws| {
+                b.iter(|| {
+                    confidence(
+                        black_box(ws),
+                        data.db.world_table(),
+                        &DecompositionOptions::ve_minlog(),
+                    )
+                    .unwrap()
+                    .probability
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_conditioning", scale),
+            &satisfying,
+            |b, ws| {
+                b.iter(|| {
+                    condition(
+                        black_box(&data.db),
+                        ws,
+                        &ConditioningOptions::default(),
+                    )
+                    .unwrap()
+                    .confidence
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conditioning);
+criterion_main!(benches);

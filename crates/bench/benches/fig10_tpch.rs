@@ -1,0 +1,48 @@
+//! Figure 10: INDVE(minlog) confidence computation on the answers of the
+//! TPC-H queries Q1 and Q2, across scale factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use uprob_core::{confidence, DecompositionOptions};
+use uprob_datagen::{q1_answer, q2_answer, TpchConfig, TpchDatabase};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_tpch");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for scale in [0.01, 0.05] {
+        let data = TpchDatabase::generate(
+            TpchConfig::scale(scale).with_row_scale(0.03).with_seed(2008),
+        );
+        let table = data.db.world_table();
+        let q1 = q1_answer(&data);
+        let q2 = q2_answer(&data);
+        group.bench_with_input(BenchmarkId::new("q1_indve_minlog", scale), &q1, |b, answer| {
+            b.iter(|| {
+                confidence(
+                    black_box(&answer.ws_set),
+                    table,
+                    &DecompositionOptions::indve_minlog(),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("q2_indve_minlog", scale), &q2, |b, answer| {
+            b.iter(|| {
+                confidence(
+                    black_box(&answer.ws_set),
+                    table,
+                    &DecompositionOptions::indve_minlog(),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

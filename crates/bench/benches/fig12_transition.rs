@@ -1,0 +1,41 @@
+//! Figure 12: the easy-hard-easy transition when the number of descriptors
+//! is close to the number of variables. The bench uses a smaller variable
+//! count than the paper (24 instead of 70) so the hard region stays within
+//! benchmark-friendly times; the shape (slow in the middle, fast at both
+//! ends) is preserved.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use uprob_core::{confidence, DecompositionOptions};
+use uprob_datagen::{HardInstance, HardInstanceConfig};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_transition");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for w in [5usize, 12, 24, 96, 400] {
+        let instance = HardInstance::generate(HardInstanceConfig {
+            num_variables: 24,
+            alternatives: 4,
+            descriptor_length: 4,
+            num_descriptors: w,
+            seed: 100,
+        });
+        group.bench_with_input(BenchmarkId::new("indve_minlog", w), &instance, |b, inst| {
+            b.iter(|| {
+                confidence(
+                    black_box(&inst.ws_set),
+                    &inst.world_table,
+                    &DecompositionOptions::indve_minlog(),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

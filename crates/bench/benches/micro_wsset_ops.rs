@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the ws-set operations of Section 3.2 (union,
+//! intersection, difference, normalisation, independent partitioning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use uprob_datagen::{HardInstance, HardInstanceConfig};
+
+fn bench_wsset_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_wsset_ops");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for w in [100usize, 1_000] {
+        let a = HardInstance::generate(HardInstanceConfig {
+            num_variables: 200,
+            alternatives: 4,
+            descriptor_length: 4,
+            num_descriptors: w,
+            seed: 23,
+        });
+        let b_inst = HardInstance::generate(HardInstanceConfig {
+            num_variables: 200,
+            alternatives: 4,
+            descriptor_length: 4,
+            num_descriptors: 64,
+            seed: 29,
+        });
+        group.bench_with_input(BenchmarkId::new("union", w), &a, |bench, inst| {
+            bench.iter(|| black_box(&inst.ws_set).union(&b_inst.ws_set).len())
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", w), &a, |bench, inst| {
+            bench.iter(|| black_box(&inst.ws_set).intersect(&b_inst.ws_set).len())
+        });
+        group.bench_with_input(BenchmarkId::new("difference", w), &a, |bench, inst| {
+            bench.iter(|| {
+                black_box(&inst.ws_set)
+                    .difference(&b_inst.ws_set, &inst.world_table)
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("normalize", w), &a, |bench, inst| {
+            bench.iter(|| black_box(&inst.ws_set).normalized().len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("independent_partition", w),
+            &a,
+            |bench, inst| bench.iter(|| black_box(&inst.ws_set).independent_partition().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wsset_ops);
+criterion_main!(benches);

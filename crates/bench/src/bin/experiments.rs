@@ -1,0 +1,77 @@
+//! The experiment driver: regenerates the tables/figures of Section 7.
+//!
+//! ```text
+//! cargo run --release -p uprob-bench --bin experiments -- [--exp NAME] [--paper] [--csv]
+//! ```
+//!
+//! `NAME` is one of `fig10`, `fig11a`, `fig11b`, `fig12`, `fig13`,
+//! `ablation`, `conditioning` or `all` (default). `--paper` switches from
+//! the quick instance sizes to sizes close to the paper's (slower). `--csv`
+//! additionally prints each table as CSV for post-processing.
+
+use std::env;
+use std::process::ExitCode;
+
+use uprob_bench::runner::with_large_stack;
+use uprob_bench::{
+    ablation_conditioning, ablation_decomposition, fig10, fig11a, fig11b, fig12, fig13,
+    ExperimentScale, ResultTable,
+};
+
+fn main() -> ExitCode {
+    let mut experiment = "all".to_string();
+    let mut scale = ExperimentScale::Quick;
+    let mut csv = false;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exp" => {
+                experiment = args.next().unwrap_or_else(|| {
+                    eprintln!("--exp requires a value");
+                    std::process::exit(2);
+                });
+            }
+            "--paper" => scale = ExperimentScale::Paper,
+            "--quick" => scale = ExperimentScale::Quick,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|all] [--paper] [--csv]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let selected: Vec<&str> = if experiment == "all" {
+        vec!["fig10", "fig11a", "fig11b", "fig12", "fig13", "ablation", "conditioning"]
+    } else {
+        vec![experiment.as_str()]
+    };
+
+    for name in selected {
+        let name = name.to_string();
+        let table: ResultTable = match name.as_str() {
+            "fig10" => with_large_stack(move || fig10(scale)),
+            "fig11a" => with_large_stack(move || fig11a(scale)),
+            "fig11b" => with_large_stack(move || fig11b(scale)),
+            "fig12" => with_large_stack(move || fig12(scale)),
+            "fig13" => with_large_stack(move || fig13(scale)),
+            "ablation" => with_large_stack(move || ablation_decomposition(scale)),
+            "conditioning" => with_large_stack(move || ablation_conditioning(scale)),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                return ExitCode::from(2);
+            }
+        };
+        println!("{table}");
+        if csv {
+            println!("{}", table.to_csv());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,116 @@
+//! Minimal plain-text result tables for the `experiments` binary.
+
+use std::fmt;
+
+/// A simple column-aligned table of experiment results.
+#[derive(Clone, Debug, Default)]
+pub struct ResultTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        ResultTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have as many cells as the header).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, for machine consumption.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The header labels.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Renders the table as comma-separated values (header included).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for ResultTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let render = |cells: &[String], f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(&self.header, f)?;
+        for row in &self.rows {
+            render(row, f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns_and_csv() {
+        let mut table = ResultTable::new("demo", &["a", "bbbb"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+        table.push_row(vec!["333".into(), "4".into()]);
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        let text = table.to_string();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("333"));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert_eq!(csv.lines().next().unwrap(), "a,bbbb");
+        assert_eq!(table.header()[1], "bbbb");
+        assert_eq!(table.rows()[1][0], "333");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_misshaped_rows() {
+        let mut table = ResultTable::new("demo", &["a"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,763 @@
+//! Conditioning a probabilistic database (Section 5, Figure 8).
+//!
+//! `assert[B]` removes all possible worlds in which the condition `B` does
+//! not hold and renormalises the remaining worlds so their probabilities sum
+//! to one, *without* enumerating worlds: the algorithm folds over the same
+//! Davis–Putnam-style decomposition as confidence computation and, while
+//! returning from the recursion, introduces fresh re-weighted variables for
+//! every eliminated variable and rewrites the ws-descriptors of the
+//! U-relations accordingly.
+//!
+//! Two variants are provided:
+//!
+//! * [`ConditioningMethod::Exact`] (default): the decomposition uses
+//!   variable elimination only. The produced database represents exactly
+//!   the Bayesian posterior (tested against brute-force enumeration).
+//! * [`ConditioningMethod::PaperFig8`]: the verbatim algorithm of Figure 8,
+//!   including its ⊗-node rule (each independent part of the condition is
+//!   conditioned separately against the full U-relation and the results are
+//!   unioned). This reproduces the paper's worked Examples 5.1/5.2/5.4 and
+//!   its performance profile. Note that when the condition decomposes into
+//!   several independent parts *and* tuples depend on more than one part,
+//!   the ⊗ rule does not preserve tuple marginals (the disjunction of
+//!   independent conditions induces correlations that re-weighting
+//!   variables per part cannot express); see DESIGN.md for the analysis.
+//!   For conditions that do not trigger the ⊗ rule the two variants
+//!   coincide.
+
+use std::collections::HashMap;
+
+use uprob_urel::{ProbDb, URelation};
+use uprob_wsd::{DomainValue, ValueIndex, VarId, WorldTable, WsDescriptor, WsSet};
+
+use crate::decompose::eliminate_variable;
+use crate::error::CoreError;
+use crate::heuristics::{choose_variable, VariableHeuristic};
+use crate::stats::DecompositionStats;
+use crate::Result;
+
+/// Which conditioning algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConditioningMethod {
+    /// Variable-elimination-only conditioning; exact posterior semantics.
+    #[default]
+    Exact,
+    /// The verbatim algorithm of Figure 8 (independent partitioning + the
+    /// ⊗-node rule).
+    PaperFig8,
+}
+
+/// Options controlling [`condition`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConditioningOptions {
+    /// Algorithm variant.
+    pub method: ConditioningMethod,
+    /// Variable-ordering heuristic used when eliminating variables.
+    pub heuristic: VariableHeuristic,
+    /// Apply the three simplification optimisations of Section 5
+    /// (merge equivalent fresh variables, drop single-alternative variables,
+    /// drop variables unused by the U-relations).
+    pub simplify: bool,
+    /// Optional budget on the number of decomposition nodes.
+    pub node_budget: Option<u64>,
+}
+
+impl Default for ConditioningOptions {
+    fn default() -> Self {
+        ConditioningOptions {
+            method: ConditioningMethod::Exact,
+            heuristic: VariableHeuristic::MinLog,
+            simplify: true,
+            node_budget: None,
+        }
+    }
+}
+
+impl ConditioningOptions {
+    /// The verbatim Figure 8 configuration (used to reproduce the paper's
+    /// worked examples and benchmarks).
+    pub fn paper_fig8() -> Self {
+        ConditioningOptions {
+            method: ConditioningMethod::PaperFig8,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of conditioning a database.
+#[derive(Clone, Debug)]
+pub struct Conditioned {
+    /// The conditioned (posterior) database.
+    pub db: ProbDb,
+    /// The confidence of the condition in the *input* database; in the
+    /// output database the condition holds with probability 1.
+    pub confidence: f64,
+    /// Decomposition counters.
+    pub stats: DecompositionStats,
+    /// Number of fresh variables introduced (before simplification).
+    pub new_variables: usize,
+}
+
+/// Row identity used while threading U-relation descriptors through the
+/// recursion: `(relation index, row index)`.
+type RowId = (usize, usize);
+
+/// A set of descriptors tagged with the row they belong to. A row can give
+/// rise to several descriptors in the output (one per surviving branch).
+type TaggedSet = Vec<(RowId, WsDescriptor)>;
+
+struct Conditioner<'a> {
+    table: &'a WorldTable,
+    options: ConditioningOptions,
+    /// The output world table: the input table plus the fresh variables.
+    new_table: WorldTable,
+    /// For every fresh variable: the variable it was derived from.
+    sources: Vec<(VarId, VarId)>,
+    stats: DecompositionStats,
+    nodes: u64,
+}
+
+impl<'a> Conditioner<'a> {
+    fn new(table: &'a WorldTable, options: ConditioningOptions) -> Self {
+        Conditioner {
+            table,
+            options,
+            new_table: table.clone(),
+            sources: Vec::new(),
+            stats: DecompositionStats::default(),
+            nodes: 0,
+        }
+    }
+
+    fn charge_node(&mut self) -> Result<()> {
+        self.nodes += 1;
+        if let Some(budget) = self.options.node_budget {
+            if self.nodes > budget {
+                return Err(CoreError::BudgetExceeded { budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// The recursive `cond` function of Figure 8, operating on the ws-set of
+    /// the condition (decomposed on the fly) and the tagged descriptors of
+    /// the U-relations.
+    fn cond(&mut self, set: &WsSet, u: TaggedSet, depth: u64) -> Result<(f64, TaggedSet)> {
+        self.charge_node()?;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if set.is_empty() {
+            self.stats.bottoms += 1;
+            return Ok((0.0, Vec::new()));
+        }
+        if set.contains_universal() {
+            self.stats.leaves += 1;
+            return Ok((1.0, u));
+        }
+        if self.options.method == ConditioningMethod::PaperFig8 {
+            let parts = set.independent_partition();
+            if parts.len() > 1 {
+                self.stats.independent_nodes += 1;
+                // Figure 8, ⊗ case: every part is conditioned against the
+                // full U and the rewritten descriptor sets are unioned.
+                let mut complement = 1.0;
+                let mut merged: TaggedSet = Vec::new();
+                for part in &parts {
+                    let (ci, ui) = self.cond(part, u.clone(), depth + 1)?;
+                    complement *= 1.0 - ci;
+                    merged.extend(ui);
+                }
+                return Ok((1.0 - complement, merged));
+            }
+        }
+        let var = choose_variable(set, self.table, self.options.heuristic)
+            .expect("a non-empty, non-universal ws-set mentions at least one variable");
+        self.stats.choice_nodes += 1;
+        self.stats.variable_eliminations += 1;
+        self.eliminate(set, var, u, depth)
+    }
+
+    /// Figure 8, ⊕ case: eliminate `var`, recurse into every alternative,
+    /// renormalise the branch weights with a fresh variable and rewrite the
+    /// descriptors of the surviving branches.
+    fn eliminate(
+        &mut self,
+        set: &WsSet,
+        var: VarId,
+        u: TaggedSet,
+        depth: u64,
+    ) -> Result<(f64, TaggedSet)> {
+        let (branches, missing_values, tail) = eliminate_variable(set, var, self.table);
+        self.stats.branches += branches.len() as u64;
+        let domain_size = self.table.domain_size(var)?;
+        // Child condition per domain value (None = impossible branch).
+        let mut child_sets: Vec<Option<&WsSet>> = vec![None; domain_size];
+        for (value, child) in &branches {
+            child_sets[value.index()] = Some(child);
+        }
+        let tail_if_nonempty = if tail.is_empty() { None } else { Some(&tail) };
+        for value in &missing_values {
+            child_sets[value.index()] = tail_if_nonempty;
+        }
+
+        struct Branch {
+            value: ValueIndex,
+            weight: f64,
+            confidence: f64,
+            rewritten: TaggedSet,
+        }
+        let mut results: Vec<Branch> = Vec::new();
+        let mut total = 0.0;
+        for index in 0..domain_size {
+            let value = ValueIndex(index as u16);
+            let weight = self.table.probability(var, value)?;
+            let Some(child_set) = child_sets[index] else {
+                continue;
+            };
+            // U_i: the descriptors consistent with `var -> value`, extended
+            // with that assignment.
+            let u_i: TaggedSet = u
+                .iter()
+                .filter_map(|(row, d)| {
+                    d.with(var, value).ok().map(|extended| (*row, extended))
+                })
+                .collect();
+            let child_set = child_set.clone();
+            let (ci, rewritten) = self.cond(&child_set, u_i, depth + 1)?;
+            if ci > 0.0 && weight > 0.0 {
+                total += weight * ci;
+                results.push(Branch {
+                    value,
+                    weight,
+                    confidence: ci,
+                    rewritten,
+                });
+            }
+        }
+        if total <= 0.0 {
+            return Ok((0.0, Vec::new()));
+        }
+        // Fresh variable var' whose alternatives are the surviving values of
+        // `var`, re-weighted so that they sum to one within this node.
+        let source_info = self.table.variable(var)?;
+        let fresh_name = self.new_table.fresh_name(&source_info.name);
+        let alternatives: Vec<(DomainValue, f64)> = results
+            .iter()
+            .map(|b| {
+                let label = source_info.values[b.value.index()];
+                (label, b.weight * b.confidence / total)
+            })
+            .collect();
+        let fresh = self
+            .new_table
+            .add_variable(&fresh_name, &alternatives)
+            .map_err(CoreError::Wsd)?;
+        self.sources.push((fresh, var));
+        // Rewrite: replace `var -> old value` by `var' -> new index`.
+        let mut merged: TaggedSet = Vec::new();
+        for (new_index, branch) in results.into_iter().enumerate() {
+            for (row, mut descriptor) in branch.rewritten {
+                descriptor.remove(var);
+                descriptor
+                    .assign(fresh, ValueIndex(new_index as u16))
+                    .expect("fresh variable cannot already occur in the descriptor");
+                merged.push((row, descriptor));
+            }
+        }
+        Ok((total, merged))
+    }
+}
+
+/// Conditions `db` on the world-set described by `condition` (the ws-set of
+/// the worlds that satisfy the asserted Boolean query).
+///
+/// Returns the posterior database, the confidence of the condition in the
+/// input database and decomposition statistics.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyCondition`] if the condition denotes an empty or
+///   zero-probability world-set (the posterior is undefined);
+/// * [`CoreError::BudgetExceeded`] if a node budget is configured and
+///   exhausted.
+pub fn condition(
+    db: &ProbDb,
+    condition: &WsSet,
+    options: &ConditioningOptions,
+) -> Result<Conditioned> {
+    let table = db.world_table();
+    let mut conditioner = Conditioner::new(table, *options);
+
+    // Collect the descriptors of every row of every relation, tagged with
+    // their origin.
+    let relation_names = db.relation_names();
+    let mut tagged: TaggedSet = Vec::new();
+    let mut tuples: Vec<Vec<uprob_urel::Tuple>> = Vec::with_capacity(relation_names.len());
+    for (rel_index, name) in relation_names.iter().enumerate() {
+        let relation = db.relation(name)?;
+        let mut rel_tuples = Vec::with_capacity(relation.len());
+        for (row_index, (tuple, descriptor)) in relation.iter().enumerate() {
+            tagged.push(((rel_index, row_index), descriptor.clone()));
+            rel_tuples.push(tuple.clone());
+        }
+        tuples.push(rel_tuples);
+    }
+
+    let (confidence, rewritten) = conditioner.cond(condition, tagged, 1)?;
+    if confidence <= 0.0 {
+        return Err(CoreError::EmptyCondition);
+    }
+    let new_variables = conditioner.sources.len();
+
+    // Group the rewritten descriptors by row.
+    let mut per_row: HashMap<RowId, Vec<WsDescriptor>> = HashMap::new();
+    for (row, descriptor) in rewritten {
+        per_row.entry(row).or_default().push(descriptor);
+    }
+
+    // Rebuild the database over the extended world table.
+    let mut out = ProbDb::with_world_table(conditioner.new_table);
+    for (rel_index, name) in relation_names.iter().enumerate() {
+        let schema = db.relation(name)?.schema().clone();
+        let mut relation = URelation::new(schema);
+        for (row_index, tuple) in tuples[rel_index].iter().enumerate() {
+            if let Some(descriptors) = per_row.get(&(rel_index, row_index)) {
+                for descriptor in descriptors {
+                    relation.push(tuple.clone(), descriptor.clone());
+                }
+            }
+        }
+        out.replace_relation(relation);
+    }
+
+    if options.simplify {
+        simplify(&mut out, &conditioner.sources);
+    }
+
+    Ok(Conditioned {
+        db: out,
+        confidence,
+        stats: conditioner.stats,
+        new_variables,
+    })
+}
+
+/// The three simplification optimisations of Section 5:
+///
+/// 1. variables that do not appear in any U-relation are dropped from `W`;
+/// 2. variables with a single domain alternative are dropped everywhere;
+/// 3. fresh variables derived from the same original variable with identical
+///    alternatives and weights are merged.
+pub fn simplify(db: &mut ProbDb, sources: &[(VarId, VarId)]) {
+    merge_equivalent_variables(db, sources);
+    drop_singleton_assignments(db);
+    drop_unused_variables(db);
+}
+
+/// Optimisation (3): merge fresh variables with the same source, the same
+/// alternatives and the same weights.
+fn merge_equivalent_variables(db: &mut ProbDb, sources: &[(VarId, VarId)]) {
+    const EPSILON: f64 = 1e-12;
+    let table = db.world_table().clone();
+    let mut canonical: HashMap<VarId, VarId> = HashMap::new();
+    let mut representatives: Vec<(VarId, VarId)> = Vec::new(); // (source, representative)
+    for &(fresh, source) in sources {
+        let Ok(info) = table.variable(fresh) else {
+            continue;
+        };
+        let mut merged = false;
+        for &(other_source, representative) in &representatives {
+            if other_source != source {
+                continue;
+            }
+            let rep_info = table
+                .variable(representative)
+                .expect("representative variable exists");
+            let same = rep_info.values == info.values
+                && rep_info.probabilities.len() == info.probabilities.len()
+                && rep_info
+                    .probabilities
+                    .iter()
+                    .zip(&info.probabilities)
+                    .all(|(a, b)| (a - b).abs() < EPSILON);
+            if same {
+                canonical.insert(fresh, representative);
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            representatives.push((source, fresh));
+        }
+    }
+    if canonical.is_empty() {
+        return;
+    }
+    for relation in db.relations_mut() {
+        for (_, descriptor) in relation.rows_mut() {
+            for (from, to) in &canonical {
+                descriptor.rename_variable(*from, *to);
+            }
+        }
+    }
+}
+
+/// Optimisation (2): assignments of variables with a single alternative
+/// (probability 1) are removed from every descriptor.
+fn drop_singleton_assignments(db: &mut ProbDb) {
+    let singletons: Vec<VarId> = db
+        .world_table()
+        .iter()
+        .filter(|(_, info)| info.domain_size() == 1)
+        .map(|(var, _)| var)
+        .collect();
+    if singletons.is_empty() {
+        return;
+    }
+    for relation in db.relations_mut() {
+        for (_, descriptor) in relation.rows_mut() {
+            for var in &singletons {
+                descriptor.remove(*var);
+            }
+        }
+    }
+}
+
+/// Optimisation (1): rebuild the world table with only the variables that
+/// still occur in some U-relation, remapping the descriptors.
+fn drop_unused_variables(db: &mut ProbDb) {
+    let mut used: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
+    for relation in db.relations() {
+        for (_, descriptor) in relation.iter() {
+            used.extend(descriptor.variables());
+        }
+    }
+    let (new_table, mapping) = db.world_table().retain_variables(|var, _| used.contains(&var));
+    // Remap every descriptor to the new variable ids.
+    for relation in db.relations_mut() {
+        for (_, descriptor) in relation.rows_mut() {
+            let remapped: Vec<(VarId, ValueIndex)> = descriptor
+                .iter()
+                .map(|a| (mapping[&a.var], a.value))
+                .collect();
+            let mut rebuilt = WsDescriptor::empty();
+            for (var, value) in remapped {
+                rebuilt
+                    .assign(var, value)
+                    .expect("remapping preserves functionality");
+            }
+            *descriptor = rebuilt;
+        }
+    }
+    db.set_world_table(new_table);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use uprob_urel::{ColumnType, Schema, Tuple, Value};
+
+    /// The SSN database of Figures 1/2 plus the FD world-set of Example 5.1.
+    fn ssn_db_and_condition() -> (ProbDb, WsSet) {
+        let mut db = ProbDb::new();
+        let j = db
+            .world_table_mut()
+            .add_variable("j", &[(1, 0.2), (7, 0.8)])
+            .unwrap();
+        let b = db
+            .world_table_mut()
+            .add_variable("b", &[(4, 0.3), (7, 0.7)])
+            .unwrap();
+        let schema = Schema::new("R", &[("SSN", ColumnType::Int), ("NAME", ColumnType::Str)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Int(1), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 1)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 7)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(4), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 4)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 7)]).unwrap(),
+            );
+        }
+        db.insert_relation(r).unwrap();
+        let condition = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(db.world_table(), &[(j, 1)]).unwrap(),
+            WsDescriptor::from_pairs(db.world_table(), &[(j, 7), (b, 4)]).unwrap(),
+        ]);
+        (db, condition)
+    }
+
+    /// Probability that `tuple` appears in relation `name` of `db`, by
+    /// brute-force world enumeration.
+    fn tuple_marginal(db: &ProbDb, name: &str, tuple: &Tuple) -> f64 {
+        db.enumerate_instances()
+            .filter(|(_, _, instance)| instance[name].contains(tuple))
+            .map(|(_, p, _)| p)
+            .sum()
+    }
+
+    /// The distribution over deterministic instances of `db`, keyed by the
+    /// printed form of the instance (stable and hashable).
+    fn instance_distribution(db: &ProbDb) -> BTreeMap<String, f64> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for (_, p, instance) in db.enumerate_instances() {
+            let key = format!("{instance:?}");
+            *out.entry(key).or_insert(0.0) += p;
+        }
+        out.retain(|_, p| *p > 1e-15);
+        out
+    }
+
+    #[test]
+    fn example_5_1_conditioning_on_the_functional_dependency() {
+        let (db, condition) = ssn_db_and_condition();
+        let result = condition_db_default(&db, &condition);
+        assert!((result.confidence - 0.44).abs() < 1e-12);
+
+        let conditioned = &result.db;
+        // The posterior of Bill having SSN 4 is .3/.44 ≈ .68 (Introduction).
+        let bill4 = Tuple::new(vec![Value::Int(4), Value::str("Bill")]);
+        let p = tuple_marginal(conditioned, "R", &bill4);
+        assert!((p - 0.3 / 0.44).abs() < 1e-9, "P(Bill has SSN 4) = {p}");
+        // The other tuple marginals of Example 5.1.
+        let john1 = Tuple::new(vec![Value::Int(1), Value::str("John")]);
+        assert!((tuple_marginal(conditioned, "R", &john1) - 0.2 / 0.44).abs() < 1e-9);
+        let john7 = Tuple::new(vec![Value::Int(7), Value::str("John")]);
+        assert!((tuple_marginal(conditioned, "R", &john7) - 0.24 / 0.44).abs() < 1e-9);
+        let bill7 = Tuple::new(vec![Value::Int(7), Value::str("Bill")]);
+        assert!((tuple_marginal(conditioned, "R", &bill7) - 0.14 / 0.44).abs() < 1e-9);
+        // The world weights sum to one.
+        let total: f64 = conditioned
+            .world_table()
+            .enumerate_worlds()
+            .map(|(_, p)| p)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    fn condition_db_default(db: &ProbDb, ws: &WsSet) -> Conditioned {
+        condition(db, ws, &ConditioningOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn example_5_1_fig8_variant_produces_the_paper_database() {
+        let (db, cond_set) = ssn_db_and_condition();
+        let result = condition(&db, &cond_set, &ConditioningOptions::paper_fig8()).unwrap();
+        assert!((result.confidence - 0.44).abs() < 1e-12);
+        let table = result.db.world_table();
+        // After simplification the world table holds b (unchanged) and a
+        // fresh j' with weights .2/.44 and .8*.3/.44 (Example 5.1).
+        assert_eq!(table.num_variables(), 2);
+        let b = table.variable_by_name("b").unwrap();
+        let jp = table.variable_by_name("j'").unwrap();
+        assert!((table.probability(b, ValueIndex(0)).unwrap() - 0.3).abs() < 1e-12);
+        assert!((table.probability(jp, ValueIndex(0)).unwrap() - 0.2 / 0.44).abs() < 1e-12);
+        assert!((table.probability(jp, ValueIndex(1)).unwrap() - 0.24 / 0.44).abs() < 1e-12);
+        // The relation has five rows, as in the paper: Bill/4 appears both
+        // under j' -> 1 (with b -> 4) and under j' -> 7.
+        assert_eq!(result.db.relation("R").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn exact_and_fig8_agree_when_no_independent_partitioning_occurs() {
+        let (db, cond_set) = ssn_db_and_condition();
+        let exact = condition(&db, &cond_set, &ConditioningOptions::default()).unwrap();
+        let fig8 = condition(&db, &cond_set, &ConditioningOptions::paper_fig8()).unwrap();
+        assert!((exact.confidence - fig8.confidence).abs() < 1e-12);
+        assert_eq!(
+            instance_distribution(&exact.db)
+                .keys()
+                .collect::<Vec<_>>()
+                .len(),
+            instance_distribution(&fig8.db).keys().collect::<Vec<_>>().len()
+        );
+    }
+
+    #[test]
+    fn exact_conditioning_matches_bayes_posterior_at_instance_level() {
+        // A condition with two independent parts and tuples spanning both
+        // parts: the case where the ⊗ rule of Figure 8 loses precision but
+        // the exact variant must not.
+        let mut db = ProbDb::new();
+        let x = db.world_table_mut().add_boolean("x", 0.5).unwrap();
+        let y = db.world_table_mut().add_boolean("y", 0.5).unwrap();
+        let schema = Schema::new("S", &[("ID", ColumnType::Int)]);
+        let mut rel = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            rel.push(
+                Tuple::new(vec![Value::Int(1)]),
+                WsDescriptor::from_pairs(w, &[(x, 1)]).unwrap(),
+            );
+            rel.push(
+                Tuple::new(vec![Value::Int(2)]),
+                WsDescriptor::from_pairs(w, &[(y, 1)]).unwrap(),
+            );
+            rel.push(Tuple::new(vec![Value::Int(3)]), WsDescriptor::empty());
+        }
+        db.insert_relation(rel).unwrap();
+        // Condition: x = 1 OR y = 1.
+        let cond_set = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(db.world_table(), &[(x, 1)]).unwrap(),
+            WsDescriptor::from_pairs(db.world_table(), &[(y, 1)]).unwrap(),
+        ]);
+
+        let result = condition(&db, &cond_set, &ConditioningOptions::default()).unwrap();
+        assert!((result.confidence - 0.75).abs() < 1e-12);
+
+        // Expected posterior over instances by direct Bayes on the prior.
+        let prior = instance_distribution(&db);
+        let mut expected: BTreeMap<String, f64> = BTreeMap::new();
+        for (world, p) in db.world_table().enumerate_worlds() {
+            if !cond_set.matches_world(&world) {
+                continue;
+            }
+            let key = format!("{:?}", db.instantiate_world(&world));
+            *expected.entry(key).or_insert(0.0) += p / 0.75;
+        }
+        let got = instance_distribution(&result.db);
+        assert_eq!(expected.len(), got.len(), "prior: {prior:?}");
+        for (key, p) in &expected {
+            let q = got.get(key).copied().unwrap_or(0.0);
+            assert!((p - q).abs() < 1e-9, "instance {key}: expected {p}, got {q}");
+        }
+        // Tuple marginals follow as well.
+        let t1 = Tuple::new(vec![Value::Int(1)]);
+        assert!((tuple_marginal(&result.db, "S", &t1) - 0.5 / 0.75).abs() < 1e-9);
+        let t3 = Tuple::new(vec![Value::Int(3)]);
+        assert!((tuple_marginal(&result.db, "S", &t3) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditioning_on_impossible_world_set_is_an_error() {
+        let (db, _) = ssn_db_and_condition();
+        let err = condition(&db, &WsSet::empty(), &ConditioningOptions::default()).unwrap_err();
+        assert_eq!(err, CoreError::EmptyCondition);
+    }
+
+    #[test]
+    fn conditioning_on_the_universal_set_is_the_identity() {
+        let (db, _) = ssn_db_and_condition();
+        let result = condition(&db, &WsSet::universal(), &ConditioningOptions::default()).unwrap();
+        assert!((result.confidence - 1.0).abs() < 1e-12);
+        let before = instance_distribution(&db);
+        let after = instance_distribution(&result.db);
+        assert_eq!(before.len(), after.len());
+        for (key, p) in &before {
+            assert!((p - after[key]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (db, cond_set) = ssn_db_and_condition();
+        let options = ConditioningOptions {
+            node_budget: Some(1),
+            ..Default::default()
+        };
+        assert!(matches!(
+            condition(&db, &cond_set, &options),
+            Err(CoreError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn simplification_removes_unused_and_singleton_variables() {
+        let (db, cond_set) = ssn_db_and_condition();
+        let raw = condition(
+            &db,
+            &cond_set,
+            &ConditioningOptions {
+                simplify: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let simplified = condition(&db, &cond_set, &ConditioningOptions::default()).unwrap();
+        assert!(simplified.db.world_table().num_variables() < raw.db.world_table().num_variables());
+        // Both represent the same posterior.
+        let a = instance_distribution(&raw.db);
+        let b = instance_distribution(&simplified.db);
+        assert_eq!(a.len(), b.len());
+        for (key, p) in &a {
+            assert!((p - b[key]).abs() < 1e-9);
+        }
+        assert!(simplified.db.validate().is_ok());
+    }
+
+    #[test]
+    fn repeated_conditioning_composes() {
+        // assert[B1] then assert[B2] equals assert[B1 ∧ B2] (Theorem 5.5 in
+        // spirit: asserts commute and compose).
+        let mut db = ProbDb::new();
+        let x = db.world_table_mut().add_uniform("x", 3).unwrap();
+        let y = db.world_table_mut().add_uniform("y", 3).unwrap();
+        let schema = Schema::new("T", &[("ID", ColumnType::Int)]);
+        let mut rel = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            rel.push(
+                Tuple::new(vec![Value::Int(1)]),
+                WsDescriptor::from_pairs(w, &[(x, 0)]).unwrap(),
+            );
+            rel.push(
+                Tuple::new(vec![Value::Int(2)]),
+                WsDescriptor::from_pairs(w, &[(x, 1), (y, 1)]).unwrap(),
+            );
+            rel.push(
+                Tuple::new(vec![Value::Int(3)]),
+                WsDescriptor::from_pairs(w, &[(y, 2)]).unwrap(),
+            );
+        }
+        db.insert_relation(rel).unwrap();
+        // B1: x != 2 (x -> 0 or x -> 1). B2: y != 0.
+        let b1 = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(db.world_table(), &[(x, 0)]).unwrap(),
+            WsDescriptor::from_pairs(db.world_table(), &[(x, 1)]).unwrap(),
+        ]);
+        let opts = ConditioningOptions::default();
+        let step1 = condition(&db, &b1, &opts).unwrap();
+        // Express B2 over the *conditioned* database's world table.
+        let table1 = step1.db.world_table();
+        let y1 = table1.variable_by_name("y").unwrap();
+        let b2_after = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(table1, &[(y1, 1)]).unwrap(),
+            WsDescriptor::from_pairs(table1, &[(y1, 2)]).unwrap(),
+        ]);
+        let step2 = condition(&step1.db, &b2_after, &opts).unwrap();
+
+        // Direct computation of the posterior given B1 ∧ B2 on the prior.
+        let mut expected: BTreeMap<String, f64> = BTreeMap::new();
+        let mut mass = 0.0;
+        for (world, p) in db.world_table().enumerate_worlds() {
+            let x_ok = world[x.index()].index() != 2;
+            let y_ok = world[y.index()].index() != 0;
+            if x_ok && y_ok {
+                mass += p;
+                let key = format!("{:?}", db.instantiate_world(&world));
+                *expected.entry(key).or_insert(0.0) += p;
+            }
+        }
+        for p in expected.values_mut() {
+            *p /= mass;
+        }
+        expected.retain(|_, p| *p > 1e-15);
+        let got = instance_distribution(&step2.db);
+        assert_eq!(expected.len(), got.len());
+        for (key, p) in &expected {
+            assert!((p - got[key]).abs() < 1e-9, "instance {key}");
+        }
+        // The combined confidence is the product of the step confidences.
+        assert!((step1.confidence * step2.confidence - mass).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Exact confidence (probability) computation for ws-sets (Section 4.3).
+//!
+//! The probability of a ws-tree is defined by structural recursion
+//! (Figure 7):
+//!
+//! * `P(⊗ S_1 … S_k) = 1 − Π_i (1 − P(S_i))` — the children are
+//!   independent, so the probability of their union follows from inclusion
+//!   of independent events;
+//! * `P(⊕_i (x → i : S_i)) = Σ_i P({x → i}) · P(S_i)` — the branches are
+//!   mutually exclusive;
+//! * `P(∅) = 1`, `P(⊥) = 0`.
+//!
+//! [`confidence`] composes this recursion with the decomposition of
+//! [`crate::decompose`] without materialising the ws-tree (the
+//! `ComputeTree ∘ P` composition of the paper); [`tree_probability`]
+//! evaluates an already-materialised tree; [`confidence_brute_force`]
+//! enumerates the possible worlds and is used as a test oracle.
+
+use uprob_wsd::{WorldTable, WsSet};
+
+use crate::decompose::{Decomposer, DecompositionOptions, DecompositionStep};
+use crate::stats::Confidence;
+use crate::wstree::WsTree;
+use crate::Result;
+
+/// Computes the exact probability of the world-set denoted by `set`,
+/// folding Figure 7 over the Davis–Putnam-style decomposition.
+///
+/// # Errors
+///
+/// Returns [`crate::CoreError::BudgetExceeded`] if `options.node_budget` is
+/// set and exhausted.
+pub fn confidence(
+    set: &WsSet,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+) -> Result<Confidence> {
+    let mut decomposer = Decomposer::new(table, *options);
+    let probability = confidence_rec(set, &mut decomposer, 1)?;
+    Ok(Confidence {
+        probability,
+        stats: decomposer.stats,
+    })
+}
+
+fn confidence_rec(set: &WsSet, decomposer: &mut Decomposer<'_>, depth: u64) -> Result<f64> {
+    match decomposer.step(set, depth)? {
+        DecompositionStep::Empty => Ok(0.0),
+        DecompositionStep::Universal => Ok(1.0),
+        DecompositionStep::Partition(parts) => {
+            let mut complement = 1.0;
+            for part in &parts {
+                let p = confidence_rec(part, decomposer, depth + 1)?;
+                complement *= 1.0 - p;
+            }
+            Ok(1.0 - complement)
+        }
+        DecompositionStep::Eliminate {
+            var,
+            branches,
+            missing_values,
+            tail,
+        } => {
+            let table = decomposer.table();
+            let mut total = 0.0;
+            for (value, child) in &branches {
+                let weight = table.probability(var, *value)?;
+                if weight == 0.0 {
+                    continue;
+                }
+                total += weight * confidence_rec(child, decomposer, depth + 1)?;
+            }
+            // Alternatives of `var` not occurring in the set only contribute
+            // through the tail T, whose probability is computed once.
+            if !missing_values.is_empty() && !tail.is_empty() {
+                let mut missing_weight = 0.0;
+                for value in &missing_values {
+                    missing_weight += table.probability(var, *value)?;
+                }
+                if missing_weight > 0.0 {
+                    total += missing_weight * confidence_rec(&tail, decomposer, depth + 1)?;
+                }
+            }
+            Ok(total)
+        }
+    }
+}
+
+/// Evaluates the probability of a materialised ws-tree (Figure 7).
+///
+/// # Panics
+///
+/// Panics if the tree refers to variables or values missing from `table`;
+/// validate the tree first if its provenance is untrusted.
+pub fn tree_probability(tree: &WsTree, table: &WorldTable) -> f64 {
+    match tree {
+        WsTree::Bottom => 0.0,
+        WsTree::Leaf => 1.0,
+        WsTree::Independent(children) => {
+            let complement: f64 = children
+                .iter()
+                .map(|c| 1.0 - tree_probability(c, table))
+                .product();
+            1.0 - complement
+        }
+        WsTree::Choice { var, branches } => branches
+            .iter()
+            .map(|(value, child)| {
+                let weight = table
+                    .probability(*var, *value)
+                    .expect("tree value must be in the variable domain");
+                weight * tree_probability(child, table)
+            })
+            .sum(),
+    }
+}
+
+/// Brute-force probability computation by enumerating all possible worlds.
+///
+/// Exponential in the number of variables of `table`; used as the test
+/// oracle and as the baseline that the paper mentions but does not plot.
+pub fn confidence_brute_force(set: &WsSet, table: &WorldTable) -> f64 {
+    set.probability_by_enumeration(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::build_tree;
+    use crate::heuristics::VariableHeuristic;
+    use uprob_wsd::{VarId, WsDescriptor};
+
+    /// The world table and ws-set S of Figure 3 (P(S) = 0.7578).
+    fn figure3() -> (WorldTable, WsSet) {
+        let mut w = WorldTable::new();
+        let x = w
+            .add_variable("x", &[(1, 0.1), (2, 0.4), (3, 0.5)])
+            .unwrap();
+        let y = w.add_variable("y", &[(1, 0.2), (2, 0.8)]).unwrap();
+        let z = w.add_variable("z", &[(1, 0.4), (2, 0.6)]).unwrap();
+        let u = w.add_variable("u", &[(1, 0.7), (2, 0.3)]).unwrap();
+        let v = w.add_variable("v", &[(1, 0.5), (2, 0.5)]).unwrap();
+        let s = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (y, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (z, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 1), (v, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 2)]).unwrap(),
+        ]);
+        (w, s)
+    }
+
+    #[test]
+    fn example_4_7_probability_is_0_7578() {
+        let (w, s) = figure3();
+        for options in [
+            DecompositionOptions::indve_minlog(),
+            DecompositionOptions::indve_minmax(),
+            DecompositionOptions::ve_minlog(),
+        ] {
+            let result = confidence(&s, &w, &options).unwrap();
+            assert!(
+                (result.probability - 0.7578).abs() < 1e-12,
+                "{options:?} computed {}",
+                result.probability
+            );
+        }
+        assert!((confidence_brute_force(&s, &w) - 0.7578).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_probability_matches_streaming_confidence() {
+        let (w, s) = figure3();
+        let options = DecompositionOptions::indve_minlog();
+        let (tree, _) = build_tree(&s, &w, &options).unwrap();
+        let from_tree = tree_probability(&tree, &w);
+        let streamed = confidence(&s, &w, &options).unwrap().probability;
+        assert!((from_tree - streamed).abs() < 1e-12);
+        assert!((from_tree - 0.7578).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_universal_probabilities() {
+        let (w, _) = figure3();
+        let options = DecompositionOptions::default();
+        assert_eq!(confidence(&WsSet::empty(), &w, &options).unwrap().probability, 0.0);
+        assert_eq!(
+            confidence(&WsSet::universal(), &w, &options).unwrap().probability,
+            1.0
+        );
+    }
+
+    #[test]
+    fn ssn_example_confidence_of_fd_worlds_is_0_44() {
+        // Example 5.1: the worlds on which SSN -> NAME holds have total
+        // probability .2 + .8 * .3 = .44.
+        let mut w = WorldTable::new();
+        let j = w.add_variable("j", &[(1, 0.2), (7, 0.8)]).unwrap();
+        let b = w.add_variable("b", &[(4, 0.3), (7, 0.7)]).unwrap();
+        let s = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(j, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(j, 7), (b, 4)]).unwrap(),
+        ]);
+        let c = confidence(&s, &w, &DecompositionOptions::indve_minlog()).unwrap();
+        assert!((c.probability - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_heuristics_agree_with_brute_force_on_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..30 {
+            let mut w = WorldTable::new();
+            let num_vars = rng.random_range(2..=5usize);
+            let vars: Vec<VarId> = (0..num_vars)
+                .map(|i| {
+                    let domain = rng.random_range(2..=3usize);
+                    w.add_uniform(&format!("v{i}"), domain).unwrap()
+                })
+                .collect();
+            let num_descriptors = rng.random_range(1..=6usize);
+            let mut set = WsSet::empty();
+            for _ in 0..num_descriptors {
+                let mut d = WsDescriptor::empty();
+                let width = rng.random_range(0..=num_vars);
+                for _ in 0..width {
+                    let var = vars[rng.random_range(0..num_vars)];
+                    let domain = w.domain_size(var).unwrap();
+                    let value = rng.random_range(0..domain);
+                    let _ = d.assign(var, uprob_wsd::ValueIndex(value as u16));
+                }
+                set.push(d);
+            }
+            let expected = confidence_brute_force(&set, &w);
+            for heuristic in VariableHeuristic::ALL {
+                for method in [
+                    crate::decompose::DecompositionMethod::IndVe,
+                    crate::decompose::DecompositionMethod::VeOnly,
+                ] {
+                    let options = DecompositionOptions {
+                        method,
+                        heuristic,
+                        node_budget: None,
+                    };
+                    let got = confidence(&set, &w, &options).unwrap().probability;
+                    assert!(
+                        (got - expected).abs() < 1e-9,
+                        "case {case}: {method:?}/{heuristic:?} computed {got}, expected {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_reflect_the_decomposition_work() {
+        let (w, s) = figure3();
+        let result = confidence(&s, &w, &DecompositionOptions::indve_minlog()).unwrap();
+        assert!(result.stats.independent_nodes >= 1);
+        assert!(result.stats.choice_nodes >= 2);
+        assert!(result.stats.leaves >= 2);
+        assert!(result.stats.max_depth >= 2);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (w, s) = figure3();
+        let options = DecompositionOptions::indve_minlog().with_budget(1);
+        assert!(confidence(&s, &w, &options).is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! The Davis–Putnam-style decomposition of ws-sets (Section 4.1, Figure 4).
+//!
+//! `ComputeTree` translates a ws-set into a ws-tree by repeatedly applying
+//! one of two rules:
+//!
+//! * **independent partitioning** — split the ws-set into connected
+//!   components of the variable co-occurrence graph and combine them with a
+//!   ⊗ node;
+//! * **variable elimination** — choose a variable `x` (using a
+//!   [`VariableHeuristic`]), split the set into the descriptors consistent
+//!   with each assignment `x → i` (each unioned with the descriptors `T`
+//!   not mentioning `x`) and combine the recursive translations with a
+//!   ⊕ node.
+//!
+//! The same recursion is reused, without materialising the tree, by exact
+//! confidence computation ([`crate::confidence`]) and by conditioning
+//! ([`crate::conditioning`]): they *fold* probability computation or
+//! database rewriting over the decomposition, which is exactly the
+//! `ComputeTree ∘ P` composition described in Section 4.3.
+
+use uprob_wsd::{ValueIndex, VarId, WorldTable, WsSet};
+
+use crate::error::CoreError;
+use crate::heuristics::{choose_variable, VariableHeuristic};
+use crate::stats::DecompositionStats;
+use crate::wstree::WsTree;
+use crate::Result;
+
+/// Which decomposition rules are enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DecompositionMethod {
+    /// Independent partitioning *and* variable elimination (the paper's
+    /// INDVE algorithm).
+    #[default]
+    IndVe,
+    /// Variable elimination only (the paper's VE algorithm).
+    VeOnly,
+}
+
+impl DecompositionMethod {
+    /// Short name used by the benchmark harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecompositionMethod::IndVe => "indve",
+            DecompositionMethod::VeOnly => "ve",
+        }
+    }
+}
+
+/// Options controlling the decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct DecompositionOptions {
+    /// Which rules may be applied.
+    pub method: DecompositionMethod,
+    /// Variable-ordering heuristic for variable elimination.
+    pub heuristic: VariableHeuristic,
+    /// Optional budget on the number of decomposition nodes; exceeding it
+    /// aborts with [`CoreError::BudgetExceeded`]. Used by the benchmark
+    /// harness to emulate the per-run timeouts of the paper.
+    pub node_budget: Option<u64>,
+}
+
+impl DecompositionOptions {
+    /// INDVE with the minlog heuristic (the paper's default configuration).
+    pub fn indve_minlog() -> Self {
+        DecompositionOptions {
+            method: DecompositionMethod::IndVe,
+            heuristic: VariableHeuristic::MinLog,
+            node_budget: None,
+        }
+    }
+
+    /// INDVE with the minmax heuristic.
+    pub fn indve_minmax() -> Self {
+        DecompositionOptions {
+            heuristic: VariableHeuristic::MinMax,
+            ..Self::indve_minlog()
+        }
+    }
+
+    /// Variable elimination only, with the minlog heuristic.
+    pub fn ve_minlog() -> Self {
+        DecompositionOptions {
+            method: DecompositionMethod::VeOnly,
+            ..Self::indve_minlog()
+        }
+    }
+
+    /// Returns a copy with the given node budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.node_budget = Some(budget);
+        self
+    }
+}
+
+/// One step of the decomposition: what `ComputeTree` would do at this node.
+#[derive(Clone, Debug)]
+pub enum DecompositionStep {
+    /// The ws-set is empty: the node is `⊥`.
+    Empty,
+    /// The ws-set contains the nullary descriptor: the node is the `∅` leaf.
+    Universal,
+    /// Independent partitioning applies: the node is a ⊗ over these parts.
+    Partition(Vec<WsSet>),
+    /// Variable elimination on `var`.
+    Eliminate {
+        /// The eliminated variable.
+        var: VarId,
+        /// For every value of `var` occurring in the set: the child ws-set
+        /// `S_{x→i} ∪ T` (descriptors with `x → i`, the assignment removed,
+        /// unioned with the descriptors not mentioning `x`).
+        branches: Vec<(ValueIndex, WsSet)>,
+        /// Values of `var` not occurring in the set. Their child ws-set is
+        /// `T` (translated only once, as noted in Figure 4).
+        missing_values: Vec<ValueIndex>,
+        /// The descriptors of the input not mentioning `var`.
+        tail: WsSet,
+    },
+}
+
+/// Shared state of one decomposition run (node budget and statistics).
+pub(crate) struct Decomposer<'a> {
+    table: &'a WorldTable,
+    options: DecompositionOptions,
+    pub(crate) stats: DecompositionStats,
+    nodes: u64,
+}
+
+impl<'a> Decomposer<'a> {
+    pub(crate) fn new(table: &'a WorldTable, options: DecompositionOptions) -> Self {
+        Decomposer {
+            table,
+            options,
+            stats: DecompositionStats::default(),
+            nodes: 0,
+        }
+    }
+
+    pub(crate) fn table(&self) -> &'a WorldTable {
+        self.table
+    }
+
+    fn charge_node(&mut self) -> Result<()> {
+        self.nodes += 1;
+        if let Some(budget) = self.options.node_budget {
+            if self.nodes > budget {
+                return Err(CoreError::BudgetExceeded { budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decides what `ComputeTree` does with `set` at recursion depth
+    /// `depth`, updating the statistics.
+    pub(crate) fn step(&mut self, set: &WsSet, depth: u64) -> Result<DecompositionStep> {
+        self.charge_node()?;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if set.is_empty() {
+            self.stats.bottoms += 1;
+            return Ok(DecompositionStep::Empty);
+        }
+        if set.contains_universal() {
+            self.stats.leaves += 1;
+            return Ok(DecompositionStep::Universal);
+        }
+        if self.options.method == DecompositionMethod::IndVe {
+            let parts = set.independent_partition();
+            if parts.len() > 1 {
+                self.stats.independent_nodes += 1;
+                return Ok(DecompositionStep::Partition(parts));
+            }
+        }
+        let var = choose_variable(set, self.table, self.options.heuristic)
+            .expect("a non-empty, non-universal ws-set mentions at least one variable");
+        self.stats.choice_nodes += 1;
+        self.stats.variable_eliminations += 1;
+        let (branches, missing_values, tail) = eliminate_variable(set, var, self.table);
+        self.stats.branches += branches.len() as u64;
+        Ok(DecompositionStep::Eliminate {
+            var,
+            branches,
+            missing_values,
+            tail,
+        })
+    }
+}
+
+/// Splits `set` by the assignments of `var` (the variable-elimination rule
+/// of Figure 4). Returns the child ws-set for every occurring value
+/// (`S_{x→i} ∪ T`, with the `x → i` assignment stripped), the values of
+/// `var` that do not occur, and the tail `T`.
+pub fn eliminate_variable(
+    set: &WsSet,
+    var: VarId,
+    table: &WorldTable,
+) -> (Vec<(ValueIndex, WsSet)>, Vec<ValueIndex>, WsSet) {
+    let domain_size = table
+        .domain_size(var)
+        .expect("eliminated variable must belong to the world table");
+    let mut tail = WsSet::empty();
+    // Children indexed by value; only materialised for occurring values.
+    let mut by_value: Vec<Option<WsSet>> = vec![None; domain_size];
+    for descriptor in set.iter() {
+        match descriptor.get(var) {
+            None => tail.push(descriptor.clone()),
+            Some(value) => {
+                by_value[value.index()]
+                    .get_or_insert_with(WsSet::empty)
+                    .push(descriptor.without(var));
+            }
+        }
+    }
+    let mut branches = Vec::new();
+    let mut missing_values = Vec::new();
+    for (index, slot) in by_value.into_iter().enumerate() {
+        let value = ValueIndex(index as u16);
+        match slot {
+            Some(mut child) => {
+                for d in tail.iter() {
+                    child.push(d.clone());
+                }
+                branches.push((value, child));
+            }
+            None => missing_values.push(value),
+        }
+    }
+    (branches, missing_values, tail)
+}
+
+/// Materialises the ws-tree of `ComputeTree(set)` (Figure 4).
+///
+/// Exact confidence computation and conditioning do **not** need the
+/// materialised tree (they fold over the same recursion); this function is
+/// useful for inspection, testing and the knowledge-compilation examples.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExceeded`] if a node budget is configured and
+/// exhausted.
+pub fn build_tree(
+    set: &WsSet,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+) -> Result<(WsTree, DecompositionStats)> {
+    let mut decomposer = Decomposer::new(table, *options);
+    let tree = build_rec(set, &mut decomposer, 1)?;
+    Ok((tree, decomposer.stats))
+}
+
+fn build_rec(set: &WsSet, decomposer: &mut Decomposer<'_>, depth: u64) -> Result<WsTree> {
+    match decomposer.step(set, depth)? {
+        DecompositionStep::Empty => Ok(WsTree::Bottom),
+        DecompositionStep::Universal => Ok(WsTree::Leaf),
+        DecompositionStep::Partition(parts) => {
+            let children = parts
+                .iter()
+                .map(|part| build_rec(part, decomposer, depth + 1))
+                .collect::<Result<Vec<_>>>()?;
+            Ok(WsTree::Independent(children))
+        }
+        DecompositionStep::Eliminate {
+            var,
+            branches,
+            missing_values,
+            tail,
+        } => {
+            let mut tree_branches = Vec::with_capacity(branches.len() + missing_values.len());
+            for (value, child_set) in &branches {
+                let child = build_rec(child_set, decomposer, depth + 1)?;
+                tree_branches.push((*value, child));
+            }
+            // Branches for values that do not occur in the set: their child
+            // is the translation of T, computed once and shared (cloned).
+            if !missing_values.is_empty() && !tail.is_empty() {
+                let tail_tree = build_rec(&tail, decomposer, depth + 1)?;
+                for value in missing_values {
+                    tree_branches.push((value, tail_tree.clone()));
+                }
+            }
+            Ok(WsTree::Choice {
+                var,
+                branches: tree_branches,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_wsd::WsDescriptor;
+
+    /// The world table and ws-set S of Figure 3.
+    fn figure3() -> (WorldTable, [VarId; 5], WsSet) {
+        let mut w = WorldTable::new();
+        let x = w
+            .add_variable("x", &[(1, 0.1), (2, 0.4), (3, 0.5)])
+            .unwrap();
+        let y = w.add_variable("y", &[(1, 0.2), (2, 0.8)]).unwrap();
+        let z = w.add_variable("z", &[(1, 0.4), (2, 0.6)]).unwrap();
+        let u = w.add_variable("u", &[(1, 0.7), (2, 0.3)]).unwrap();
+        let v = w.add_variable("v", &[(1, 0.5), (2, 0.5)]).unwrap();
+        let s = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (y, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (z, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 1), (v, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 2)]).unwrap(),
+        ]);
+        (w, [x, y, z, u, v], s)
+    }
+
+    #[test]
+    fn eliminate_variable_splits_by_value() {
+        let (w, [x, ..], s) = figure3();
+        let (branches, missing, tail) = eliminate_variable(&s, x, &w);
+        // x occurs with values 1 and 2; value 3 is missing.
+        assert_eq!(branches.len(), 2);
+        assert_eq!(missing, vec![ValueIndex(2)]);
+        // T consists of the two descriptors over u and v.
+        assert_eq!(tail.len(), 2);
+        // Branch x -> 1 contains the nullary descriptor plus T.
+        let b1 = &branches[0].1;
+        assert_eq!(b1.len(), 3);
+        assert!(b1.contains_universal());
+        // Branch x -> 2 contains {y -> 1}, {z -> 1} plus T.
+        let b2 = &branches[1].1;
+        assert_eq!(b2.len(), 4);
+        assert!(!b2.contains_universal());
+    }
+
+    #[test]
+    fn build_tree_produces_a_valid_equivalent_tree() {
+        let (w, _, s) = figure3();
+        for options in [
+            DecompositionOptions::indve_minlog(),
+            DecompositionOptions::indve_minmax(),
+            DecompositionOptions::ve_minlog(),
+            DecompositionOptions {
+                heuristic: VariableHeuristic::FirstVariable,
+                ..Default::default()
+            },
+        ] {
+            let (tree, stats) = build_tree(&s, &w, &options).unwrap();
+            assert!(tree.validate(&w).is_ok(), "invalid tree for {options:?}");
+            assert!(
+                tree.to_ws_set().is_equivalent_by_enumeration(&s, &w),
+                "tree does not represent S for {options:?}"
+            );
+            assert!(stats.total_nodes() > 0);
+        }
+    }
+
+    #[test]
+    fn indve_uses_independent_partitioning_on_figure3() {
+        let (w, _, s) = figure3();
+        let (tree, stats) = build_tree(&s, &w, &DecompositionOptions::indve_minlog()).unwrap();
+        assert!(stats.independent_nodes >= 1);
+        assert!(matches!(tree, WsTree::Independent(_)));
+        // VE-only never creates ⊗ nodes.
+        let (_, ve_stats) = build_tree(&s, &w, &DecompositionOptions::ve_minlog()).unwrap();
+        assert_eq!(ve_stats.independent_nodes, 0);
+    }
+
+    #[test]
+    fn empty_and_universal_sets() {
+        let (w, _, _) = figure3();
+        let options = DecompositionOptions::default();
+        let (tree, stats) = build_tree(&WsSet::empty(), &w, &options).unwrap();
+        assert!(tree.is_bottom());
+        assert_eq!(stats.bottoms, 1);
+        let (tree, stats) = build_tree(&WsSet::universal(), &w, &options).unwrap();
+        assert_eq!(tree, WsTree::Leaf);
+        assert_eq!(stats.leaves, 1);
+    }
+
+    #[test]
+    fn node_budget_aborts_large_decompositions() {
+        let (w, _, s) = figure3();
+        let options = DecompositionOptions::indve_minlog().with_budget(2);
+        let err = build_tree(&s, &w, &options).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { budget: 2 }));
+    }
+
+    #[test]
+    fn missing_assignments_with_nonempty_tail_keep_semantics() {
+        // S over x (domain 3) where only x -> 1 occurs, plus an independent
+        // descriptor over y that forms the tail when eliminating x.
+        let mut w = WorldTable::new();
+        let x = w.add_uniform("x", 3).unwrap();
+        let y = w.add_uniform("y", 2).unwrap();
+        let s = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 0), (y, 0)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(y, 1)]).unwrap(),
+        ]);
+        // Force VE so the tail/missing-value logic is exercised.
+        let (tree, _) = build_tree(&s, &w, &DecompositionOptions::ve_minlog()).unwrap();
+        assert!(tree.validate(&w).is_ok());
+        assert!(tree.to_ws_set().is_equivalent_by_enumeration(&s, &w));
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(DecompositionMethod::IndVe.name(), "indve");
+        assert_eq!(DecompositionMethod::VeOnly.name(), "ve");
+    }
+}

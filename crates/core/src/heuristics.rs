@@ -1,0 +1,315 @@
+//! Variable-ordering heuristics for the Davis–Putnam-style decomposition
+//! (Section 4.2).
+//!
+//! When the decomposition has to eliminate a variable, the choice of
+//! variable strongly influences the size of the resulting ws-tree. The
+//! paper proposes two heuristics:
+//!
+//! * **minlog** (Figure 6): choose the variable minimising
+//!   `log(Σ_i 2^{s_i})`, where `s_i = |S_{x→i} ∪ T|` is the size of the
+//!   sub-problem for alternative `i`; the estimate is computed incrementally
+//!   to avoid summing huge numbers.
+//! * **minmax**: choose the variable minimising the size of the *largest*
+//!   sub-problem `max_i |S_{x→i} ∪ T|` (the heuristic of Birnbaum &
+//!   Lozinskii used for DP model counting, which the paper benchmarks
+//!   against).
+//!
+//! Two simple baselines are included for ablation experiments.
+
+use std::collections::BTreeMap;
+
+use uprob_wsd::{ValueIndex, VarId, WorldTable, WsSet};
+
+/// The variable-ordering heuristic used by variable elimination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VariableHeuristic {
+    /// The paper's main heuristic (Figure 6): minimise the logarithm of the
+    /// estimated total cost `Σ_i 2^{s_i}`.
+    #[default]
+    MinLog,
+    /// Minimise the size of the largest sub-problem (`max_i s_i`).
+    MinMax,
+    /// Always eliminate the smallest [`VarId`] occurring in the ws-set
+    /// (a deliberately naive baseline).
+    FirstVariable,
+    /// Eliminate the variable occurring in the most ws-descriptors
+    /// (a frequency baseline).
+    MostFrequent,
+}
+
+impl VariableHeuristic {
+    /// All heuristics, for sweeps in tests and benchmarks.
+    pub const ALL: [VariableHeuristic; 4] = [
+        VariableHeuristic::MinLog,
+        VariableHeuristic::MinMax,
+        VariableHeuristic::FirstVariable,
+        VariableHeuristic::MostFrequent,
+    ];
+
+    /// Short name used by the benchmark harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            VariableHeuristic::MinLog => "minlog",
+            VariableHeuristic::MinMax => "minmax",
+            VariableHeuristic::FirstVariable => "firstvar",
+            VariableHeuristic::MostFrequent => "mostfreq",
+        }
+    }
+}
+
+/// Occurrence statistics of one variable within a ws-set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VariableOccurrence {
+    /// The variable.
+    pub var: VarId,
+    /// Number of descriptors mentioning the variable with each value
+    /// (only values that actually occur are listed).
+    pub value_counts: BTreeMap<ValueIndex, usize>,
+    /// Total number of descriptors mentioning the variable.
+    pub occurrences: usize,
+}
+
+impl VariableOccurrence {
+    /// Size of the ws-set `T` of descriptors *not* mentioning the variable,
+    /// given the total ws-set size.
+    pub fn tail_size(&self, set_size: usize) -> usize {
+        set_size - self.occurrences
+    }
+}
+
+/// Collects occurrence statistics for every variable of the ws-set, in
+/// [`VarId`] order (deterministic).
+pub fn collect_occurrences(set: &WsSet) -> Vec<VariableOccurrence> {
+    let mut map: BTreeMap<VarId, VariableOccurrence> = BTreeMap::new();
+    for descriptor in set.iter() {
+        for assignment in descriptor.iter() {
+            let entry = map
+                .entry(assignment.var)
+                .or_insert_with(|| VariableOccurrence {
+                    var: assignment.var,
+                    value_counts: BTreeMap::new(),
+                    occurrences: 0,
+                });
+            *entry.value_counts.entry(assignment.value).or_insert(0) += 1;
+            entry.occurrences += 1;
+        }
+    }
+    map.into_values().collect()
+}
+
+/// The cost estimate of Figure 6 (base `k = 2`): an incremental computation
+/// of `log2(Σ_i 2^{s_i})` where `s_i = |S_{x→i} ∪ T|` for the alternatives
+/// `i` of `x` occurring in `S`, plus one term `2^{|T|}` if some alternative
+/// of `x` does not occur in `S` (in which case `T` is translated once).
+pub fn minlog_estimate(
+    occurrence: &VariableOccurrence,
+    set_size: usize,
+    domain_size: usize,
+) -> f64 {
+    let tail = occurrence.tail_size(set_size) as f64;
+    let missing_assignment = occurrence.value_counts.len() < domain_size;
+    let mut estimate = if missing_assignment { tail } else { 0.0 };
+    for &count in occurrence.value_counts.values() {
+        if count == 0 {
+            continue;
+        }
+        let s_j = count as f64 + tail;
+        // e := e + log2(1 + 2^(s_j - e)), the incremental log-sum-exp of
+        // Figure 6, which avoids forming the potentially huge sums directly.
+        estimate += (1.0 + (s_j - estimate).exp2()).log2();
+    }
+    estimate
+}
+
+/// The minmax cost estimate: the size of the largest sub-problem
+/// `max_i |S_{x→i} ∪ T|`.
+pub fn minmax_estimate(occurrence: &VariableOccurrence, set_size: usize) -> f64 {
+    let tail = occurrence.tail_size(set_size);
+    occurrence
+        .value_counts
+        .values()
+        .map(|&count| (count + tail) as f64)
+        .fold(0.0, f64::max)
+}
+
+/// Chooses the variable to eliminate next according to `heuristic`.
+///
+/// Returns `None` if the ws-set mentions no variable (it is then either
+/// empty or `{∅}` and the decomposition terminates). Ties are broken by the
+/// smallest [`VarId`], which makes the decomposition deterministic.
+pub fn choose_variable(
+    set: &WsSet,
+    table: &WorldTable,
+    heuristic: VariableHeuristic,
+) -> Option<VarId> {
+    let occurrences = collect_occurrences(set);
+    if occurrences.is_empty() {
+        return None;
+    }
+    let set_size = set.len();
+    match heuristic {
+        VariableHeuristic::FirstVariable => occurrences.first().map(|o| o.var),
+        VariableHeuristic::MostFrequent => occurrences
+            .iter()
+            .max_by_key(|o| (o.occurrences, std::cmp::Reverse(o.var)))
+            .map(|o| o.var),
+        VariableHeuristic::MinMax => select_min(&occurrences, |o| minmax_estimate(o, set_size)),
+        VariableHeuristic::MinLog => select_min(&occurrences, |o| {
+            let domain = table.domain_size(o.var).unwrap_or(usize::MAX);
+            minlog_estimate(o, set_size, domain)
+        }),
+    }
+}
+
+fn select_min<F>(occurrences: &[VariableOccurrence], mut score: F) -> Option<VarId>
+where
+    F: FnMut(&VariableOccurrence) -> f64,
+{
+    let mut best: Option<(f64, VarId)> = None;
+    for o in occurrences {
+        let s = score(o);
+        let better = match best {
+            None => true,
+            // Strict improvement wins; ties keep the earlier (smaller) VarId.
+            Some((current, _)) => s < current,
+        };
+        if better {
+            best = Some((s, o.var));
+        }
+    }
+    best.map(|(_, var)| var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_wsd::{WorldTable, WsDescriptor};
+
+    fn two_var_table() -> (WorldTable, VarId, VarId) {
+        let mut w = WorldTable::new();
+        let x = w.add_uniform("x", 2).unwrap();
+        let y = w.add_uniform("y", 2).unwrap();
+        (w, x, y)
+    }
+
+    /// Builds the scenario of Remark 4.6: `n` descriptors; variable `x`
+    /// occurs with the same assignment in `n − 1` of them, variable `y`
+    /// occurs twice with different assignments (and has a third, unused
+    /// alternative, so eliminating it would also translate `T` once).
+    fn remark_4_6(n: usize) -> (WorldTable, WsSet, VarId, VarId) {
+        let mut w = WorldTable::new();
+        let x = w.add_uniform("x", 2).unwrap();
+        let y = w.add_uniform("y", 3).unwrap();
+        let mut descriptors = Vec::new();
+        // n - 2 descriptors with x -> 0 only.
+        for _ in 0..n - 2 {
+            descriptors
+                .push(WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap());
+        }
+        // One descriptor with x -> 0 and y -> 0, one with y -> 1 only.
+        descriptors.push(WsDescriptor::from_pairs(&w, &[(x, 0), (y, 0)]).unwrap());
+        descriptors.push(WsDescriptor::from_pairs(&w, &[(y, 1)]).unwrap());
+        (w, WsSet::from_descriptors(descriptors), x, y)
+    }
+
+    #[test]
+    fn occurrence_statistics_are_counted_per_value() {
+        let (w, x, y) = two_var_table();
+        let set = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 0), (y, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(y, 0)]).unwrap(),
+        ]);
+        let occ = collect_occurrences(&set);
+        assert_eq!(occ.len(), 2);
+        assert_eq!(occ[0].var, x);
+        assert_eq!(occ[0].occurrences, 2);
+        assert_eq!(occ[0].value_counts[&ValueIndex(0)], 2);
+        assert_eq!(occ[1].var, y);
+        assert_eq!(occ[1].occurrences, 2);
+        assert_eq!(occ[1].tail_size(set.len()), 1);
+    }
+
+    #[test]
+    fn remark_4_6_minmax_and_minlog_disagree() {
+        // minmax prefers y (estimate n − 1 < n), while minlog prefers x
+        // because eliminating y would duplicate almost the whole set into
+        // both branches.
+        let n = 10;
+        let (w, set, x, y) = remark_4_6(n);
+        assert_eq!(choose_variable(&set, &w, VariableHeuristic::MinMax), Some(y));
+        assert_eq!(choose_variable(&set, &w, VariableHeuristic::MinLog), Some(x));
+    }
+
+    #[test]
+    fn minlog_estimate_matches_closed_form_on_small_inputs() {
+        let (w, x, y) = two_var_table();
+        let set = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 1), (y, 0)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(y, 1)]).unwrap(),
+        ]);
+        let occ = collect_occurrences(&set);
+        let x_occ = &occ[0];
+        // For x: T = 1, s_0 = 2, s_1 = 2, no missing assignment.
+        // Figure 6 starts its running estimate at e = 0, so the incremental
+        // log-sum computes log2(2^0 + 2^2 + 2^2) = log2(9).
+        let estimate = minlog_estimate(x_occ, set.len(), 2);
+        assert!((estimate - 9.0f64.log2()).abs() < 1e-9);
+        // minmax for x: max(2, 2) = 2.
+        assert!((minmax_estimate(x_occ, set.len()) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minlog_accounts_for_missing_assignments() {
+        let (w, x, _) = two_var_table();
+        let set = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap(),
+            WsDescriptor::empty(),
+        ]);
+        let occ = collect_occurrences(&set);
+        // x occurs only with value 0; value 1 is missing, so T (size 1) is
+        // translated once: estimate = log2(2^1 + 2^2) ≈ 2.585.
+        let estimate = minlog_estimate(&occ[0], set.len(), 2);
+        assert!((estimate - (2.0f64 + 4.0).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_heuristics() {
+        let (w, x, y) = two_var_table();
+        let set = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(y, 0)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(y, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 0), (y, 0)]).unwrap(),
+        ]);
+        assert_eq!(
+            choose_variable(&set, &w, VariableHeuristic::FirstVariable),
+            Some(x)
+        );
+        assert_eq!(
+            choose_variable(&set, &w, VariableHeuristic::MostFrequent),
+            Some(y)
+        );
+    }
+
+    #[test]
+    fn empty_and_universal_sets_have_no_variable() {
+        let (w, _, _) = two_var_table();
+        assert_eq!(
+            choose_variable(&WsSet::empty(), &w, VariableHeuristic::MinLog),
+            None
+        );
+        assert_eq!(
+            choose_variable(&WsSet::universal(), &w, VariableHeuristic::MinLog),
+            None
+        );
+    }
+
+    #[test]
+    fn heuristic_names_are_stable() {
+        assert_eq!(VariableHeuristic::MinLog.name(), "minlog");
+        assert_eq!(VariableHeuristic::MinMax.name(), "minmax");
+        assert_eq!(VariableHeuristic::ALL.len(), 4);
+        assert_eq!(VariableHeuristic::default(), VariableHeuristic::MinLog);
+    }
+}

@@ -1,0 +1,68 @@
+//! # uprob-core — ws-trees, exact confidence computation and conditioning
+//!
+//! The primary contribution of *Conditioning Probabilistic Databases*
+//! (Koch & Olteanu, VLDB 2008), implemented on top of the `uprob-wsd` and
+//! `uprob-urel` substrates:
+//!
+//! * [`WsTree`]: world-set trees (Section 4) with ⊗ (independence) and ⊕
+//!   (mutually exclusive variable branching) nodes;
+//! * [`decompose`]: the Davis–Putnam-style translation of ws-sets into
+//!   ws-trees (`ComputeTree`, Figure 4), with independent partitioning and
+//!   variable elimination and the **minlog** / **minmax** heuristics
+//!   (Section 4.2, Figure 6);
+//! * [`confidence`]: exact probability computation (Figure 7), streamed over
+//!   the decomposition without materialising the tree, plus a brute-force
+//!   oracle;
+//! * [`elimination`]: the alternative ws-descriptor elimination method (WE,
+//!   Section 6);
+//! * [`conditioning`]: the `assert[B]` operation (Section 5, Figure 8) that
+//!   transforms a database of priors into a posterior database, with the
+//!   three simplification optimisations.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use uprob_wsd::{WorldTable, WsDescriptor, WsSet};
+//! use uprob_core::{confidence, DecompositionOptions};
+//!
+//! // The ws-set S of Figure 3 of the paper; its probability is 0.7578.
+//! let mut w = WorldTable::new();
+//! let x = w.add_variable("x", &[(1, 0.1), (2, 0.4), (3, 0.5)]).unwrap();
+//! let y = w.add_variable("y", &[(1, 0.2), (2, 0.8)]).unwrap();
+//! let z = w.add_variable("z", &[(1, 0.4), (2, 0.6)]).unwrap();
+//! let u = w.add_variable("u", &[(1, 0.7), (2, 0.3)]).unwrap();
+//! let v = w.add_variable("v", &[(1, 0.5), (2, 0.5)]).unwrap();
+//! let s = WsSet::from_descriptors(vec![
+//!     WsDescriptor::from_pairs(&w, &[(x, 1)]).unwrap(),
+//!     WsDescriptor::from_pairs(&w, &[(x, 2), (y, 1)]).unwrap(),
+//!     WsDescriptor::from_pairs(&w, &[(x, 2), (z, 1)]).unwrap(),
+//!     WsDescriptor::from_pairs(&w, &[(u, 1), (v, 1)]).unwrap(),
+//!     WsDescriptor::from_pairs(&w, &[(u, 2)]).unwrap(),
+//! ]);
+//! let result = confidence(&s, &w, &DecompositionOptions::indve_minlog()).unwrap();
+//! assert!((result.probability - 0.7578).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conditioning;
+pub mod confidence;
+pub mod decompose;
+pub mod elimination;
+pub mod error;
+pub mod heuristics;
+pub mod stats;
+pub mod wstree;
+
+pub use conditioning::{condition, Conditioned, ConditioningMethod, ConditioningOptions};
+pub use confidence::{confidence, confidence_brute_force, tree_probability};
+pub use decompose::{build_tree, DecompositionMethod, DecompositionOptions};
+pub use elimination::{confidence_by_elimination, mutex_equivalent};
+pub use error::CoreError;
+pub use heuristics::VariableHeuristic;
+pub use stats::{Confidence, DecompositionStats};
+pub use wstree::WsTree;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

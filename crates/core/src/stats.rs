@@ -1,0 +1,98 @@
+//! Instrumentation collected during decomposition, confidence computation
+//! and conditioning.
+
+/// Counters describing one run of the `ComputeTree`-style decomposition
+/// (whether materialised as a ws-tree or folded directly into probability /
+/// conditioning computation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecompositionStats {
+    /// Number of ⊗ (independent partitioning) nodes created.
+    pub independent_nodes: u64,
+    /// Number of ⊕ (variable elimination) nodes created.
+    pub choice_nodes: u64,
+    /// Number of `∅` leaves (ws-sets containing the nullary descriptor).
+    pub leaves: u64,
+    /// Number of `⊥` leaves (empty ws-sets).
+    pub bottoms: u64,
+    /// Total number of ⊕-node branches explored.
+    pub branches: u64,
+    /// Maximum recursion depth reached.
+    pub max_depth: u64,
+    /// Number of variables eliminated (with multiplicity: the same variable
+    /// can be eliminated independently in different branches).
+    pub variable_eliminations: u64,
+}
+
+impl DecompositionStats {
+    /// Total number of inner and leaf nodes of the (virtual) ws-tree.
+    pub fn total_nodes(&self) -> u64 {
+        self.independent_nodes + self.choice_nodes + self.leaves + self.bottoms
+    }
+
+    /// Merges counters from a sub-computation into `self`.
+    pub fn absorb(&mut self, other: &DecompositionStats) {
+        self.independent_nodes += other.independent_nodes;
+        self.choice_nodes += other.choice_nodes;
+        self.leaves += other.leaves;
+        self.bottoms += other.bottoms;
+        self.branches += other.branches;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.variable_eliminations += other.variable_eliminations;
+    }
+}
+
+/// The result of an exact confidence computation: the probability together
+/// with the work performed to obtain it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Confidence {
+    /// The exact probability of the ws-set.
+    pub probability: f64,
+    /// Decomposition counters.
+    pub stats: DecompositionStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_nodes_sums_all_kinds() {
+        let stats = DecompositionStats {
+            independent_nodes: 1,
+            choice_nodes: 2,
+            leaves: 3,
+            bottoms: 4,
+            branches: 9,
+            max_depth: 5,
+            variable_eliminations: 2,
+        };
+        assert_eq!(stats.total_nodes(), 10);
+    }
+
+    #[test]
+    fn absorb_merges_counters() {
+        let mut a = DecompositionStats {
+            independent_nodes: 1,
+            choice_nodes: 1,
+            leaves: 1,
+            bottoms: 0,
+            branches: 2,
+            max_depth: 3,
+            variable_eliminations: 1,
+        };
+        let b = DecompositionStats {
+            independent_nodes: 0,
+            choice_nodes: 2,
+            leaves: 2,
+            bottoms: 1,
+            branches: 4,
+            max_depth: 7,
+            variable_eliminations: 2,
+        };
+        a.absorb(&b);
+        assert_eq!(a.choice_nodes, 3);
+        assert_eq!(a.max_depth, 7);
+        assert_eq!(a.variable_eliminations, 3);
+        assert_eq!(a.total_nodes(), 8);
+    }
+}

@@ -1,0 +1,225 @@
+//! The #P-hard ws-set generator (Section 7, second data set).
+//!
+//! The generated ws-sets look like the answers of non-hierarchical
+//! conjunctive queries without self-joins, such as
+//! `Q_s = R_1 ⋈ R_2 ⋈ … ⋈ R_s` over schemas `R_i(A_i, A_{i+1})`, on
+//! tuple-independent probabilistic databases — the canonical #P-hard case of
+//! Dalvi & Suciu. Data generation follows the paper exactly: the variables
+//! are partitioned into `s` equally-sized sets `V_1, …, V_s` and each
+//! ws-descriptor `{x_1 → a_1, …, x_s → a_s}` picks `x_i` uniformly from
+//! `V_i` and `a_i` uniformly among the `r` alternatives of `x_i`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uprob_wsd::{VarId, WorldTable, WsDescriptor, WsSet};
+
+/// Parameters of the #P-hard generator, matching the knobs of Section 7:
+/// number `n` of variables (50 to 100k in the paper), number `r` of
+/// alternatives per variable (2 or 4), length `s` of the ws-descriptors
+/// (equal to the number of joined relations; 2 or 4), and number `w` of
+/// ws-descriptors (5 to 60k).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardInstanceConfig {
+    /// Number of random variables `n`.
+    pub num_variables: usize,
+    /// Number of alternatives per variable `r` (uniform probabilities `1/r`,
+    /// as in the paper: the exact algorithms are insensitive to the values
+    /// as long as the number of alternatives is fixed).
+    pub alternatives: usize,
+    /// Length `s` of each ws-descriptor (number of joined relations).
+    pub descriptor_length: usize,
+    /// Number `w` of ws-descriptors in the generated ws-set.
+    pub num_descriptors: usize,
+    /// RNG seed; the same seed always produces the same instance.
+    pub seed: u64,
+}
+
+impl HardInstanceConfig {
+    /// A convenient starting configuration (70 variables, r = 4, s = 4),
+    /// the setting of Figure 12.
+    pub fn figure12(num_descriptors: usize) -> Self {
+        HardInstanceConfig {
+            num_variables: 70,
+            alternatives: 4,
+            descriptor_length: 4,
+            num_descriptors,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Returns a copy with a different seed (used for repeated runs /
+    /// error bars).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated #P-hard instance: the world table and the ws-set whose
+/// confidence the algorithms compute.
+#[derive(Clone, Debug)]
+pub struct HardInstance {
+    /// The world table with `n` variables of `r` alternatives each.
+    pub world_table: WorldTable,
+    /// The variables, grouped into the `s` partitions `V_1, …, V_s`.
+    pub partitions: Vec<Vec<VarId>>,
+    /// The generated ws-set (`w` descriptors of length `s`).
+    pub ws_set: WsSet,
+    /// The configuration that produced the instance.
+    pub config: HardInstanceConfig,
+}
+
+impl HardInstance {
+    /// Generates an instance from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_variables < descriptor_length` or any parameter is
+    /// zero — such configurations cannot produce descriptors of the
+    /// requested shape.
+    pub fn generate(config: HardInstanceConfig) -> HardInstance {
+        assert!(config.num_variables > 0, "need at least one variable");
+        assert!(config.alternatives > 0, "need at least one alternative");
+        assert!(
+            config.descriptor_length > 0
+                && config.descriptor_length <= config.num_variables,
+            "descriptor length must be between 1 and the number of variables"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut world_table = WorldTable::new();
+        let mut variables = Vec::with_capacity(config.num_variables);
+        for i in 0..config.num_variables {
+            let var = world_table
+                .add_uniform(&format!("x{i}"), config.alternatives)
+                .expect("uniform variable construction cannot fail");
+            variables.push(var);
+        }
+        // Partition the variables into s equally-sized groups V_1 … V_s
+        // (the last group absorbs the remainder).
+        let group_size = config.num_variables / config.descriptor_length;
+        let mut partitions: Vec<Vec<VarId>> = Vec::with_capacity(config.descriptor_length);
+        for g in 0..config.descriptor_length {
+            let start = g * group_size;
+            let end = if g + 1 == config.descriptor_length {
+                config.num_variables
+            } else {
+                start + group_size
+            };
+            partitions.push(variables[start..end].to_vec());
+        }
+        let mut ws_set = WsSet::empty();
+        for _ in 0..config.num_descriptors {
+            let mut descriptor = WsDescriptor::empty();
+            for group in &partitions {
+                let var = group[rng.random_range(0..group.len())];
+                let value = rng.random_range(0..config.alternatives) as u16;
+                // The same variable cannot be drawn twice for one descriptor
+                // because the groups are disjoint.
+                descriptor
+                    .assign(var, uprob_wsd::ValueIndex(value))
+                    .expect("groups are disjoint");
+            }
+            ws_set.push(descriptor);
+        }
+        HardInstance {
+            world_table,
+            partitions,
+            ws_set,
+            config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HardInstanceConfig {
+        HardInstanceConfig {
+            num_variables: 12,
+            alternatives: 4,
+            descriptor_length: 4,
+            num_descriptors: 30,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn generates_the_requested_shape() {
+        let instance = HardInstance::generate(config());
+        assert_eq!(instance.world_table.num_variables(), 12);
+        assert_eq!(instance.partitions.len(), 4);
+        assert_eq!(instance.partitions.iter().map(Vec::len).sum::<usize>(), 12);
+        assert_eq!(instance.ws_set.len(), 30);
+        for d in instance.ws_set.iter() {
+            assert_eq!(d.len(), 4);
+        }
+        // All variables have r = 4 uniform alternatives.
+        for (var, info) in instance.world_table.iter() {
+            assert_eq!(info.domain_size(), 4);
+            assert!((instance.world_table.probability(var, uprob_wsd::ValueIndex(0)).unwrap()
+                - 0.25)
+                .abs()
+                < 1e-12);
+        }
+    }
+
+    #[test]
+    fn descriptors_pick_one_variable_per_partition() {
+        let instance = HardInstance::generate(config());
+        for d in instance.ws_set.iter() {
+            for (group_index, group) in instance.partitions.iter().enumerate() {
+                let hits = d
+                    .variables()
+                    .filter(|v| group.contains(v))
+                    .count();
+                assert_eq!(hits, 1, "descriptor {d:?} in group {group_index}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = HardInstance::generate(config());
+        let b = HardInstance::generate(config());
+        assert_eq!(a.ws_set, b.ws_set);
+        let c = HardInstance::generate(config().with_seed(2));
+        assert_ne!(a.ws_set, c.ws_set);
+    }
+
+    #[test]
+    fn uneven_partitions_absorb_the_remainder() {
+        let instance = HardInstance::generate(HardInstanceConfig {
+            num_variables: 10,
+            alternatives: 2,
+            descriptor_length: 3,
+            num_descriptors: 5,
+            seed: 3,
+        });
+        assert_eq!(instance.partitions.len(), 3);
+        assert_eq!(instance.partitions[0].len(), 3);
+        assert_eq!(instance.partitions[1].len(), 3);
+        assert_eq!(instance.partitions[2].len(), 4);
+    }
+
+    #[test]
+    fn figure12_preset() {
+        let cfg = HardInstanceConfig::figure12(200);
+        assert_eq!(cfg.num_variables, 70);
+        assert_eq!(cfg.alternatives, 4);
+        assert_eq!(cfg.descriptor_length, 4);
+        assert_eq!(cfg.num_descriptors, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "descriptor length")]
+    fn rejects_descriptor_longer_than_variable_count() {
+        HardInstance::generate(HardInstanceConfig {
+            num_variables: 2,
+            alternatives: 2,
+            descriptor_length: 3,
+            num_descriptors: 1,
+            seed: 0,
+        });
+    }
+}

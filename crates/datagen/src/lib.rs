@@ -1,0 +1,33 @@
+//! # uprob-datagen — synthetic workloads for the experiments of the paper
+//!
+//! Section 7 of *Conditioning Probabilistic Databases* evaluates the
+//! algorithms on two synthetic data sets; this crate regenerates both:
+//!
+//! * [`tpch`]: tuple-independent probabilistic databases shaped like the
+//!   TPC-H tables touched by the paper's queries Q1 and Q2 (`customer`,
+//!   `orders`, `lineitem`), with a Boolean random variable per tuple and a
+//!   randomly chosen probability distribution, plus the two Boolean queries
+//!   of Figure 10 ([`tpch_queries`]);
+//! * [`hard`]: the #P-hard generator — ws-sets shaped like the answers of
+//!   non-hierarchical join queries `R_1 ⋈ … ⋈ R_s` on tuple-independent
+//!   databases, parameterised by the number of variables `n`, the number of
+//!   alternatives per variable `r`, the descriptor length `s` and the
+//!   number of descriptors `w`.
+//!
+//! The paper ran TPC-H's `dbgen` at scale factors 0.01–0.10 on a 2008-era
+//! machine; this crate substitutes an in-process, seeded generator that
+//! reproduces the join fan-out (each customer has several orders, each
+//! order several lineitems) and the selectivities of the two queries, so
+//! the *shape* of the answer ws-sets — which is all the algorithms see —
+//! matches the paper's workload. See DESIGN.md for the substitution notes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hard;
+pub mod tpch;
+pub mod tpch_queries;
+
+pub use hard::{HardInstance, HardInstanceConfig};
+pub use tpch::{TpchConfig, TpchDatabase};
+pub use tpch_queries::{q1_answer, q2_answer, QueryAnswer};

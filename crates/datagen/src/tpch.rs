@@ -1,0 +1,344 @@
+//! A seeded, in-process generator of tuple-independent probabilistic
+//! databases shaped like the TPC-H tables used by the paper's queries
+//! (Figure 10): `customer`, `orders` and `lineitem`.
+//!
+//! Every generated tuple is associated with a Boolean random variable whose
+//! probability is drawn at random, exactly as in the paper's first data set.
+//! Cardinalities follow the TPC-H proportions (≈10 orders per customer,
+//! ≈4 lineitems per order, 150k customers at scale factor 1); an additional
+//! `row_scale` knob shrinks the absolute sizes so sweeps stay laptop-sized
+//! while preserving the join fan-out and selectivities that determine the
+//! shape of the answer ws-sets.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uprob_urel::{ColumnType, ProbDb, Schema, Tuple, Value};
+use uprob_wsd::WsDescriptor;
+
+/// Days (since 1992-01-01) corresponding to the date constants of the
+/// paper's queries.
+pub mod dates {
+    /// `1994-01-01`, the lower bound of Q2's shipdate range.
+    pub const DATE_1994_01_01: i64 = 731;
+    /// `1995-03-15`, the orderdate cut-off of Q1.
+    pub const DATE_1995_03_15: i64 = 1169;
+    /// `1996-01-01`, the upper bound of Q2's shipdate range.
+    pub const DATE_1996_01_01: i64 = 1461;
+    /// Last order date generated (TPC-H generates orders up to 1998-08-02).
+    pub const MAX_ORDER_DATE: i64 = 2405;
+}
+
+/// The five TPC-H market segments.
+pub const MARKET_SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Configuration of the probabilistic TPC-H generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TpchConfig {
+    /// TPC-H scale factor (the paper uses 0.01, 0.05 and 0.10).
+    pub scale_factor: f64,
+    /// Extra down-scaling of the absolute row counts (1.0 = true TPC-H
+    /// proportions). Benchmarks use smaller values to keep sweeps fast.
+    pub row_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale_factor: 0.01,
+            row_scale: 1.0,
+            seed: 0x7C9,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// A configuration with the given scale factor and default seed.
+    pub fn scale(scale_factor: f64) -> Self {
+        TpchConfig {
+            scale_factor,
+            ..Default::default()
+        }
+    }
+
+    /// Returns a copy with the given row scale.
+    pub fn with_row_scale(mut self, row_scale: f64) -> Self {
+        self.row_scale = row_scale;
+        self
+    }
+
+    /// Returns a copy with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of customer tuples to generate.
+    pub fn num_customers(&self) -> usize {
+        ((150_000.0 * self.scale_factor * self.row_scale).round() as usize).max(1)
+    }
+
+    /// Number of order tuples to generate (≈10 per customer).
+    pub fn num_orders(&self) -> usize {
+        self.num_customers() * 10
+    }
+
+    /// Number of lineitem tuples to generate (≈4 per order).
+    pub fn num_lineitems(&self) -> usize {
+        self.num_orders() * 4
+    }
+}
+
+/// Column positions of the `customer` relation.
+pub mod customer_columns {
+    /// `custkey`
+    pub const CUSTKEY: usize = 0;
+    /// `name`
+    pub const NAME: usize = 1;
+    /// `mktsegment`
+    pub const MKTSEGMENT: usize = 2;
+}
+
+/// Column positions of the `orders` relation.
+pub mod orders_columns {
+    /// `orderkey`
+    pub const ORDERKEY: usize = 0;
+    /// `custkey`
+    pub const CUSTKEY: usize = 1;
+    /// `orderdate` (days since 1992-01-01)
+    pub const ORDERDATE: usize = 2;
+}
+
+/// Column positions of the `lineitem` relation.
+pub mod lineitem_columns {
+    /// `orderkey`
+    pub const ORDERKEY: usize = 0;
+    /// `shipdate` (days since 1992-01-01)
+    pub const SHIPDATE: usize = 1;
+    /// `discount`
+    pub const DISCOUNT: usize = 2;
+    /// `quantity`
+    pub const QUANTITY: usize = 3;
+    /// `extendedprice`
+    pub const EXTENDEDPRICE: usize = 4;
+}
+
+/// A generated probabilistic TPC-H database.
+#[derive(Clone, Debug)]
+pub struct TpchDatabase {
+    /// The tuple-independent probabilistic database with relations
+    /// `customer`, `orders` and `lineitem`.
+    pub db: ProbDb,
+    /// The configuration used to generate it.
+    pub config: TpchConfig,
+}
+
+impl TpchDatabase {
+    /// Generates the database.
+    pub fn generate(config: TpchConfig) -> TpchDatabase {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut db = ProbDb::new();
+
+        let customer_schema = Schema::new(
+            "customer",
+            &[
+                ("custkey", ColumnType::Int),
+                ("name", ColumnType::Str),
+                ("mktsegment", ColumnType::Str),
+            ],
+        );
+        let orders_schema = Schema::new(
+            "orders",
+            &[
+                ("orderkey", ColumnType::Int),
+                ("custkey", ColumnType::Int),
+                ("orderdate", ColumnType::Int),
+            ],
+        );
+        let lineitem_schema = Schema::new(
+            "lineitem",
+            &[
+                ("orderkey", ColumnType::Int),
+                ("shipdate", ColumnType::Int),
+                ("discount", ColumnType::Float),
+                ("quantity", ColumnType::Int),
+                ("extendedprice", ColumnType::Float),
+            ],
+        );
+
+        let num_customers = config.num_customers();
+        let num_orders = config.num_orders();
+        let num_lineitems = config.num_lineitems();
+
+        let mut customer = db.create_relation(customer_schema).expect("fresh relation");
+        for key in 0..num_customers {
+            let probability = random_tuple_probability(&mut rng);
+            let var = db
+                .world_table_mut()
+                .add_boolean(&format!("c{key}"), probability)
+                .expect("unique variable name");
+            let segment = MARKET_SEGMENTS[rng.random_range(0..MARKET_SEGMENTS.len())];
+            let tuple = Tuple::new(vec![
+                Value::Int(key as i64),
+                Value::Str(format!("Customer#{key:09}")),
+                Value::str(segment),
+            ]);
+            customer.push(
+                tuple,
+                WsDescriptor::from_pairs(db.world_table(), &[(var, 1)]).expect("boolean variable"),
+            );
+        }
+
+        // Orders reference customers roughly uniformly, with order dates
+        // spread over the TPC-H date range.
+        let mut orders = db.create_relation(orders_schema).expect("fresh relation");
+        let mut order_dates = Vec::with_capacity(num_orders);
+        for key in 0..num_orders {
+            let probability = random_tuple_probability(&mut rng);
+            let var = db
+                .world_table_mut()
+                .add_boolean(&format!("o{key}"), probability)
+                .expect("unique variable name");
+            let custkey = rng.random_range(0..num_customers) as i64;
+            let orderdate = rng.random_range(0..=dates::MAX_ORDER_DATE);
+            order_dates.push(orderdate);
+            let tuple = Tuple::new(vec![
+                Value::Int(key as i64),
+                Value::Int(custkey),
+                Value::Int(orderdate),
+            ]);
+            orders.push(
+                tuple,
+                WsDescriptor::from_pairs(db.world_table(), &[(var, 1)]).expect("boolean variable"),
+            );
+        }
+
+        // Lineitems reference orders; ship dates follow the order date by a
+        // small delay, discounts are multiples of 0.01 in [0, 0.10] and
+        // quantities lie in [1, 50], as in TPC-H.
+        let mut lineitem = db.create_relation(lineitem_schema).expect("fresh relation");
+        for key in 0..num_lineitems {
+            let probability = random_tuple_probability(&mut rng);
+            let var = db
+                .world_table_mut()
+                .add_boolean(&format!("l{key}"), probability)
+                .expect("unique variable name");
+            let orderkey = rng.random_range(0..num_orders);
+            let shipdate = order_dates[orderkey] + rng.random_range(1..=121);
+            let discount = rng.random_range(0..=10) as f64 / 100.0;
+            let quantity = rng.random_range(1..=50i64);
+            let extendedprice = rng.random_range(900.0..105_000.0f64);
+            let tuple = Tuple::new(vec![
+                Value::Int(orderkey as i64),
+                Value::Int(shipdate),
+                Value::Float(discount),
+                Value::Int(quantity),
+                Value::Float(extendedprice),
+            ]);
+            lineitem.push(
+                tuple,
+                WsDescriptor::from_pairs(db.world_table(), &[(var, 1)]).expect("boolean variable"),
+            );
+        }
+
+        db.insert_relation(customer).expect("customer relation is valid");
+        db.insert_relation(orders).expect("orders relation is valid");
+        db.insert_relation(lineitem).expect("lineitem relation is valid");
+        TpchDatabase { db, config }
+    }
+
+    /// Number of Boolean input variables (one per tuple), the "#Input Vars"
+    /// column of Figure 10.
+    pub fn input_variables(&self) -> usize {
+        self.db.world_table().num_variables()
+    }
+}
+
+/// Random per-tuple probability, bounded away from 0 and 1 so every tuple is
+/// genuinely uncertain.
+fn random_tuple_probability(rng: &mut StdRng) -> f64 {
+    rng.random_range(0.05..0.95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TpchDatabase {
+        TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.02).with_seed(1))
+    }
+
+    #[test]
+    fn cardinalities_follow_tpch_proportions() {
+        let data = tiny();
+        let customers = data.db.relation("customer").unwrap().len();
+        let orders = data.db.relation("orders").unwrap().len();
+        let lineitems = data.db.relation("lineitem").unwrap().len();
+        assert_eq!(customers, 30);
+        assert_eq!(orders, customers * 10);
+        assert_eq!(lineitems, orders * 4);
+        assert_eq!(data.input_variables(), customers + orders + lineitems);
+    }
+
+    #[test]
+    fn every_tuple_has_its_own_boolean_variable() {
+        let data = tiny();
+        assert!(data.db.validate().is_ok());
+        for relation in data.db.relations() {
+            for (_, descriptor) in relation.iter() {
+                assert_eq!(descriptor.len(), 1);
+                let assignment = descriptor.iter().next().unwrap();
+                let info = data.db.world_table().variable(assignment.var).unwrap();
+                assert_eq!(info.domain_size(), 2);
+                let p = info.probabilities[assignment.value.index()];
+                assert!(p > 0.0 && p < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_tuples() {
+        let data = tiny();
+        let customers = data.db.relation("customer").unwrap().len() as i64;
+        let orders = data.db.relation("orders").unwrap();
+        for (tuple, _) in orders.iter() {
+            let custkey = tuple.get(orders_columns::CUSTKEY).unwrap().as_int().unwrap();
+            assert!((0..customers).contains(&custkey));
+        }
+        let num_orders = orders.len() as i64;
+        for (tuple, _) in data.db.relation("lineitem").unwrap().iter() {
+            let orderkey = tuple.get(lineitem_columns::ORDERKEY).unwrap().as_int().unwrap();
+            assert!((0..num_orders).contains(&orderkey));
+            let discount = tuple.get(lineitem_columns::DISCOUNT).unwrap().as_float().unwrap();
+            assert!((0.0..=0.10 + 1e-9).contains(&discount));
+            let quantity = tuple.get(lineitem_columns::QUANTITY).unwrap().as_int().unwrap();
+            assert!((1..=50).contains(&quantity));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(
+            a.db.relation("lineitem").unwrap().rows(),
+            b.db.relation("lineitem").unwrap().rows()
+        );
+        let c = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.02).with_seed(9));
+        assert_ne!(
+            a.db.relation("lineitem").unwrap().rows(),
+            c.db.relation("lineitem").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn scale_factor_controls_cardinality() {
+        let small = TpchConfig::scale(0.01).with_row_scale(0.01);
+        let large = TpchConfig::scale(0.05).with_row_scale(0.01);
+        assert_eq!(small.num_customers(), 15);
+        assert_eq!(large.num_customers(), 75);
+        assert_eq!(large.num_lineitems(), 75 * 10 * 4);
+    }
+}

@@ -1,0 +1,225 @@
+//! The `conf()` aggregate: exact tuple confidence values on query results.
+//!
+//! The confidence of a tuple `t` in the result of a query is the combined
+//! probability weight of all possible worlds in which `t` is in the result.
+//! On a U-relational query answer this is the probability of the ws-set
+//! collecting the descriptors of all rows carrying `t`, computed exactly
+//! with the decomposition algorithms of `uprob-core`.
+
+use uprob_core::{confidence as exact_confidence, DecompositionOptions};
+use uprob_urel::{Tuple, URelation};
+use uprob_wsd::WorldTable;
+
+use crate::Result;
+
+/// `select ..., conf() from Q group by ...`: the distinct tuples of a query
+/// answer together with their exact confidence values.
+///
+/// # Errors
+///
+/// Propagates decomposition errors (e.g. an exhausted node budget).
+pub fn tuple_confidences(
+    answer: &URelation,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+) -> Result<Vec<(Tuple, f64)>> {
+    let mut out = Vec::new();
+    for (tuple, ws_set) in answer.distinct_tuples() {
+        let result = exact_confidence(&ws_set, table, options)?;
+        out.push((tuple, result.probability));
+    }
+    Ok(out)
+}
+
+/// `select conf() from Q`: the confidence of a Boolean query, i.e. the
+/// probability that the answer is non-empty.
+///
+/// # Errors
+///
+/// Propagates decomposition errors.
+pub fn boolean_confidence(
+    answer: &URelation,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+) -> Result<f64> {
+    let ws_set = answer.answer_ws_set();
+    Ok(exact_confidence(&ws_set, table, options)?.probability)
+}
+
+/// `select * from Q where conf() = 1`: the tuples that appear in the answer
+/// in **every** possible world (the "certain answers" query of the
+/// introduction, which Monte-Carlo approximation handles badly).
+///
+/// # Errors
+///
+/// Propagates decomposition errors.
+pub fn certain_tuples(
+    answer: &URelation,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+) -> Result<Vec<Tuple>> {
+    const TOLERANCE: f64 = 1e-9;
+    Ok(tuple_confidences(answer, table, options)?
+        .into_iter()
+        .filter(|(_, p)| (*p - 1.0).abs() <= TOLERANCE)
+        .map(|(t, _)| t)
+        .collect())
+}
+
+/// `select * from Q where conf() > 0`: the tuples that appear in the answer
+/// in at least one possible world, with their confidences.
+///
+/// # Errors
+///
+/// Propagates decomposition errors.
+pub fn possible_tuples(
+    answer: &URelation,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+) -> Result<Vec<(Tuple, f64)>> {
+    Ok(tuple_confidences(answer, table, options)?
+        .into_iter()
+        .filter(|(_, p)| *p > 0.0)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_urel::{algebra, ColumnType, Predicate, ProbDb, Schema, Value};
+    use uprob_wsd::WsDescriptor;
+
+    /// The SSN database of Figure 2.
+    fn ssn_db() -> ProbDb {
+        let mut db = ProbDb::new();
+        let j = db
+            .world_table_mut()
+            .add_variable("j", &[(1, 0.2), (7, 0.8)])
+            .unwrap();
+        let b = db
+            .world_table_mut()
+            .add_variable("b", &[(4, 0.3), (7, 0.7)])
+            .unwrap();
+        let schema = Schema::new("R", &[("SSN", ColumnType::Int), ("NAME", ColumnType::Str)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Int(1), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 1)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 7)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(4), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 4)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 7)]).unwrap(),
+            );
+        }
+        db.insert_relation(r).unwrap();
+        db
+    }
+
+    #[test]
+    fn introduction_query_bill_confidences() {
+        // select SSN, conf(SSN) from R where NAME = 'Bill';
+        let db = ssn_db();
+        let bills = algebra::select(
+            db.relation("R").unwrap(),
+            &Predicate::col_eq("NAME", "Bill"),
+            "Bills",
+        )
+        .unwrap();
+        let ssns = algebra::project(&bills, &["SSN"], "Q").unwrap();
+        let answers =
+            tuple_confidences(&ssns, db.world_table(), &DecompositionOptions::default()).unwrap();
+        assert_eq!(answers.len(), 2);
+        let p4 = answers
+            .iter()
+            .find(|(t, _)| t.get(0) == Some(&Value::Int(4)))
+            .unwrap()
+            .1;
+        let p7 = answers
+            .iter()
+            .find(|(t, _)| t.get(0) == Some(&Value::Int(7)))
+            .unwrap()
+            .1;
+        assert!((p4 - 0.3).abs() < 1e-12);
+        assert!((p7 - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_tuples_merge_their_world_sets() {
+        // Projecting to NAME makes John appear twice (SSN 1 and 7); the
+        // confidence of (John) is the probability of the union, which is 1.
+        let db = ssn_db();
+        let names = algebra::project(db.relation("R").unwrap(), &["NAME"], "Names").unwrap();
+        let answers =
+            tuple_confidences(&names, db.world_table(), &DecompositionOptions::default()).unwrap();
+        assert_eq!(answers.len(), 2);
+        for (_, p) in &answers {
+            assert!((p - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn boolean_confidence_of_the_fd_violation_query() {
+        // Example 2.3: the violation query holds exactly on the world
+        // {j -> 7, b -> 7}, i.e. with probability .56.
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let r2 = algebra::rename(r, "R2");
+        let phi = Predicate::cols_eq("SSN", "R2.SSN").and(
+            Predicate::cmp(
+                uprob_urel::Expr::col("NAME"),
+                uprob_urel::Comparison::Ne,
+                uprob_urel::Expr::col("R2.NAME"),
+            ),
+        );
+        let violations = algebra::join(r, &r2, &phi, "V").unwrap();
+        let p = boolean_confidence(&violations, db.world_table(), &DecompositionOptions::default())
+            .unwrap();
+        assert!((p - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_and_possible_tuples() {
+        let db = ssn_db();
+        let names = algebra::project(db.relation("R").unwrap(), &["NAME"], "Names").unwrap();
+        let options = DecompositionOptions::default();
+        let certain = certain_tuples(&names, db.world_table(), &options).unwrap();
+        assert_eq!(certain.len(), 2);
+        let ssns = algebra::project(db.relation("R").unwrap(), &["SSN"], "S").unwrap();
+        let certain_ssns = certain_tuples(&ssns, db.world_table(), &options).unwrap();
+        // No single SSN value is certain before conditioning.
+        assert!(certain_ssns.is_empty());
+        let possible = possible_tuples(&ssns, db.world_table(), &options).unwrap();
+        assert_eq!(possible.len(), 3);
+        let total: f64 = possible.iter().map(|(_, p)| p).sum();
+        assert!(total > 1.0, "SSN marginals overlap across worlds");
+    }
+
+    #[test]
+    fn empty_answers_have_no_confidences() {
+        let db = ssn_db();
+        let none = algebra::select(
+            db.relation("R").unwrap(),
+            &Predicate::col_eq("NAME", "Nobody"),
+            "none",
+        )
+        .unwrap();
+        let options = DecompositionOptions::default();
+        assert!(tuple_confidences(&none, db.world_table(), &options)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            boolean_confidence(&none, db.world_table(), &options).unwrap(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,471 @@
+//! Integrity constraints and the `assert[·]` operation.
+//!
+//! Conditioning is most naturally driven by constraints: "social security
+//! numbers are unique", "every reading lies in a valid range", etc. A
+//! [`Constraint`] is compiled into
+//!
+//! 1. the ws-set of the worlds that *violate* it (a Boolean relational
+//!    algebra query, as in Example 2.3), and
+//! 2. its complement — the ws-set of the worlds that *satisfy* it, obtained
+//!    with the ws-set difference operation of Section 3.2 —
+//!
+//! and [`assert_constraint`] conditions the database on the satisfying
+//! world-set using the algorithm of Section 5.
+
+use uprob_core::{condition, Conditioned, ConditioningOptions};
+use uprob_urel::{Predicate, ProbDb};
+use uprob_wsd::WsSet;
+
+use crate::error::QueryError;
+use crate::Result;
+
+/// An integrity constraint over one relation of a probabilistic database.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Constraint {
+    /// A functional dependency `determinant → dependent`: no two co-existing
+    /// tuples may agree on the determinant columns and disagree on a
+    /// dependent column.
+    FunctionalDependency {
+        /// The constrained relation.
+        relation: String,
+        /// Left-hand-side columns.
+        determinant: Vec<String>,
+        /// Right-hand-side columns.
+        dependent: Vec<String>,
+    },
+    /// A key constraint: the key columns functionally determine all other
+    /// columns of the relation.
+    Key {
+        /// The constrained relation.
+        relation: String,
+        /// Key columns.
+        columns: Vec<String>,
+    },
+    /// A row-level predicate that every tuple must satisfy in every world
+    /// (worlds containing a violating tuple are removed).
+    RowFilter {
+        /// The constrained relation.
+        relation: String,
+        /// The predicate every tuple must satisfy.
+        predicate: Predicate,
+    },
+}
+
+impl Constraint {
+    /// Convenience constructor for a functional dependency.
+    pub fn functional_dependency(relation: &str, determinant: &[&str], dependent: &[&str]) -> Self {
+        Constraint::FunctionalDependency {
+            relation: relation.to_string(),
+            determinant: determinant.iter().map(|s| s.to_string()).collect(),
+            dependent: dependent.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Convenience constructor for a key constraint.
+    pub fn key(relation: &str, columns: &[&str]) -> Self {
+        Constraint::Key {
+            relation: relation.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Convenience constructor for a row-level predicate constraint.
+    pub fn row_filter(relation: &str, predicate: Predicate) -> Self {
+        Constraint::RowFilter {
+            relation: relation.to_string(),
+            predicate,
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Constraint::FunctionalDependency {
+                relation,
+                determinant,
+                dependent,
+            } => format!(
+                "{relation}: {} -> {}",
+                determinant.join(", "),
+                dependent.join(", ")
+            ),
+            Constraint::Key { relation, columns } => {
+                format!("{relation}: key({})", columns.join(", "))
+            }
+            Constraint::RowFilter { relation, predicate } => {
+                format!("{relation}: check({predicate})")
+            }
+        }
+    }
+
+    /// The relation this constraint applies to.
+    pub fn relation(&self) -> &str {
+        match self {
+            Constraint::FunctionalDependency { relation, .. }
+            | Constraint::Key { relation, .. }
+            | Constraint::RowFilter { relation, .. } => relation,
+        }
+    }
+
+    /// The ws-set of the worlds that **violate** the constraint (the result
+    /// of the Boolean violation query, cf. Example 2.3).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the relation or a column does not exist.
+    pub fn violation_ws_set(&self, db: &ProbDb) -> Result<WsSet> {
+        match self {
+            Constraint::FunctionalDependency {
+                relation,
+                determinant,
+                dependent,
+            } => fd_violations(db, relation, determinant, dependent),
+            Constraint::Key { relation, columns } => {
+                let rel = db.relation(relation)?;
+                let dependent: Vec<String> = rel
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .filter(|name| !columns.contains(name))
+                    .collect();
+                fd_violations(db, relation, columns, &dependent)
+            }
+            Constraint::RowFilter { relation, predicate } => {
+                let rel = db.relation(relation)?;
+                let mut violations = WsSet::empty();
+                for (tuple, descriptor) in rel.iter() {
+                    if !predicate.eval(rel.schema(), tuple)? {
+                        violations.push(descriptor.clone());
+                    }
+                }
+                Ok(violations)
+            }
+        }
+    }
+
+    /// The ws-set of the worlds that **satisfy** the constraint: the
+    /// complement of the violation ws-set, computed with the ws-set
+    /// difference operation (Section 3.2) and normalised.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the relation or a column does not exist.
+    pub fn satisfying_ws_set(&self, db: &ProbDb) -> Result<WsSet> {
+        let violations = self.violation_ws_set(db)?;
+        let mut satisfying = WsSet::universal().difference(&violations, db.world_table());
+        satisfying.normalize();
+        Ok(satisfying)
+    }
+}
+
+/// Worlds in which two consistent tuples agree on `determinant` and differ
+/// on some `dependent` column: a self-join where the ws-descriptor
+/// consistency plays the role of the join condition ψ of Section 2.
+fn fd_violations(
+    db: &ProbDb,
+    relation: &str,
+    determinant: &[String],
+    dependent: &[String],
+) -> Result<WsSet> {
+    let rel = db.relation(relation)?;
+    let schema = rel.schema();
+    let det_idx: Vec<usize> = determinant
+        .iter()
+        .map(|c| {
+            schema.column_index(c).map_err(|_| QueryError::UnknownColumn {
+                relation: relation.to_string(),
+                column: c.clone(),
+            })
+        })
+        .collect::<Result<_>>()?;
+    let dep_idx: Vec<usize> = dependent
+        .iter()
+        .map(|c| {
+            schema.column_index(c).map_err(|_| QueryError::UnknownColumn {
+                relation: relation.to_string(),
+                column: c.clone(),
+            })
+        })
+        .collect::<Result<_>>()?;
+    let rows = rel.rows();
+    let mut violations = WsSet::empty();
+    for (i, (t1, d1)) in rows.iter().enumerate() {
+        for (t2, d2) in rows.iter().skip(i + 1) {
+            let same_determinant = det_idx.iter().all(|&k| t1.get(k) == t2.get(k));
+            if !same_determinant {
+                continue;
+            }
+            let differs_on_dependent = dep_idx.iter().any(|&k| t1.get(k) != t2.get(k));
+            if !differs_on_dependent {
+                continue;
+            }
+            if let Ok(both) = d1.union(d2) {
+                violations.push(both);
+            }
+        }
+    }
+    violations.normalize();
+    Ok(violations)
+}
+
+/// `assert[constraint]`: conditions `db` on the worlds satisfying the
+/// constraint (Section 5) and returns the posterior database together with
+/// the prior confidence of the constraint.
+///
+/// # Errors
+///
+/// * [`QueryError::UnsatisfiableConstraint`] if no world satisfies the
+///   constraint;
+/// * any error of the underlying conditioning algorithm.
+pub fn assert_constraint(
+    db: &ProbDb,
+    constraint: &Constraint,
+    options: &ConditioningOptions,
+) -> Result<Conditioned> {
+    let satisfying = constraint.satisfying_ws_set(db)?;
+    if satisfying.is_empty() {
+        return Err(QueryError::UnsatisfiableConstraint {
+            constraint: constraint.describe(),
+        });
+    }
+    condition(db, &satisfying, options).map_err(|e| match e {
+        uprob_core::CoreError::EmptyCondition => QueryError::UnsatisfiableConstraint {
+            constraint: constraint.describe(),
+        },
+        other => QueryError::Core(other),
+    })
+}
+
+/// Asserts several constraints in sequence (asserts commute and compose,
+/// Theorem 5.5); the returned confidence is the probability that *all*
+/// constraints hold in the prior database.
+///
+/// # Errors
+///
+/// Same as [`assert_constraint`].
+pub fn assert_all(
+    db: &ProbDb,
+    constraints: &[Constraint],
+    options: &ConditioningOptions,
+) -> Result<Conditioned> {
+    let mut current = db.clone();
+    let mut total_confidence = 1.0;
+    let mut last: Option<Conditioned> = None;
+    for constraint in constraints {
+        let step = assert_constraint(&current, constraint, options)?;
+        total_confidence *= step.confidence;
+        current = step.db.clone();
+        last = Some(step);
+    }
+    match last {
+        Some(mut result) => {
+            result.confidence = total_confidence;
+            result.db = current;
+            Ok(result)
+        }
+        None => {
+            // No constraints: conditioning on the universal world-set.
+            condition(db, &WsSet::universal(), options).map_err(QueryError::Core)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::{certain_tuples, tuple_confidences};
+    use uprob_core::DecompositionOptions;
+    use uprob_urel::{algebra, ColumnType, Comparison, Expr, Schema, Tuple, Value};
+    use uprob_wsd::WsDescriptor;
+
+    /// The SSN database of Figure 2, optionally extended with Fred
+    /// (SSN 1 or 4 with equal probability), as in the introduction.
+    fn ssn_db(with_fred: bool) -> ProbDb {
+        let mut db = ProbDb::new();
+        let j = db
+            .world_table_mut()
+            .add_variable("j", &[(1, 0.2), (7, 0.8)])
+            .unwrap();
+        let b = db
+            .world_table_mut()
+            .add_variable("b", &[(4, 0.3), (7, 0.7)])
+            .unwrap();
+        let f = if with_fred {
+            Some(
+                db.world_table_mut()
+                    .add_variable("f", &[(1, 0.5), (4, 0.5)])
+                    .unwrap(),
+            )
+        } else {
+            None
+        };
+        let schema = Schema::new("R", &[("SSN", ColumnType::Int), ("NAME", ColumnType::Str)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Int(1), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 1)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 7)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(4), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 4)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 7)]).unwrap(),
+            );
+            if let Some(f) = f {
+                r.push(
+                    Tuple::new(vec![Value::Int(1), Value::str("Fred")]),
+                    WsDescriptor::from_pairs(w, &[(f, 1)]).unwrap(),
+                );
+                r.push(
+                    Tuple::new(vec![Value::Int(4), Value::str("Fred")]),
+                    WsDescriptor::from_pairs(w, &[(f, 4)]).unwrap(),
+                );
+            }
+        }
+        db.insert_relation(r).unwrap();
+        db
+    }
+
+    #[test]
+    fn fd_violation_and_satisfying_world_sets() {
+        let db = ssn_db(false);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let violations = fd.violation_ws_set(&db).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!((violations.probability_by_enumeration(db.world_table()) - 0.56).abs() < 1e-12);
+        let satisfying = fd.satisfying_ws_set(&db).unwrap();
+        assert!((satisfying.probability_by_enumeration(db.world_table()) - 0.44).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asserting_the_fd_gives_the_conditional_probabilities() {
+        let db = ssn_db(false);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let conditioned = assert_constraint(&db, &fd, &ConditioningOptions::default()).unwrap();
+        assert!((conditioned.confidence - 0.44).abs() < 1e-9);
+        let bills = algebra::select(
+            conditioned.db.relation("R").unwrap(),
+            &uprob_urel::Predicate::col_eq("NAME", "Bill"),
+            "Bills",
+        )
+        .unwrap();
+        let ssns = algebra::project(&bills, &["SSN"], "Q").unwrap();
+        let answers = tuple_confidences(
+            &ssns,
+            conditioned.db.world_table(),
+            &DecompositionOptions::default(),
+        )
+        .unwrap();
+        let p4 = answers
+            .iter()
+            .find(|(t, _)| t.get(0) == Some(&Value::Int(4)))
+            .unwrap()
+            .1;
+        assert!((p4 - 0.3 / 0.44).abs() < 1e-9, "P(A4 | B) = {p4}");
+    }
+
+    #[test]
+    fn introduction_example_with_fred_yields_three_certain_ssns() {
+        // With Fred added, conditioning on the FD leaves two worlds:
+        // (John 1, Bill 7, Fred 4) and (John 7, Bill 4, Fred 1). The query
+        // `select SSN from R where conf(SSN) = 1` must return three tuples.
+        let db = ssn_db(true);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let conditioned = assert_constraint(&db, &fd, &ConditioningOptions::default()).unwrap();
+        let ssns = algebra::project(conditioned.db.relation("R").unwrap(), &["SSN"], "S").unwrap();
+        let certain = certain_tuples(
+            &ssns,
+            conditioned.db.world_table(),
+            &DecompositionOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(certain.len(), 3);
+        let values: Vec<i64> = certain.iter().map(|t| t.get(0).unwrap().as_int().unwrap()).collect();
+        assert!(values.contains(&1) && values.contains(&4) && values.contains(&7));
+    }
+
+    #[test]
+    fn key_constraint_is_an_fd_to_all_other_columns() {
+        let db = ssn_db(false);
+        let key = Constraint::key("R", &["SSN"]);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let a = key.violation_ws_set(&db).unwrap();
+        let b = fd.violation_ws_set(&db).unwrap();
+        assert!(a.is_equivalent_by_enumeration(&b, db.world_table()));
+        assert_eq!(key.describe(), "R: key(SSN)");
+        assert_eq!(key.relation(), "R");
+    }
+
+    #[test]
+    fn row_filter_removes_worlds_with_bad_tuples() {
+        // Require SSN < 7: the worlds where anyone has SSN 7 are removed,
+        // leaving only {j -> 1, b -> 4}.
+        let db = ssn_db(false);
+        let check = Constraint::row_filter(
+            "R",
+            uprob_urel::Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(7i64)),
+        );
+        let conditioned = assert_constraint(&db, &check, &ConditioningOptions::default()).unwrap();
+        assert!((conditioned.confidence - 0.2 * 0.3).abs() < 1e-9);
+        let r = conditioned.db.relation("R").unwrap();
+        let certain = certain_tuples(
+            &algebra::project(r, &["NAME"], "N").unwrap(),
+            conditioned.db.world_table(),
+            &DecompositionOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(certain.len(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_are_rejected() {
+        let db = ssn_db(false);
+        let impossible = Constraint::row_filter(
+            "R",
+            uprob_urel::Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(0i64)),
+        );
+        let err = assert_constraint(&db, &impossible, &ConditioningOptions::default()).unwrap_err();
+        assert!(matches!(err, QueryError::UnsatisfiableConstraint { .. }));
+    }
+
+    #[test]
+    fn unknown_columns_are_reported() {
+        let db = ssn_db(false);
+        let fd = Constraint::functional_dependency("R", &["NOPE"], &["NAME"]);
+        assert!(matches!(
+            fd.violation_ws_set(&db),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn assert_all_composes_constraints() {
+        let db = ssn_db(true);
+        let constraints = vec![
+            Constraint::functional_dependency("R", &["SSN"], &["NAME"]),
+            Constraint::row_filter(
+                "R",
+                uprob_urel::Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(9i64)),
+            ),
+        ];
+        let combined = assert_all(&db, &constraints, &ConditioningOptions::default()).unwrap();
+        // The second constraint always holds, so the combined confidence is
+        // that of the FD alone.
+        let fd_only = assert_constraint(&db, &constraints[0], &ConditioningOptions::default())
+            .unwrap()
+            .confidence;
+        assert!((combined.confidence - fd_only).abs() < 1e-9);
+        // Asserting no constraints at all is the identity.
+        let identity = assert_all(&db, &[], &ConditioningOptions::default()).unwrap();
+        assert!((identity.confidence - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the query and constraint layer.
+
+use std::fmt;
+
+use uprob_core::CoreError;
+use uprob_urel::UrelError;
+use uprob_wsd::WsdError;
+
+/// Errors raised while evaluating queries with `conf()` or asserting
+/// constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A constraint refers to a column that does not exist.
+    UnknownColumn {
+        /// The relation named by the constraint.
+        relation: String,
+        /// The missing column.
+        column: String,
+    },
+    /// Asserting the constraint would leave no possible world.
+    UnsatisfiableConstraint {
+        /// Human-readable description of the constraint.
+        constraint: String,
+    },
+    /// An error bubbled up from the confidence / conditioning algorithms.
+    Core(CoreError),
+    /// An error bubbled up from the U-relation layer.
+    Urel(UrelError),
+    /// An error bubbled up from the ws-descriptor layer.
+    Wsd(WsdError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownColumn { relation, column } => {
+                write!(f, "constraint refers to unknown column '{column}' of '{relation}'")
+            }
+            QueryError::UnsatisfiableConstraint { constraint } => {
+                write!(f, "constraint '{constraint}' holds in no possible world")
+            }
+            QueryError::Core(e) => write!(f, "{e}"),
+            QueryError::Urel(e) => write!(f, "{e}"),
+            QueryError::Wsd(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            QueryError::Urel(e) => Some(e),
+            QueryError::Wsd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+impl From<UrelError> for QueryError {
+    fn from(e: UrelError) -> Self {
+        QueryError::Urel(e)
+    }
+}
+
+impl From<WsdError> for QueryError {
+    fn from(e: WsdError) -> Self {
+        QueryError::Wsd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = QueryError::UnknownColumn {
+            relation: "R".into(),
+            column: "X".into(),
+        };
+        assert!(e.to_string().contains("'X'"));
+        let e: QueryError = CoreError::EmptyCondition.into();
+        assert!(e.to_string().contains("empty"));
+        let e: QueryError = UrelError::UnknownRelation { relation: "S".into() }.into();
+        assert!(e.to_string().contains("'S'"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Positive relational algebra on U-relations (Section 2).
+//!
+//! The operations translate queries on the represented probabilistic
+//! database into purely relational processing on the U-relations:
+//!
+//! * selections and projections simply keep the ws-descriptor of each tuple,
+//! * joins additionally require the ws-descriptors of the joined tuples to
+//!   be **consistent** and output the union of the two descriptors,
+//! * set union concatenates the operands,
+//! * the projection to a nullary schema turns a query into a Boolean query
+//!   whose answer is a ws-set (the union of all answer descriptors).
+//!
+//! All operations are world-by-world correct: instantiating the output in a
+//! possible world yields the same tuples as running the classical operator
+//! on the instantiated inputs (tested below and by property tests).
+
+use uprob_wsd::WsSet;
+
+use crate::predicate::Predicate;
+use crate::relation::URelation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// Selection `σ_φ(R)`: keeps the rows whose tuple satisfies `φ`, with their
+/// descriptors unchanged.
+pub fn select(relation: &URelation, predicate: &Predicate, name: &str) -> Result<URelation> {
+    let schema = relation.schema().renamed(name);
+    let mut out = URelation::new(schema);
+    for (tuple, descriptor) in relation.iter() {
+        if predicate.eval(relation.schema(), tuple)? {
+            out.push(tuple.clone(), descriptor.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Projection `π_A(R)`: projects every tuple onto the named columns, keeping
+/// its descriptor (the paper's `π_{WSD, A}`). Duplicate tuples are *not*
+/// merged; they represent alternative derivations in different world-sets.
+pub fn project(relation: &URelation, columns: &[&str], name: &str) -> Result<URelation> {
+    let schema = relation.schema().project(columns, name)?;
+    let positions: Vec<usize> = columns
+        .iter()
+        .map(|c| relation.schema().column_index(c))
+        .collect::<Result<_>>()?;
+    let mut out = URelation::new(schema);
+    for (tuple, descriptor) in relation.iter() {
+        out.push(tuple.project(&positions), descriptor.clone());
+    }
+    Ok(out)
+}
+
+/// Projection to the nullary schema: the Boolean query whose answer ws-set
+/// is the union of the descriptors of all rows of `relation`.
+pub fn project_boolean(relation: &URelation, name: &str) -> URelation {
+    let schema = Schema::new(name, &[]);
+    let mut out = URelation::new(schema);
+    for (_, descriptor) in relation.iter() {
+        out.push(Tuple::nullary(), descriptor.clone());
+    }
+    out
+}
+
+/// Join `R ⋈_φ S`: pairs of tuples that satisfy `φ` on the concatenated
+/// schema *and* whose ws-descriptors are consistent with each other; the
+/// output descriptor is the union of the two input descriptors
+/// (`U_R ⋈_{φ ∧ ψ} U_S` in the paper, where `ψ` is descriptor consistency).
+pub fn join(
+    left: &URelation,
+    right: &URelation,
+    predicate: &Predicate,
+    name: &str,
+) -> Result<URelation> {
+    let schema = left.schema().concat(right.schema(), name);
+    let mut out = URelation::new(schema.clone());
+    for (lt, ld) in left.iter() {
+        for (rt, rd) in right.iter() {
+            // ψ: the two descriptors must have a common extension.
+            let Ok(combined) = ld.union(rd) else {
+                continue;
+            };
+            let tuple = lt.concat(rt);
+            if predicate.eval(&schema, &tuple)? {
+                out.push(tuple, combined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Cross product `R × S` (a join with the always-true condition).
+pub fn product(left: &URelation, right: &URelation, name: &str) -> Result<URelation> {
+    join(left, right, &Predicate::True, name)
+}
+
+/// Union `R ∪ S` of two union-compatible relations: simply the concatenation
+/// of their rows (Section 3.2: ws-set union is plain set union).
+pub fn union(left: &URelation, right: &URelation, name: &str) -> Result<URelation> {
+    left.schema().check_union_compatible(right.schema())?;
+    let schema = left.schema().renamed(name);
+    let mut out = URelation::new(schema);
+    for (t, d) in left.iter().chain(right.iter()) {
+        out.push(t.clone(), d.clone());
+    }
+    Ok(out)
+}
+
+/// Renames a relation (schema name only; columns are unchanged).
+pub fn rename(relation: &URelation, name: &str) -> URelation {
+    let mut out = URelation::new(relation.schema().renamed(name));
+    for (t, d) in relation.iter() {
+        out.push(t.clone(), d.clone());
+    }
+    out
+}
+
+/// The answer ws-set of a query result: the union of the descriptors of all
+/// rows. For Boolean queries this is the ws-set whose probability is the
+/// query confidence.
+pub fn answer_ws_set(relation: &URelation) -> WsSet {
+    relation.answer_ws_set()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::ProbDb;
+    use crate::predicate::{Comparison, Expr};
+    use crate::schema::ColumnType;
+    use crate::value::Value;
+    use uprob_wsd::WsDescriptor;
+
+    /// The SSN database of Figures 1/2.
+    fn ssn_db() -> ProbDb {
+        let mut db = ProbDb::new();
+        let j = db
+            .world_table_mut()
+            .add_variable("j", &[(1, 0.2), (7, 0.8)])
+            .unwrap();
+        let b = db
+            .world_table_mut()
+            .add_variable("b", &[(4, 0.3), (7, 0.7)])
+            .unwrap();
+        let schema = Schema::new("R", &[("SSN", ColumnType::Int), ("NAME", ColumnType::Str)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Int(1), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 1)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 7)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(4), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 4)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 7)]).unwrap(),
+            );
+        }
+        db.insert_relation(r).unwrap();
+        db
+    }
+
+    #[test]
+    fn selection_keeps_descriptors() {
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let bills = select(r, &Predicate::col_eq("NAME", "Bill"), "Bills").unwrap();
+        assert_eq!(bills.len(), 2);
+        assert_eq!(bills.schema().name(), "Bills");
+        // The descriptors are those of the Bill tuples (variable b).
+        let vars = bills.answer_ws_set().variables();
+        assert_eq!(vars.len(), 1);
+    }
+
+    #[test]
+    fn projection_keeps_all_rows() {
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let names = project(r, &["NAME"], "Names").unwrap();
+        assert_eq!(names.len(), 4);
+        assert_eq!(names.schema().arity(), 1);
+        // Two rows carry the tuple (John) with different descriptors.
+        let john = Tuple::new(vec![Value::str("John")]);
+        assert_eq!(names.tuple_ws_set(&john).len(), 2);
+        assert!(project(r, &["BAD"], "P").is_err());
+    }
+
+    #[test]
+    fn example_2_3_fd_violation_query() {
+        // The complement of the FD SSN -> NAME holds exactly on the worlds
+        // returned by the self-join with 1.SSN = 2.SSN and 1.NAME <> 2.NAME.
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let r2 = rename(r, "R2");
+        let phi = Predicate::cmp(Expr::col("SSN"), Comparison::Eq, Expr::col("R2.SSN")).and(
+            Predicate::cmp(Expr::col("NAME"), Comparison::Ne, Expr::col("R2.NAME")),
+        );
+        let violations = join(r, &r2, &phi, "V").unwrap();
+        let ws = answer_ws_set(&project_boolean(&violations, "B")).normalized();
+        // The violating world-set is {{j -> 7, b -> 7}} (Example 2.3).
+        assert_eq!(ws.len(), 1);
+        let d = &ws.descriptors()[0];
+        assert_eq!(d.len(), 2);
+        assert!((d.probability(db.world_table()) - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_requires_consistent_descriptors() {
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let r2 = rename(r, "R2");
+        // Join on nothing: the cross product keeps only pairs with
+        // consistent descriptors. Pairs like ({j->1}, {j->7}) are dropped.
+        let all_pairs = product(r, &r2, "P").unwrap();
+        // 4x4 = 16 pairs, minus the 4 inconsistent combinations
+        // (j1/j7, j7/j1, b4/b7, b7/b4) = 12.
+        assert_eq!(all_pairs.len(), 12);
+    }
+
+    #[test]
+    fn algebra_commutes_with_world_instantiation() {
+        // For every possible world: instantiating the query output equals
+        // running the classical operators on the instantiated input.
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let query = |rel: &URelation| -> URelation {
+            let bills = select(rel, &Predicate::col_eq("NAME", "Bill"), "Bills").unwrap();
+            project(&bills, &["SSN"], "Q").unwrap()
+        };
+        let output = query(r);
+        for (world, _p) in db.world_table().enumerate_worlds() {
+            let out_instance = output.instantiate(&world);
+            // Classical evaluation on the instantiated input.
+            let input_tuples = r.instantiate(&world);
+            let mut expected: Vec<Tuple> = input_tuples
+                .iter()
+                .filter(|t| t.get(1) == Some(&Value::str("Bill")))
+                .map(|t| t.project(&[0]))
+                .collect();
+            expected.sort();
+            expected.dedup();
+            assert_eq!(out_instance, expected);
+        }
+    }
+
+    #[test]
+    fn union_concatenates_and_checks_compatibility() {
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let u = union(r, r, "U").unwrap();
+        assert_eq!(u.len(), 8);
+        let bad = URelation::new(Schema::new("S", &[("ONLY", ColumnType::Int)]));
+        assert!(union(r, &bad, "U").is_err());
+    }
+
+    #[test]
+    fn project_boolean_collects_all_descriptors() {
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let b = project_boolean(r, "B");
+        assert_eq!(b.schema().arity(), 0);
+        assert_eq!(b.len(), 4);
+        assert_eq!(answer_ws_set(&b).len(), 4);
+        // The answer ws-set covers all worlds: R is nonempty in every world.
+        assert!((answer_ws_set(&b).probability_by_enumeration(db.world_table()) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for the U-relation layer.
+
+use std::fmt;
+
+use uprob_wsd::WsdError;
+
+/// Errors raised when building or querying U-relational databases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UrelError {
+    /// A column name was not found in a schema.
+    UnknownColumn {
+        /// The relation whose schema was searched.
+        relation: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// A relation name was not found in the database.
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// A relation with this name already exists.
+    DuplicateRelation {
+        /// The duplicated relation name.
+        relation: String,
+    },
+    /// A tuple does not match the schema (wrong arity or value types).
+    TupleSchemaMismatch {
+        /// The relation being populated.
+        relation: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Two schemas were expected to be union-compatible but are not.
+    SchemaMismatch {
+        /// Left relation name.
+        left: String,
+        /// Right relation name.
+        right: String,
+    },
+    /// A predicate was evaluated against a value of the wrong type.
+    TypeError {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An error bubbled up from the world-set descriptor layer.
+    Wsd(WsdError),
+}
+
+impl fmt::Display for UrelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrelError::UnknownColumn { relation, column } => {
+                write!(f, "relation '{relation}' has no column '{column}'")
+            }
+            UrelError::UnknownRelation { relation } => {
+                write!(f, "no relation named '{relation}' in the database")
+            }
+            UrelError::DuplicateRelation { relation } => {
+                write!(f, "a relation named '{relation}' already exists")
+            }
+            UrelError::TupleSchemaMismatch { relation, detail } => {
+                write!(f, "tuple does not match schema of '{relation}': {detail}")
+            }
+            UrelError::SchemaMismatch { left, right } => {
+                write!(f, "schemas of '{left}' and '{right}' are not union-compatible")
+            }
+            UrelError::TypeError { detail } => write!(f, "type error: {detail}"),
+            UrelError::Wsd(e) => write!(f, "world-set descriptor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UrelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UrelError::Wsd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WsdError> for UrelError {
+    fn from(e: WsdError) -> Self {
+        UrelError::Wsd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_wsd::VarId;
+
+    #[test]
+    fn display_and_source() {
+        let e = UrelError::UnknownColumn {
+            relation: "R".into(),
+            column: "X".into(),
+        };
+        assert!(e.to_string().contains("'X'"));
+
+        let wrapped: UrelError = WsdError::UnknownVariable { var: VarId(1) }.into();
+        assert!(wrapped.to_string().contains("world-set descriptor"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -1,0 +1,319 @@
+//! Selection and join predicates.
+//!
+//! Predicates are small expression trees over column references and
+//! constants, evaluated against a tuple together with its schema. Join
+//! conditions are ordinary predicates over the concatenated schema of the
+//! two operands (see [`crate::Schema::concat`]).
+
+use std::fmt;
+
+use crate::error::UrelError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+
+/// A reference to a column by name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Column name as it appears in the schema the predicate is evaluated
+    /// against.
+    pub name: String,
+}
+
+/// A scalar expression: a column reference or a constant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Column(ColumnRef),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Expr {
+    /// Column reference expression.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(ColumnRef {
+            name: name.to_string(),
+        })
+    }
+
+    /// Constant expression.
+    pub fn val(value: impl Into<Value>) -> Expr {
+        Expr::Const(value.into())
+    }
+
+    /// Evaluates the expression against a tuple.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Column(c) => {
+                let idx = schema.column_index(&c.name)?;
+                tuple
+                    .get(idx)
+                    .cloned()
+                    .ok_or_else(|| UrelError::TupleSchemaMismatch {
+                        relation: schema.name().to_string(),
+                        detail: format!("tuple has no value at position {idx}"),
+                    })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{}", c.name),
+            Expr::Const(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Comparison {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Comparison {
+    fn apply(self, left: &Value, right: &Value) -> bool {
+        // SQL-style: comparisons involving NULL are never satisfied.
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        let ord = left.cmp(right);
+        match self {
+            Comparison::Eq => ord == std::cmp::Ordering::Equal,
+            Comparison::Ne => ord != std::cmp::Ordering::Equal,
+            Comparison::Lt => ord == std::cmp::Ordering::Less,
+            Comparison::Le => ord != std::cmp::Ordering::Greater,
+            Comparison::Gt => ord == std::cmp::Ordering::Greater,
+            Comparison::Ge => ord != std::cmp::Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Comparison::Eq => "=",
+            Comparison::Ne => "<>",
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A Boolean predicate over one tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Comparison of two scalar expressions.
+    Cmp {
+        /// Left operand.
+        left: Expr,
+        /// Operator.
+        op: Comparison,
+        /// Right operand.
+        right: Expr,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `left op right`.
+    pub fn cmp(left: Expr, op: Comparison, right: Expr) -> Predicate {
+        Predicate::Cmp { left, op, right }
+    }
+
+    /// `column = constant`.
+    pub fn col_eq(column: &str, value: impl Into<Value>) -> Predicate {
+        Predicate::cmp(Expr::col(column), Comparison::Eq, Expr::val(value))
+    }
+
+    /// `left-column = right-column` (typical equi-join condition).
+    pub fn cols_eq(left: &str, right: &str) -> Predicate {
+        Predicate::cmp(Expr::col(left), Comparison::Eq, Expr::col(right))
+    }
+
+    /// `column BETWEEN low AND high` (inclusive).
+    pub fn between(column: &str, low: impl Into<Value>, high: impl Into<Value>) -> Predicate {
+        Predicate::cmp(Expr::col(column), Comparison::Ge, Expr::val(low)).and(Predicate::cmp(
+            Expr::col(column),
+            Comparison::Le,
+            Expr::val(high),
+        ))
+    }
+
+    /// Conjunction with another predicate.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction with another predicate.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluates the predicate on a tuple.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a referenced column does not exist.
+    pub fn eval(&self, schema: &Schema, tuple: &Tuple) -> Result<bool> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::False => Ok(false),
+            Predicate::Cmp { left, op, right } => {
+                let l = left.eval(schema, tuple)?;
+                let r = right.eval(schema, tuple)?;
+                Ok(op.apply(&l, &r))
+            }
+            Predicate::And(a, b) => Ok(a.eval(schema, tuple)? && b.eval(schema, tuple)?),
+            Predicate::Or(a, b) => Ok(a.eval(schema, tuple)? || b.eval(schema, tuple)?),
+            Predicate::Not(p) => Ok(!p.eval(schema, tuple)?),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::Cmp { left, op, right } => write!(f, "{left} {op} {right}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "R",
+            &[
+                ("SSN", ColumnType::Int),
+                ("NAME", ColumnType::Str),
+                ("SCORE", ColumnType::Float),
+            ],
+        )
+    }
+
+    fn tuple() -> Tuple {
+        Tuple::new(vec![Value::Int(7), Value::str("Bill"), Value::Float(0.5)])
+    }
+
+    #[test]
+    fn comparisons() {
+        let s = schema();
+        let t = tuple();
+        assert!(Predicate::col_eq("NAME", "Bill").eval(&s, &t).unwrap());
+        assert!(!Predicate::col_eq("NAME", "John").eval(&s, &t).unwrap());
+        assert!(Predicate::cmp(Expr::col("SSN"), Comparison::Gt, Expr::val(4i64))
+            .eval(&s, &t)
+            .unwrap());
+        assert!(Predicate::cmp(Expr::col("SSN"), Comparison::Le, Expr::val(7i64))
+            .eval(&s, &t)
+            .unwrap());
+        assert!(Predicate::cmp(Expr::col("SSN"), Comparison::Ne, Expr::val(4i64))
+            .eval(&s, &t)
+            .unwrap());
+        assert!(!Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(7i64))
+            .eval(&s, &t)
+            .unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let s = schema();
+        let t = tuple();
+        let p = Predicate::col_eq("NAME", "Bill").and(Predicate::col_eq("SSN", 7i64));
+        assert!(p.eval(&s, &t).unwrap());
+        let q = Predicate::col_eq("NAME", "John").or(Predicate::col_eq("SSN", 7i64));
+        assert!(q.eval(&s, &t).unwrap());
+        assert!(!q.clone().not().eval(&s, &t).unwrap());
+        assert!(Predicate::True.eval(&s, &t).unwrap());
+        assert!(!Predicate::False.eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let s = schema();
+        let t = tuple();
+        assert!(Predicate::between("SCORE", 0.5, 0.8).eval(&s, &t).unwrap());
+        assert!(Predicate::between("SCORE", 0.0, 0.5).eval(&s, &t).unwrap());
+        assert!(!Predicate::between("SCORE", 0.6, 0.8).eval(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let t = Tuple::new(vec![Value::Null, Value::str("Bill"), Value::Float(0.5)]);
+        assert!(!Predicate::col_eq("SSN", 7i64).eval(&s, &t).unwrap());
+        assert!(!Predicate::cmp(Expr::col("SSN"), Comparison::Ne, Expr::val(7i64))
+            .eval(&s, &t)
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let s = schema();
+        let t = tuple();
+        assert!(Predicate::col_eq("MISSING", 1i64).eval(&s, &t).is_err());
+    }
+
+    #[test]
+    fn cols_eq_compares_two_columns() {
+        let s = Schema::new("J", &[("A", ColumnType::Int), ("B", ColumnType::Int)]);
+        let equal = Tuple::new(vec![Value::Int(3), Value::Int(3)]);
+        let differ = Tuple::new(vec![Value::Int(3), Value::Int(4)]);
+        let p = Predicate::cols_eq("A", "B");
+        assert!(p.eval(&s, &equal).unwrap());
+        assert!(!p.eval(&s, &differ).unwrap());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Predicate::col_eq("NAME", "Bill").and(Predicate::between("SSN", 1i64, 9i64));
+        let text = p.to_string();
+        assert!(text.contains("NAME = 'Bill'"));
+        assert!(text.contains("SSN >= 1"));
+        assert!(text.contains("AND"));
+    }
+}

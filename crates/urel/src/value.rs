@@ -1,0 +1,253 @@
+//! Relational values.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A relational attribute value.
+///
+/// Values have a total order (floats are ordered with
+/// [`f64::total_cmp`]) so they can be used in sort-merge style operations
+/// and as hash-map keys.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// SQL NULL. Compares equal to itself and smaller than any other value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The integer content, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float content; integers are widened to floats.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Rank used to order values of different types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            // Mixed numeric comparison: compare as floats, break ties by type.
+            (Int(a), Float(b)) => (*a as f64)
+                .total_cmp(b)
+                .then(Ordering::Less),
+            (Float(a), Int(b)) => a
+                .total_cmp(&(*b as f64))
+                .then(Ordering::Greater),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("a").as_int(), None);
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::Float(1.5) < Value::Float(2.5));
+        assert!(Value::Bool(false) < Value::Bool(true));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn ordering_across_types_is_total() {
+        let mut values = vec![
+            Value::str("z"),
+            Value::Int(5),
+            Value::Null,
+            Value::Float(1.0),
+            Value::Bool(true),
+        ];
+        values.sort();
+        assert!(values[0].is_null());
+        // Sorting twice yields the same order (total order, no panics).
+        let again = {
+            let mut v = values.clone();
+            v.sort();
+            v
+        };
+        assert_eq!(values, again);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+    }
+
+    #[test]
+    fn hash_and_eq_agree() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Int(1));
+        set.insert(Value::str("1"));
+        set.insert(Value::Float(1.0));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Value::from(3i64).to_string(), "3");
+        assert_eq!(Value::from("abc").to_string(), "abc");
+        assert_eq!(Value::from(true).to_string(), "true");
+        assert_eq!(Value::from(2.5).to_string(), "2.5");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

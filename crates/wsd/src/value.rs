@@ -1,0 +1,117 @@
+//! Identifier newtypes for variables and domain values.
+//!
+//! Variables are interned in a [`crate::WorldTable`] and referred to by
+//! [`VarId`]; the values of a variable's finite domain are referred to either
+//! by their external integer label ([`DomainValue`]) or, internally, by their
+//! position in the domain ([`ValueIndex`]).
+
+use std::fmt;
+
+/// Identifier of a random variable registered in a [`crate::WorldTable`].
+///
+/// `VarId`s are dense indexes (0, 1, 2, …) in registration order, which lets
+/// data structures use them directly as vector indexes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// External label of a domain value.
+///
+/// The paper writes assignments as `x -> i` where `i` is a constant from the
+/// finite domain of `x`; we keep those constants as signed 64-bit labels so a
+/// caller can use natural encodings (e.g. social security numbers).
+pub type DomainValue = i64;
+
+/// Position of a value inside the domain of its variable (0-based).
+///
+/// Descriptors store `ValueIndex`es rather than [`DomainValue`]s so that
+/// probability lookups are O(1) and descriptors stay compact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueIndex(pub u16);
+
+impl ValueIndex {
+    /// The 0-based position of this value in its variable's domain.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ValueIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for ValueIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A single assignment `var -> value-index`, the building block of
+/// world-set descriptors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Assignment {
+    /// The assigned variable.
+    pub var: VarId,
+    /// Index of the chosen alternative in the variable's domain.
+    pub value: ValueIndex,
+}
+
+impl Assignment {
+    /// Creates an assignment from its parts.
+    #[inline]
+    pub fn new(var: VarId, value: ValueIndex) -> Self {
+        Assignment { var, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_id_index_roundtrip() {
+        let v = VarId(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(format!("{v}"), "x42");
+        assert_eq!(format!("{v:?}"), "x42");
+    }
+
+    #[test]
+    fn value_index_display() {
+        let i = ValueIndex(3);
+        assert_eq!(i.index(), 3);
+        assert_eq!(format!("{i}"), "#3");
+    }
+
+    #[test]
+    fn assignment_ordering_is_by_var_then_value() {
+        let a = Assignment::new(VarId(1), ValueIndex(5));
+        let b = Assignment::new(VarId(2), ValueIndex(0));
+        let c = Assignment::new(VarId(1), ValueIndex(6));
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+}

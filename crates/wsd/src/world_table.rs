@@ -1,0 +1,494 @@
+//! The world table `W`: independent finite-domain random variables.
+//!
+//! A [`WorldTable`] is the relational representation of the set of possible
+//! worlds used throughout the paper (Section 2): it stores, for every
+//! variable `x`, the finite domain `Dom_x` and the probability
+//! `P({x -> i})` of each assignment, such that the probabilities of all
+//! assignments of a variable sum to one.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::WsdError;
+use crate::value::{DomainValue, ValueIndex, VarId};
+use crate::Result;
+
+/// Tolerance used when checking that a distribution sums to one.
+pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
+
+/// Domain and probability distribution of a single random variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VariableInfo {
+    /// Human-readable name (unique within a world table).
+    pub name: String,
+    /// External labels of the domain values, in registration order.
+    pub values: Vec<DomainValue>,
+    /// `probabilities[i]` is `P({x -> values[i]})`.
+    pub probabilities: Vec<f64>,
+}
+
+impl VariableInfo {
+    /// Number of alternatives of this variable.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Position of `value` in the domain, if present.
+    pub fn index_of(&self, value: DomainValue) -> Option<ValueIndex> {
+        self.values
+            .iter()
+            .position(|&v| v == value)
+            .map(|i| ValueIndex(i as u16))
+    }
+}
+
+/// A set of independent random variables over finite domains together with
+/// their probability distributions (the relation `W` of the paper).
+#[derive(Clone, Debug, Default)]
+pub struct WorldTable {
+    variables: Vec<VariableInfo>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl WorldTable {
+    /// Creates an empty world table (it represents exactly one world).
+    pub fn new() -> Self {
+        WorldTable::default()
+    }
+
+    /// Registers a new variable with the given `(value, probability)`
+    /// alternatives.
+    ///
+    /// The probabilities must be in `[0, 1]` and sum to one (within
+    /// [`NORMALIZATION_TOLERANCE`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the domain is empty, contains duplicate values,
+    /// the name is already taken, a probability is out of range or the
+    /// distribution is not normalised.
+    pub fn add_variable(&mut self, name: &str, alternatives: &[(DomainValue, f64)]) -> Result<VarId> {
+        if alternatives.is_empty() {
+            return Err(WsdError::EmptyDomain { name: name.to_string() });
+        }
+        if alternatives.len() > u16::MAX as usize {
+            return Err(WsdError::DomainTooLarge {
+                name: name.to_string(),
+                size: alternatives.len(),
+            });
+        }
+        if self.by_name.contains_key(name) {
+            return Err(WsdError::DuplicateVariable { name: name.to_string() });
+        }
+        let mut values = Vec::with_capacity(alternatives.len());
+        let mut probabilities = Vec::with_capacity(alternatives.len());
+        let mut sum = 0.0;
+        for &(value, p) in alternatives {
+            if values.contains(&value) {
+                return Err(WsdError::DuplicateDomainValue {
+                    name: name.to_string(),
+                    value,
+                });
+            }
+            if !(0.0..=1.0 + NORMALIZATION_TOLERANCE).contains(&p) || p.is_nan() {
+                return Err(WsdError::InvalidProbability {
+                    name: name.to_string(),
+                    probability: p,
+                });
+            }
+            values.push(value);
+            probabilities.push(p);
+            sum += p;
+        }
+        if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
+            return Err(WsdError::DistributionNotNormalized {
+                name: name.to_string(),
+                sum,
+            });
+        }
+        let id = VarId(self.variables.len() as u32);
+        self.by_name.insert(name.to_string(), id);
+        self.variables.push(VariableInfo {
+            name: name.to_string(),
+            values,
+            probabilities,
+        });
+        Ok(id)
+    }
+
+    /// Registers a Boolean variable: value `1` ("the tuple is present") with
+    /// probability `p` and value `0` with probability `1 - p`.
+    ///
+    /// This is the shape of variable used by tuple-independent probabilistic
+    /// databases (Section 7, TPC-H scenario).
+    pub fn add_boolean(&mut self, name: &str, p: f64) -> Result<VarId> {
+        self.add_variable(name, &[(1, p), (0, 1.0 - p)])
+    }
+
+    /// Registers a variable with `k` uniform alternatives labelled `0..k`.
+    pub fn add_uniform(&mut self, name: &str, k: usize) -> Result<VarId> {
+        let p = 1.0 / k as f64;
+        let alternatives: Vec<(DomainValue, f64)> = (0..k).map(|i| (i as DomainValue, p)).collect();
+        self.add_variable(name, &alternatives)
+    }
+
+    /// Number of registered variables.
+    #[inline]
+    pub fn num_variables(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// True if no variable has been registered (exactly one world).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.variables.is_empty()
+    }
+
+    /// Metadata of a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WsdError::UnknownVariable`] if `var` does not belong to this
+    /// table.
+    pub fn variable(&self, var: VarId) -> Result<&VariableInfo> {
+        self.variables
+            .get(var.index())
+            .ok_or(WsdError::UnknownVariable { var })
+    }
+
+    /// Looks up a variable by name.
+    pub fn variable_by_name(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all `(VarId, VariableInfo)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VariableInfo)> {
+        self.variables
+            .iter()
+            .enumerate()
+            .map(|(i, info)| (VarId(i as u32), info))
+    }
+
+    /// All registered variable ids.
+    pub fn variable_ids(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.variables.len() as u32).map(VarId)
+    }
+
+    /// Domain size of a variable.
+    pub fn domain_size(&self, var: VarId) -> Result<usize> {
+        Ok(self.variable(var)?.domain_size())
+    }
+
+    /// Probability `P({var -> value_index})`.
+    pub fn probability(&self, var: VarId, value: ValueIndex) -> Result<f64> {
+        let info = self.variable(var)?;
+        info.probabilities
+            .get(value.index())
+            .copied()
+            .ok_or(WsdError::UnknownValue {
+                var,
+                value: value.index() as DomainValue,
+            })
+    }
+
+    /// External label of a domain value.
+    pub fn value_label(&self, var: VarId, value: ValueIndex) -> Result<DomainValue> {
+        let info = self.variable(var)?;
+        info.values
+            .get(value.index())
+            .copied()
+            .ok_or(WsdError::UnknownValue {
+                var,
+                value: value.index() as DomainValue,
+            })
+    }
+
+    /// Resolves an external value label to its domain position.
+    pub fn value_index(&self, var: VarId, value: DomainValue) -> Result<ValueIndex> {
+        let info = self.variable(var)?;
+        info.index_of(value).ok_or(WsdError::UnknownValue { var, value })
+    }
+
+    /// `log2` of the number of possible worlds (sum of `log2` domain sizes).
+    ///
+    /// The count itself easily exceeds `u128` for realistic databases
+    /// (the paper reports experiments with `10^(10^6)` worlds), so only the
+    /// logarithm is exposed.
+    pub fn log2_world_count(&self) -> f64 {
+        self.variables
+            .iter()
+            .map(|v| (v.domain_size() as f64).log2())
+            .sum()
+    }
+
+    /// Exact number of possible worlds, if it fits in a `u128`.
+    pub fn world_count(&self) -> Option<u128> {
+        let mut count: u128 = 1;
+        for v in &self.variables {
+            count = count.checked_mul(v.domain_size() as u128)?;
+        }
+        Some(count)
+    }
+
+    /// Probability of the total valuation `world` (one [`ValueIndex`] per
+    /// variable, in [`VarId`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world` does not supply exactly one value index per
+    /// registered variable; this is an internal-enumeration API.
+    pub fn world_probability(&self, world: &[ValueIndex]) -> f64 {
+        assert_eq!(
+            world.len(),
+            self.variables.len(),
+            "a total valuation must assign every variable"
+        );
+        self.variables
+            .iter()
+            .zip(world)
+            .map(|(info, idx)| info.probabilities[idx.index()])
+            .product()
+    }
+
+    /// Enumerates all possible worlds as total valuations with their
+    /// probabilities.
+    ///
+    /// Intended for tests and brute-force baselines on *small* tables; the
+    /// iterator is exponential in the number of variables.
+    pub fn enumerate_worlds(&self) -> WorldIter<'_> {
+        WorldIter {
+            table: self,
+            current: vec![ValueIndex(0); self.variables.len()],
+            done: self.variables.iter().any(|v| v.domain_size() == 0),
+            first: true,
+        }
+    }
+
+    /// Creates a fresh variable name of the form `{base}'`, `{base}''`, … that
+    /// is not yet used in this table.
+    ///
+    /// Used by the conditioning algorithm when it introduces re-weighted
+    /// copies of eliminated variables (Section 5).
+    pub fn fresh_name(&self, base: &str) -> String {
+        let mut candidate = format!("{base}'");
+        while self.by_name.contains_key(&candidate) {
+            candidate.push('\'');
+        }
+        candidate
+    }
+
+    /// Builds a new world table containing only the variables selected by
+    /// `keep`, returning the mapping from old to new [`VarId`]s.
+    ///
+    /// This implements simplification optimisation (1) of Section 5:
+    /// variables that no longer appear in any U-relation can be dropped from
+    /// `W`.
+    pub fn retain_variables<F>(&self, mut keep: F) -> (WorldTable, HashMap<VarId, VarId>)
+    where
+        F: FnMut(VarId, &VariableInfo) -> bool,
+    {
+        let mut new_table = WorldTable::new();
+        let mut mapping = HashMap::new();
+        for (var, info) in self.iter() {
+            if keep(var, info) {
+                let alternatives: Vec<(DomainValue, f64)> = info
+                    .values
+                    .iter()
+                    .copied()
+                    .zip(info.probabilities.iter().copied())
+                    .collect();
+                let new_id = new_table
+                    .add_variable(&info.name, &alternatives)
+                    .expect("copying a valid variable cannot fail");
+                mapping.insert(var, new_id);
+            }
+        }
+        (new_table, mapping)
+    }
+}
+
+impl fmt::Display for WorldTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "W   Var   Dom   P")?;
+        for info in &self.variables {
+            for (value, p) in info.values.iter().zip(&info.probabilities) {
+                writeln!(f, "    {}   {}   {}", info.name, value, p)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over all total valuations of a [`WorldTable`].
+pub struct WorldIter<'a> {
+    table: &'a WorldTable,
+    current: Vec<ValueIndex>,
+    done: bool,
+    first: bool,
+}
+
+impl Iterator for WorldIter<'_> {
+    type Item = (Vec<ValueIndex>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            let p = self.table.world_probability(&self.current);
+            return Some((self.current.clone(), p));
+        }
+        // Advance the odometer.
+        let mut i = 0;
+        loop {
+            if i == self.current.len() {
+                self.done = true;
+                return None;
+            }
+            let size = self.table.variables[i].domain_size() as u16;
+            if self.current[i].0 + 1 < size {
+                self.current[i].0 += 1;
+                for slot in &mut self.current[..i] {
+                    slot.0 = 0;
+                }
+                break;
+            }
+            i += 1;
+        }
+        let p = self.table.world_probability(&self.current);
+        Some((self.current.clone(), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssn_table() -> (WorldTable, VarId, VarId) {
+        let mut w = WorldTable::new();
+        let j = w.add_variable("j", &[(1, 0.2), (7, 0.8)]).unwrap();
+        let b = w.add_variable("b", &[(4, 0.3), (7, 0.7)]).unwrap();
+        (w, j, b)
+    }
+
+    #[test]
+    fn add_and_lookup_variable() {
+        let (w, j, b) = ssn_table();
+        assert_eq!(w.num_variables(), 2);
+        assert_eq!(w.variable_by_name("j"), Some(j));
+        assert_eq!(w.variable_by_name("b"), Some(b));
+        assert_eq!(w.variable_by_name("missing"), None);
+        assert_eq!(w.domain_size(j).unwrap(), 2);
+        assert_eq!(w.value_label(j, ValueIndex(1)).unwrap(), 7);
+        assert_eq!(w.value_index(b, 4).unwrap(), ValueIndex(0));
+        assert!((w.probability(j, ValueIndex(0)).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn world_count_and_probabilities() {
+        let (w, _, _) = ssn_table();
+        assert_eq!(w.world_count(), Some(4));
+        assert!((w.log2_world_count() - 2.0).abs() < 1e-12);
+        let worlds: Vec<_> = w.enumerate_worlds().collect();
+        assert_eq!(worlds.len(), 4);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // World {j -> 7, b -> 7} has probability .8 * .7 = .56 (Example 2.1).
+        let p = w.world_probability(&[ValueIndex(1), ValueIndex(1)]);
+        assert!((p - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_has_one_world() {
+        let w = WorldTable::new();
+        assert!(w.is_empty());
+        assert_eq!(w.world_count(), Some(1));
+        let worlds: Vec<_> = w.enumerate_worlds().collect();
+        assert_eq!(worlds.len(), 1);
+        assert!((worlds[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_and_uniform_helpers() {
+        let mut w = WorldTable::new();
+        let t = w.add_boolean("t1", 0.25).unwrap();
+        let u = w.add_uniform("u", 4).unwrap();
+        assert_eq!(w.domain_size(t).unwrap(), 2);
+        assert!((w.probability(t, ValueIndex(0)).unwrap() - 0.25).abs() < 1e-12);
+        assert!((w.probability(t, ValueIndex(1)).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(w.domain_size(u).unwrap(), 4);
+        assert!((w.probability(u, ValueIndex(3)).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_distributions() {
+        let mut w = WorldTable::new();
+        assert!(matches!(
+            w.add_variable("x", &[]),
+            Err(WsdError::EmptyDomain { .. })
+        ));
+        assert!(matches!(
+            w.add_variable("x", &[(1, 0.5), (2, 0.4)]),
+            Err(WsdError::DistributionNotNormalized { .. })
+        ));
+        assert!(matches!(
+            w.add_variable("x", &[(1, 1.5), (2, -0.5)]),
+            Err(WsdError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            w.add_variable("x", &[(1, 0.5), (1, 0.5)]),
+            Err(WsdError::DuplicateDomainValue { .. })
+        ));
+        w.add_variable("x", &[(1, 1.0)]).unwrap();
+        assert!(matches!(
+            w.add_variable("x", &[(1, 1.0)]),
+            Err(WsdError::DuplicateVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_lookups_are_errors() {
+        let (w, j, _) = ssn_table();
+        assert!(matches!(
+            w.variable(VarId(99)),
+            Err(WsdError::UnknownVariable { .. })
+        ));
+        assert!(matches!(
+            w.value_index(j, 42),
+            Err(WsdError::UnknownValue { .. })
+        ));
+        assert!(matches!(
+            w.probability(j, ValueIndex(9)),
+            Err(WsdError::UnknownValue { .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let mut w = WorldTable::new();
+        w.add_boolean("x", 0.5).unwrap();
+        w.add_boolean("x'", 0.5).unwrap();
+        assert_eq!(w.fresh_name("x"), "x''");
+    }
+
+    #[test]
+    fn retain_variables_keeps_selected_only() {
+        let (w, j, b) = ssn_table();
+        let (w2, mapping) = w.retain_variables(|var, _| var == b);
+        assert_eq!(w2.num_variables(), 1);
+        assert_eq!(mapping.get(&b), Some(&VarId(0)));
+        assert!(!mapping.contains_key(&j));
+        assert_eq!(w2.variable_by_name("b"), Some(VarId(0)));
+        assert!((w2.probability(VarId(0), ValueIndex(0)).unwrap() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_all_alternatives() {
+        let (w, _, _) = ssn_table();
+        let text = format!("{w}");
+        assert!(text.contains("j   1   0.2"));
+        assert!(text.contains("b   7   0.7"));
+    }
+}

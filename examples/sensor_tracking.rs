@@ -1,0 +1,161 @@
+//! Tracking moving objects with uncertain sensor readings.
+//!
+//! A set of RFID readers observes tagged objects; each observation is
+//! uncertain about the zone the object is in (the classic probabilistic
+//! database motivation of tracking moving objects and sensor data). New
+//! evidence arrives — a security sweep establishes that no two objects share
+//! a zone, and object 0 is definitely not in the loading dock — and the
+//! database is *conditioned* on it. The example inspects the ws-tree built
+//! for the evidence, compares the prior and posterior zone distributions and
+//! shows that the posterior world weights sum to one.
+//!
+//! Run with `cargo run --example sensor_tracking`.
+
+use uprob::prelude::*;
+
+const ZONES: [&str; 4] = ["dock", "aisle", "office", "yard"];
+
+fn main() {
+    // ----------------------------------------------------------------- //
+    // 1. The prior: each object's zone is a distribution over readings.  //
+    // ----------------------------------------------------------------- //
+    let mut db = ProbDb::new();
+    let readings: [&[(i64, f64)]; 3] = [
+        // Object 0 was seen near the dock but the reading is weak.
+        &[(0, 0.5), (1, 0.3), (3, 0.2)],
+        // Object 1 is almost certainly in the aisle.
+        &[(1, 0.7), (2, 0.2), (0, 0.1)],
+        // Object 2 oscillates between office and yard.
+        &[(2, 0.45), (3, 0.45), (1, 0.1)],
+    ];
+    let mut vars = Vec::new();
+    for (object, distribution) in readings.iter().enumerate() {
+        let var = db
+            .world_table_mut()
+            .add_variable(&format!("loc{object}"), distribution)
+            .expect("valid distribution");
+        vars.push(var);
+    }
+    let schema = Schema::new(
+        "location",
+        &[("OBJECT", ColumnType::Int), ("ZONE", ColumnType::Str)],
+    );
+    let mut relation = db.create_relation(schema).expect("fresh relation");
+    for (object, distribution) in readings.iter().enumerate() {
+        for &(zone, _) in distribution.iter() {
+            relation.push(
+                Tuple::new(vec![
+                    Value::Int(object as i64),
+                    Value::str(ZONES[zone as usize]),
+                ]),
+                WsDescriptor::from_pairs(db.world_table(), &[(vars[object], zone)])
+                    .expect("valid descriptor"),
+            );
+        }
+    }
+    db.insert_relation(relation).expect("relation is valid");
+
+    println!("== Prior zone distributions ==");
+    print_zone_distributions(&db);
+
+    // ----------------------------------------------------------------- //
+    // 2. Evidence as a ws-set, and its ws-tree decomposition.            //
+    // ----------------------------------------------------------------- //
+    // Evidence A: no two objects share a zone (a key constraint on ZONE).
+    let exclusive = Constraint::key("location", &["ZONE"]);
+    // Evidence B: object 0 is not in the dock.
+    let not_dock = Constraint::row_filter(
+        "location",
+        Predicate::col_eq("OBJECT", 0i64)
+            .not()
+            .or(Predicate::cmp(
+                Expr::col("ZONE"),
+                Comparison::Ne,
+                Expr::val("dock"),
+            )),
+    );
+    let evidence = exclusive.satisfying_ws_set(&db).expect("well-formed constraint");
+    println!("\n== Evidence: no two objects share a zone ==");
+    println!(
+        "satisfying ws-set: {} descriptors over {} variables",
+        evidence.len(),
+        evidence.variables().len()
+    );
+    let (tree, stats) = build_tree(
+        &evidence,
+        db.world_table(),
+        &DecompositionOptions::indve_minlog(),
+    )
+    .expect("decomposition succeeds");
+    println!(
+        "ws-tree: {} nodes ({} ⊕, {} ⊗), height {}",
+        tree.shape().total_nodes(),
+        stats.choice_nodes,
+        stats.independent_nodes,
+        tree.shape().height
+    );
+    println!("{}", tree.display(db.world_table()));
+
+    // ----------------------------------------------------------------- //
+    // 3. Condition on both pieces of evidence.                           //
+    // ----------------------------------------------------------------- //
+    let options = ConditioningOptions::default();
+    let step1 = assert_constraint(&db, &exclusive, &options).expect("evidence is satisfiable");
+    let posterior = assert_constraint(&step1.db, &not_dock, &options).expect("evidence is satisfiable");
+    println!("== Conditioning ==");
+    println!("P(no shared zone)                  = {:.4}", step1.confidence);
+    println!("P(object 0 not in dock | above)    = {:.4}", posterior.confidence);
+
+    println!("\n== Posterior zone distributions ==");
+    print_zone_distributions(&posterior.db);
+
+    // The posterior is a proper probability distribution.
+    let total: f64 = posterior
+        .db
+        .world_table()
+        .enumerate_worlds()
+        .map(|(_, p)| p)
+        .sum();
+    println!("\nposterior world weights sum to {total:.6}");
+    assert!((total - 1.0).abs() < 1e-9);
+
+    // Certain facts after conditioning.
+    let zones = algebra::project(
+        posterior.db.relation("location").expect("location exists"),
+        &["OBJECT", "ZONE"],
+        "Z",
+    )
+    .expect("valid projection");
+    let certain = certain_tuples(
+        &zones,
+        posterior.db.world_table(),
+        &DecompositionOptions::default(),
+    )
+    .expect("confidence computation succeeds");
+    println!("\n== Facts that became certain ==");
+    if certain.is_empty() {
+        println!("  (none)");
+    }
+    for t in &certain {
+        println!("  object {} is in the {}", t.get(0).expect("col"), t.get(1).expect("col"));
+    }
+}
+
+/// Prints, for every object, the confidence of each zone.
+fn print_zone_distributions(db: &ProbDb) {
+    let relation = db.relation("location").expect("location exists");
+    for object in 0..3i64 {
+        let rows = algebra::select(relation, &Predicate::col_eq("OBJECT", object), "one")
+            .expect("valid selection");
+        let zones = algebra::project(&rows, &["ZONE"], "zones").expect("valid projection");
+        let mut confidences =
+            tuple_confidences(&zones, db.world_table(), &DecompositionOptions::default())
+                .expect("confidence computation succeeds");
+        confidences.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let rendered: Vec<String> = confidences
+            .iter()
+            .map(|(t, p)| format!("{}: {:.3}", t.get(0).expect("one column"), p))
+            .collect();
+        println!("  object {object}: {}", rendered.join(", "));
+    }
+}
