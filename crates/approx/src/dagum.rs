@@ -73,7 +73,8 @@ pub fn optimal_monte_carlo(
 
     // Phase 1: stopping rule with accuracy (ε₁, δ/3) — gives a coarse μ̂.
     let upsilon = 4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon * epsilon);
-    let upsilon1 = 1.0 + (1.0 + epsilon1) * 4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon1 * epsilon1);
+    let upsilon1 =
+        1.0 + (1.0 + epsilon1) * 4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon1 * epsilon1);
     let mut sum = 0.0;
     let mut n1 = 0u64;
     while sum < upsilon1 {

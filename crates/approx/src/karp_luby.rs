@@ -144,7 +144,10 @@ mod tests {
         let mut rng = ApproximationOptions::default().with_seed(17).rng();
         let estimate = estimator.estimate_fixed(40_000, &mut rng);
         let exact = 1.0 - 0.7f64.powi(5);
-        assert!((estimate - exact).abs() < 0.01, "estimate {estimate}, exact {exact}");
+        assert!(
+            (estimate - exact).abs() < 0.01,
+            "estimate {estimate}, exact {exact}"
+        );
     }
 
     #[test]

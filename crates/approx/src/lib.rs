@@ -165,6 +165,9 @@ mod tests {
         use rand::RngExt;
         let mut a = ApproximationOptions::default().with_seed(3).rng();
         let mut b = ApproximationOptions::default().with_seed(3).rng();
-        assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        assert_eq!(
+            a.random_range(0..1_000_000u64),
+            b.random_range(0..1_000_000u64)
+        );
     }
 }

@@ -91,9 +91,7 @@ mod tests {
         // the motivation for the Karp–Luby estimator.
         let mut w = WorldTable::new();
         let a = w.add_boolean("a", 1e-6).unwrap();
-        let set = WsSet::from_descriptors(vec![
-            WsDescriptor::from_pairs(&w, &[(a, 1)]).unwrap()
-        ]);
+        let set = WsSet::from_descriptors(vec![WsDescriptor::from_pairs(&w, &[(a, 1)]).unwrap()]);
         let result = naive_monte_carlo(
             &set,
             &w,

@@ -44,11 +44,8 @@ impl<'a> SetSampler<'a> {
     /// Fails if a descriptor refers to a variable unknown to the table.
     pub fn new(set: &WsSet, table: &'a WorldTable) -> Result<Self> {
         let variables: Vec<VarId> = set.variables().into_iter().collect();
-        let positions: HashMap<VarId, usize> = variables
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
+        let positions: HashMap<VarId, usize> =
+            variables.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut cumulative = Vec::with_capacity(variables.len());
         for &var in &variables {
             let info = table.variable(var)?;
@@ -68,10 +65,8 @@ impl<'a> SetSampler<'a> {
         let mut descriptor_cumulative = Vec::with_capacity(set.len());
         let mut total_weight = 0.0;
         for d in set.iter() {
-            let compiled: Vec<(usize, ValueIndex)> = d
-                .iter()
-                .map(|a| (positions[&a.var], a.value))
-                .collect();
+            let compiled: Vec<(usize, ValueIndex)> =
+                d.iter().map(|a| (positions[&a.var], a.value)).collect();
             let p = descriptor_probability(d, table)?;
             descriptors.push(compiled);
             descriptor_probabilities.push(p);
@@ -124,10 +119,10 @@ impl<'a> SetSampler<'a> {
     /// Samples a descriptor index proportionally to descriptor probability.
     pub fn sample_descriptor(&self, rng: &mut StdRng) -> usize {
         let target = rng.random_range(0.0..self.total_weight.max(f64::MIN_POSITIVE));
-        match self
-            .descriptor_cumulative
-            .binary_search_by(|acc| acc.partial_cmp(&target).expect("cumulative weights are finite"))
-        {
+        match self.descriptor_cumulative.binary_search_by(|acc| {
+            acc.partial_cmp(&target)
+                .expect("cumulative weights are finite")
+        }) {
             Ok(i) | Err(i) => i.min(self.descriptors.len() - 1),
         }
     }

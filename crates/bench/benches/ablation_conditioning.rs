@@ -14,11 +14,12 @@ use uprob_urel::{Comparison, Expr, Predicate};
 
 fn bench_conditioning(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_conditioning");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for scale in [0.01, 0.02] {
-        let data = TpchDatabase::generate(
-            TpchConfig::scale(scale).with_row_scale(0.03).with_seed(7),
-        );
+        let data =
+            TpchDatabase::generate(TpchConfig::scale(scale).with_row_scale(0.03).with_seed(7));
         let constraint = Constraint::row_filter(
             "lineitem",
             Predicate::cmp(Expr::col("quantity"), Comparison::Lt, Expr::val(49i64)),
@@ -44,13 +45,9 @@ fn bench_conditioning(c: &mut Criterion) {
             &satisfying,
             |b, ws| {
                 b.iter(|| {
-                    condition(
-                        black_box(&data.db),
-                        ws,
-                        &ConditioningOptions::default(),
-                    )
-                    .unwrap()
-                    .confidence
+                    condition(black_box(&data.db), ws, &ConditioningOptions::default())
+                        .unwrap()
+                        .confidence
                 })
             },
         );

@@ -6,14 +6,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use uprob_core::{
-    confidence, confidence_by_elimination, DecompositionOptions, VariableHeuristic,
-};
+use uprob_core::{confidence, confidence_by_elimination, DecompositionOptions, VariableHeuristic};
 use uprob_datagen::{HardInstance, HardInstanceConfig};
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_decomposition");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for w in [16usize, 50, 200, 800] {
         let instance = HardInstance::generate(HardInstanceConfig {
             num_variables: (w * 4).max(16),
@@ -34,7 +34,10 @@ fn bench_ablation(c: &mut Criterion) {
                     ..DecompositionOptions::indve_minlog()
                 },
             ),
-            ("ve_minlog_capped", DecompositionOptions::ve_minlog().with_budget(100_000)),
+            (
+                "ve_minlog_capped",
+                DecompositionOptions::ve_minlog().with_budget(100_000),
+            ),
         ];
         for (label, options) in configurations {
             group.bench_with_input(BenchmarkId::new(label, w), &instance, |b, inst| {

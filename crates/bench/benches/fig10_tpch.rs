@@ -10,36 +10,48 @@ use uprob_datagen::{q1_answer, q2_answer, TpchConfig, TpchDatabase};
 
 fn bench_fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_tpch");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for scale in [0.01, 0.05] {
         let data = TpchDatabase::generate(
-            TpchConfig::scale(scale).with_row_scale(0.03).with_seed(2008),
+            TpchConfig::scale(scale)
+                .with_row_scale(0.03)
+                .with_seed(2008),
         );
         let table = data.db.world_table();
         let q1 = q1_answer(&data);
         let q2 = q2_answer(&data);
-        group.bench_with_input(BenchmarkId::new("q1_indve_minlog", scale), &q1, |b, answer| {
-            b.iter(|| {
-                confidence(
-                    black_box(&answer.ws_set),
-                    table,
-                    &DecompositionOptions::indve_minlog(),
-                )
-                .unwrap()
-                .probability
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("q2_indve_minlog", scale), &q2, |b, answer| {
-            b.iter(|| {
-                confidence(
-                    black_box(&answer.ws_set),
-                    table,
-                    &DecompositionOptions::indve_minlog(),
-                )
-                .unwrap()
-                .probability
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("q1_indve_minlog", scale),
+            &q1,
+            |b, answer| {
+                b.iter(|| {
+                    confidence(
+                        black_box(&answer.ws_set),
+                        table,
+                        &DecompositionOptions::indve_minlog(),
+                    )
+                    .unwrap()
+                    .probability
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("q2_indve_minlog", scale),
+            &q2,
+            |b, answer| {
+                b.iter(|| {
+                    confidence(
+                        black_box(&answer.ws_set),
+                        table,
+                        &DecompositionOptions::indve_minlog(),
+                    )
+                    .unwrap()
+                    .probability
+                })
+            },
+        );
     }
     group.finish();
 }

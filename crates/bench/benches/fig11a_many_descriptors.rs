@@ -12,7 +12,9 @@ use uprob_datagen::{HardInstance, HardInstanceConfig};
 
 fn bench_fig11a(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11a_many_descriptors");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for w in [1_000usize, 2_000, 5_000] {
         let instance = HardInstance::generate(HardInstanceConfig {
             num_variables: 100,

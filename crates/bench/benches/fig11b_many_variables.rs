@@ -14,7 +14,9 @@ use uprob_datagen::{HardInstance, HardInstanceConfig};
 
 fn bench_fig11b(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11b_many_variables");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for w in [100usize, 500, 2_000] {
         let instance = HardInstance::generate(HardInstanceConfig {
             num_variables: 20_000,

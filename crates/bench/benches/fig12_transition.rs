@@ -1,8 +1,9 @@
-//! Figure 12: the easy-hard-easy transition when the number of descriptors
-//! is close to the number of variables. The bench uses a smaller variable
-//! count than the paper (24 instead of 70) so the hard region stays within
-//! benchmark-friendly times; the shape (slow in the middle, fast at both
-//! ends) is preserved.
+//! Figure 12: how decomposition cost ramps up as the number of descriptors
+//! grows past the number of variables. The bench uses a much smaller
+//! variable count than the paper (12 instead of 70): with this generator
+//! the per-point cost grows steeply in the descriptor count (measured
+//! ~0.5 s at w = 400 for 12 variables but ~15 s at w = 256 for 16), so 12
+//! keeps the whole sweep within benchmark-friendly times.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -13,10 +14,12 @@ use uprob_datagen::{HardInstance, HardInstanceConfig};
 
 fn bench_fig12(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_transition");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for w in [5usize, 12, 24, 96, 400] {
         let instance = HardInstance::generate(HardInstanceConfig {
-            num_variables: 24,
+            num_variables: 12,
             alternatives: 4,
             descriptor_length: 4,
             num_descriptors: w,

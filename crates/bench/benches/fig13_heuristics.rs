@@ -9,7 +9,9 @@ use uprob_datagen::{HardInstance, HardInstanceConfig};
 
 fn bench_fig13(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_heuristics");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for w in [50usize, 200, 500] {
         let instance = HardInstance::generate(HardInstanceConfig {
             num_variables: 2_000,
@@ -21,20 +23,22 @@ fn bench_fig13(c: &mut Criterion) {
         // Budget-capped so the hard points stay benchmark-friendly; the
         // budget plays the role of the paper's per-run timeout.
         for (label, options) in [
-            ("minmax", DecompositionOptions::indve_minmax().with_budget(1_000_000)),
-            ("minlog", DecompositionOptions::indve_minlog().with_budget(1_000_000)),
+            (
+                "minmax",
+                DecompositionOptions::indve_minmax().with_budget(1_000_000),
+            ),
+            (
+                "minlog",
+                DecompositionOptions::indve_minlog().with_budget(1_000_000),
+            ),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, w),
-                &instance,
-                |b, inst| {
-                    b.iter(|| {
-                        confidence(black_box(&inst.ws_set), &inst.world_table, &options)
-                            .map(|c| c.probability)
-                            .unwrap_or(f64::NAN)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, w), &instance, |b, inst| {
+                b.iter(|| {
+                    confidence(black_box(&inst.ws_set), &inst.world_table, &options)
+                        .map(|c| c.probability)
+                        .unwrap_or(f64::NAN)
+                })
+            });
         }
     }
     group.finish();

@@ -9,7 +9,9 @@ use uprob_datagen::{HardInstance, HardInstanceConfig};
 
 fn bench_wsset_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_wsset_ops");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for w in [100usize, 1_000] {
         let a = HardInstance::generate(HardInstanceConfig {
             num_variables: 200,
@@ -31,10 +33,29 @@ fn bench_wsset_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("intersect", w), &a, |bench, inst| {
             bench.iter(|| black_box(&inst.ws_set).intersect(&b_inst.ws_set).len())
         });
-        group.bench_with_input(BenchmarkId::new("difference", w), &a, |bench, inst| {
+        // Difference grows exponentially in the number of subtrahend
+        // descriptors when their variables rarely overlap (each chained
+        // diff_single multiplies the working set; see Proposition 3.4), so
+        // it gets its own instances: fewer variables (more overlap, so the
+        // mutex check prunes) and a small subtrahend.
+        let diff_a = HardInstance::generate(HardInstanceConfig {
+            num_variables: 16,
+            alternatives: 4,
+            descriptor_length: 4,
+            num_descriptors: w,
+            seed: 23,
+        });
+        let diff_b = HardInstance::generate(HardInstanceConfig {
+            num_variables: 16,
+            alternatives: 4,
+            descriptor_length: 4,
+            num_descriptors: 8,
+            seed: 29,
+        });
+        group.bench_with_input(BenchmarkId::new("difference", w), &diff_a, |bench, inst| {
             bench.iter(|| {
                 black_box(&inst.ws_set)
-                    .difference(&b_inst.ws_set, &inst.world_table)
+                    .difference(&diff_b.ws_set, &inst.world_table)
                     .len()
             })
         });

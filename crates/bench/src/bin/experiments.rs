@@ -48,7 +48,15 @@ fn main() -> ExitCode {
     }
 
     let selected: Vec<&str> = if experiment == "all" {
-        vec!["fig10", "fig11a", "fig11b", "fig12", "fig13", "ablation", "conditioning"]
+        vec![
+            "fig10",
+            "fig11a",
+            "fig11b",
+            "fig12",
+            "fig13",
+            "ablation",
+            "conditioning",
+        ]
     } else {
         vec![experiment.as_str()]
     };

@@ -13,10 +13,12 @@
 
 use std::time::Instant;
 
-use uprob_core::VariableHeuristic;
-use uprob_datagen::{q1_answer, q2_answer, HardInstance, HardInstanceConfig, TpchConfig, TpchDatabase};
-use uprob_query::{assert_constraint, Constraint};
 use uprob_core::ConditioningOptions;
+use uprob_core::VariableHeuristic;
+use uprob_datagen::{
+    q1_answer, q2_answer, HardInstance, HardInstanceConfig, TpchConfig, TpchDatabase,
+};
+use uprob_query::{assert_constraint, Constraint};
 
 use crate::runner::{run_algorithm, Algorithm, RunOutcome};
 use crate::table::ResultTable;
@@ -67,7 +69,13 @@ fn kl(scale: ExperimentScale, epsilon: f64) -> Algorithm {
 pub fn fig10(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Figure 10: TPC-H queries, INDVE(minlog)",
-        &["query", "tpch_scale", "input_vars", "ws_set_size", "indve_minlog_s"],
+        &[
+            "query",
+            "tpch_scale",
+            "input_vars",
+            "ws_set_size",
+            "indve_minlog_s",
+        ],
     );
     let row_scale = if scale.is_quick() { 0.03 } else { 0.2 };
     for tpch_scale in [0.01, 0.05, 0.10] {
@@ -116,8 +124,13 @@ pub fn fig11a(scale: ExperimentScale) -> ResultTable {
             seed: 11,
         });
         let run = |algorithm| {
-            run_algorithm(algorithm, &instance.ws_set, &instance.world_table, budget(scale))
-                .render_time()
+            run_algorithm(
+                algorithm,
+                &instance.ws_set,
+                &instance.world_table,
+                budget(scale),
+            )
+            .render_time()
         };
         table.push_row(vec![
             w.to_string(),
@@ -135,7 +148,13 @@ pub fn fig11a(scale: ExperimentScale) -> ResultTable {
 pub fn fig11b(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Figure 11(b): many variables, few ws-descriptors (r=4, s=2)",
-        &["ws_set_size", "indve_s", "ve_s", "kl(e.1)_s", "kl-opt(e.1)_s"],
+        &[
+            "ws_set_size",
+            "indve_s",
+            "ve_s",
+            "kl(e.1)_s",
+            "kl-opt(e.1)_s",
+        ],
     );
     let (num_variables, sizes): (usize, &[usize]) = if scale.is_quick() {
         (20_000, &[100, 500, 2_000])
@@ -151,8 +170,13 @@ pub fn fig11b(scale: ExperimentScale) -> ResultTable {
             seed: 13,
         });
         let run = |algorithm| {
-            run_algorithm(algorithm, &instance.ws_set, &instance.world_table, budget(scale))
-                .render_time()
+            run_algorithm(
+                algorithm,
+                &instance.ws_set,
+                &instance.world_table,
+                budget(scale),
+            )
+            .render_time()
         };
         let ve_outcome = run_algorithm(
             Algorithm::Ve,
@@ -178,7 +202,13 @@ pub fn fig11b(scale: ExperimentScale) -> ResultTable {
 pub fn fig12(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Figure 12: #variables close to ws-set size (70 vars, r=4, s=4)",
-        &["ws_set_size", "indve_min_s", "indve_median_s", "indve_max_s", "kl(e.001)_s"],
+        &[
+            "ws_set_size",
+            "indve_min_s",
+            "indve_median_s",
+            "indve_max_s",
+            "kl(e.001)_s",
+        ],
     );
     let (num_variables, sizes, runs): (usize, &[usize], usize) = if scale.is_quick() {
         (24, &[5, 12, 24, 96, 400], 3)
@@ -271,7 +301,13 @@ pub fn fig13(scale: ExperimentScale) -> ResultTable {
 pub fn ablation_decomposition(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Ablation: decomposition rules on an independence-rich workload (r=2, s=2)",
-        &["ws_set_size", "indve_minlog_s", "indve_firstvar_s", "ve_s", "we_s"],
+        &[
+            "ws_set_size",
+            "indve_minlog_s",
+            "indve_firstvar_s",
+            "ve_s",
+            "we_s",
+        ],
     );
     let sizes: &[usize] = if scale.is_quick() {
         &[16, 50, 200, 800]
@@ -287,8 +323,13 @@ pub fn ablation_decomposition(scale: ExperimentScale) -> ResultTable {
             seed: 19,
         });
         let run = |algorithm, node_budget| {
-            run_algorithm(algorithm, &instance.ws_set, &instance.world_table, node_budget)
-                .render_time()
+            run_algorithm(
+                algorithm,
+                &instance.ws_set,
+                &instance.world_table,
+                node_budget,
+            )
+            .render_time()
         };
         // WE expands the difference ws-set, which is exponential on
         // independence-rich inputs (Section 6, ~2^w descriptors here); only
@@ -301,7 +342,10 @@ pub fn ablation_decomposition(scale: ExperimentScale) -> ResultTable {
         table.push_row(vec![
             w.to_string(),
             run(Algorithm::IndVe(VariableHeuristic::MinLog), budget(scale)),
-            run(Algorithm::IndVe(VariableHeuristic::FirstVariable), budget(scale)),
+            run(
+                Algorithm::IndVe(VariableHeuristic::FirstVariable),
+                budget(scale),
+            ),
             run(Algorithm::Ve, tight_budget()),
             we_cell,
         ]);
@@ -315,7 +359,13 @@ pub fn ablation_decomposition(scale: ExperimentScale) -> ResultTable {
 pub fn ablation_conditioning(scale: ExperimentScale) -> ResultTable {
     let mut table = ResultTable::new(
         "Ablation: conditioning versus confidence computation (TPC-H, key constraint)",
-        &["tpch_scale", "constraint_ws_size", "confidence_s", "conditioning_s", "posterior_vars"],
+        &[
+            "tpch_scale",
+            "constraint_ws_size",
+            "confidence_s",
+            "conditioning_s",
+            "posterior_vars",
+        ],
     );
     let row_scale = if scale.is_quick() { 0.02 } else { 0.1 };
     for tpch_scale in [0.01, 0.05] {

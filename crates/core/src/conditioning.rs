@@ -207,19 +207,17 @@ impl<'a> Conditioner<'a> {
         }
         let mut results: Vec<Branch> = Vec::new();
         let mut total = 0.0;
-        for index in 0..domain_size {
+        for (index, slot) in child_sets.iter().enumerate() {
             let value = ValueIndex(index as u16);
             let weight = self.table.probability(var, value)?;
-            let Some(child_set) = child_sets[index] else {
+            let Some(child_set) = *slot else {
                 continue;
             };
             // U_i: the descriptors consistent with `var -> value`, extended
             // with that assignment.
             let u_i: TaggedSet = u
                 .iter()
-                .filter_map(|(row, d)| {
-                    d.with(var, value).ok().map(|extended| (*row, extended))
-                })
+                .filter_map(|(row, d)| d.with(var, value).ok().map(|extended| (*row, extended)))
                 .collect();
             let child_set = child_set.clone();
             let (ci, rewritten) = self.cond(&child_set, u_i, depth + 1)?;
@@ -431,7 +429,9 @@ fn drop_unused_variables(db: &mut ProbDb) {
             used.extend(descriptor.variables());
         }
     }
-    let (new_table, mapping) = db.world_table().retain_variables(|var, _| used.contains(&var));
+    let (new_table, mapping) = db
+        .world_table()
+        .retain_variables(|var, _| used.contains(&var));
     // Remap every descriptor to the new variable ids.
     for relation in db.relations_mut() {
         for (_, descriptor) in relation.rows_mut() {
@@ -579,7 +579,10 @@ mod tests {
                 .keys()
                 .collect::<Vec<_>>()
                 .len(),
-            instance_distribution(&fig8.db).keys().collect::<Vec<_>>().len()
+            instance_distribution(&fig8.db)
+                .keys()
+                .collect::<Vec<_>>()
+                .len()
         );
     }
 
@@ -629,7 +632,10 @@ mod tests {
         assert_eq!(expected.len(), got.len(), "prior: {prior:?}");
         for (key, p) in &expected {
             let q = got.get(key).copied().unwrap_or(0.0);
-            assert!((p - q).abs() < 1e-9, "instance {key}: expected {p}, got {q}");
+            assert!(
+                (p - q).abs() < 1e-9,
+                "instance {key}: expected {p}, got {q}"
+            );
         }
         // Tuple marginals follow as well.
         let t1 = Tuple::new(vec![Value::Int(1)]);

@@ -183,9 +183,16 @@ mod tests {
     fn empty_and_universal_probabilities() {
         let (w, _) = figure3();
         let options = DecompositionOptions::default();
-        assert_eq!(confidence(&WsSet::empty(), &w, &options).unwrap().probability, 0.0);
         assert_eq!(
-            confidence(&WsSet::universal(), &w, &options).unwrap().probability,
+            confidence(&WsSet::empty(), &w, &options)
+                .unwrap()
+                .probability,
+            0.0
+        );
+        assert_eq!(
+            confidence(&WsSet::universal(), &w, &options)
+                .unwrap()
+                .probability,
             1.0
         );
     }

@@ -203,8 +203,7 @@ mod tests {
         let mut descriptors = Vec::new();
         // n - 2 descriptors with x -> 0 only.
         for _ in 0..n - 2 {
-            descriptors
-                .push(WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap());
+            descriptors.push(WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap());
         }
         // One descriptor with x -> 0 and y -> 0, one with y -> 1 only.
         descriptors.push(WsDescriptor::from_pairs(&w, &[(x, 0), (y, 0)]).unwrap());
@@ -237,8 +236,14 @@ mod tests {
         // both branches.
         let n = 10;
         let (w, set, x, y) = remark_4_6(n);
-        assert_eq!(choose_variable(&set, &w, VariableHeuristic::MinMax), Some(y));
-        assert_eq!(choose_variable(&set, &w, VariableHeuristic::MinLog), Some(x));
+        assert_eq!(
+            choose_variable(&set, &w, VariableHeuristic::MinMax),
+            Some(y)
+        );
+        assert_eq!(
+            choose_variable(&set, &w, VariableHeuristic::MinLog),
+            Some(x)
+        );
     }
 
     #[test]

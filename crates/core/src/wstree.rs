@@ -158,9 +158,7 @@ impl WsTree {
                 let mut values = BTreeSet::new();
                 for (value, _) in branches {
                     if value.index() >= domain {
-                        return Err(format!(
-                            "value {value} out of range for variable {var}"
-                        ));
+                        return Err(format!("value {value} out of range for variable {var}"));
                     }
                     if !values.insert(*value) {
                         return Err(format!(

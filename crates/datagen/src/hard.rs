@@ -81,8 +81,7 @@ impl HardInstance {
         assert!(config.num_variables > 0, "need at least one variable");
         assert!(config.alternatives > 0, "need at least one alternative");
         assert!(
-            config.descriptor_length > 0
-                && config.descriptor_length <= config.num_variables,
+            config.descriptor_length > 0 && config.descriptor_length <= config.num_variables,
             "descriptor length must be between 1 and the number of variables"
         );
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -157,10 +156,15 @@ mod tests {
         // All variables have r = 4 uniform alternatives.
         for (var, info) in instance.world_table.iter() {
             assert_eq!(info.domain_size(), 4);
-            assert!((instance.world_table.probability(var, uprob_wsd::ValueIndex(0)).unwrap()
-                - 0.25)
-                .abs()
-                < 1e-12);
+            assert!(
+                (instance
+                    .world_table
+                    .probability(var, uprob_wsd::ValueIndex(0))
+                    .unwrap()
+                    - 0.25)
+                    .abs()
+                    < 1e-12
+            );
         }
     }
 
@@ -169,10 +173,7 @@ mod tests {
         let instance = HardInstance::generate(config());
         for d in instance.ws_set.iter() {
             for (group_index, group) in instance.partitions.iter().enumerate() {
-                let hits = d
-                    .variables()
-                    .filter(|v| group.contains(v))
-                    .count();
+                let hits = d.variables().filter(|v| group.contains(v)).count();
                 assert_eq!(hits, 1, "descriptor {d:?} in group {group_index}");
             }
         }

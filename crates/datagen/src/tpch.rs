@@ -29,8 +29,13 @@ pub mod dates {
 }
 
 /// The five TPC-H market segments.
-pub const MARKET_SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const MARKET_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Configuration of the probabilistic TPC-H generator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -226,7 +231,7 @@ impl TpchDatabase {
                 .add_boolean(&format!("l{key}"), probability)
                 .expect("unique variable name");
             let orderkey = rng.random_range(0..num_orders);
-            let shipdate = order_dates[orderkey] + rng.random_range(1..=121);
+            let shipdate = order_dates[orderkey] + rng.random_range(1..=121i64);
             let discount = rng.random_range(0..=10) as f64 / 100.0;
             let quantity = rng.random_range(1..=50i64);
             let extendedprice = rng.random_range(900.0..105_000.0f64);
@@ -243,9 +248,12 @@ impl TpchDatabase {
             );
         }
 
-        db.insert_relation(customer).expect("customer relation is valid");
-        db.insert_relation(orders).expect("orders relation is valid");
-        db.insert_relation(lineitem).expect("lineitem relation is valid");
+        db.insert_relation(customer)
+            .expect("customer relation is valid");
+        db.insert_relation(orders)
+            .expect("orders relation is valid");
+        db.insert_relation(lineitem)
+            .expect("lineitem relation is valid");
         TpchDatabase { db, config }
     }
 
@@ -304,16 +312,32 @@ mod tests {
         let customers = data.db.relation("customer").unwrap().len() as i64;
         let orders = data.db.relation("orders").unwrap();
         for (tuple, _) in orders.iter() {
-            let custkey = tuple.get(orders_columns::CUSTKEY).unwrap().as_int().unwrap();
+            let custkey = tuple
+                .get(orders_columns::CUSTKEY)
+                .unwrap()
+                .as_int()
+                .unwrap();
             assert!((0..customers).contains(&custkey));
         }
         let num_orders = orders.len() as i64;
         for (tuple, _) in data.db.relation("lineitem").unwrap().iter() {
-            let orderkey = tuple.get(lineitem_columns::ORDERKEY).unwrap().as_int().unwrap();
+            let orderkey = tuple
+                .get(lineitem_columns::ORDERKEY)
+                .unwrap()
+                .as_int()
+                .unwrap();
             assert!((0..num_orders).contains(&orderkey));
-            let discount = tuple.get(lineitem_columns::DISCOUNT).unwrap().as_float().unwrap();
+            let discount = tuple
+                .get(lineitem_columns::DISCOUNT)
+                .unwrap()
+                .as_float()
+                .unwrap();
             assert!((0.0..=0.10 + 1e-9).contains(&discount));
-            let quantity = tuple.get(lineitem_columns::QUANTITY).unwrap().as_int().unwrap();
+            let quantity = tuple
+                .get(lineitem_columns::QUANTITY)
+                .unwrap()
+                .as_int()
+                .unwrap();
             assert!((1..=50).contains(&quantity));
         }
     }

@@ -250,7 +250,10 @@ mod tests {
     fn q1_descriptors_combine_three_tuple_variables() {
         let data = tiny();
         let answer = q1_answer(&data);
-        assert!(answer.ws_set_size() > 0, "tiny instance should have matches");
+        assert!(
+            answer.ws_set_size() > 0,
+            "tiny instance should have matches"
+        );
         for d in answer.ws_set.iter() {
             assert_eq!(d.len(), 3);
         }
@@ -261,7 +264,10 @@ mod tests {
     fn q2_descriptors_are_single_variables_and_pairwise_independent() {
         let data = tiny();
         let answer = q2_answer(&data);
-        assert!(answer.ws_set_size() > 0, "tiny instance should have matches");
+        assert!(
+            answer.ws_set_size() > 0,
+            "tiny instance should have matches"
+        );
         for d in answer.ws_set.iter() {
             assert_eq!(d.len(), 1);
         }

@@ -174,16 +174,18 @@ mod tests {
         let db = ssn_db();
         let r = db.relation("R").unwrap();
         let r2 = algebra::rename(r, "R2");
-        let phi = Predicate::cols_eq("SSN", "R2.SSN").and(
-            Predicate::cmp(
-                uprob_urel::Expr::col("NAME"),
-                uprob_urel::Comparison::Ne,
-                uprob_urel::Expr::col("R2.NAME"),
-            ),
-        );
+        let phi = Predicate::cols_eq("SSN", "R2.SSN").and(Predicate::cmp(
+            uprob_urel::Expr::col("NAME"),
+            uprob_urel::Comparison::Ne,
+            uprob_urel::Expr::col("R2.NAME"),
+        ));
         let violations = algebra::join(r, &r2, &phi, "V").unwrap();
-        let p = boolean_confidence(&violations, db.world_table(), &DecompositionOptions::default())
-            .unwrap();
+        let p = boolean_confidence(
+            &violations,
+            db.world_table(),
+            &DecompositionOptions::default(),
+        )
+        .unwrap();
         assert!((p - 0.56).abs() < 1e-12);
     }
 

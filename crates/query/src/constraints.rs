@@ -92,7 +92,10 @@ impl Constraint {
             Constraint::Key { relation, columns } => {
                 format!("{relation}: key({})", columns.join(", "))
             }
-            Constraint::RowFilter { relation, predicate } => {
+            Constraint::RowFilter {
+                relation,
+                predicate,
+            } => {
                 format!("{relation}: check({predicate})")
             }
         }
@@ -131,7 +134,10 @@ impl Constraint {
                     .collect();
                 fd_violations(db, relation, columns, &dependent)
             }
-            Constraint::RowFilter { relation, predicate } => {
+            Constraint::RowFilter {
+                relation,
+                predicate,
+            } => {
                 let rel = db.relation(relation)?;
                 let mut violations = WsSet::empty();
                 for (tuple, descriptor) in rel.iter() {
@@ -173,19 +179,23 @@ fn fd_violations(
     let det_idx: Vec<usize> = determinant
         .iter()
         .map(|c| {
-            schema.column_index(c).map_err(|_| QueryError::UnknownColumn {
-                relation: relation.to_string(),
-                column: c.clone(),
-            })
+            schema
+                .column_index(c)
+                .map_err(|_| QueryError::UnknownColumn {
+                    relation: relation.to_string(),
+                    column: c.clone(),
+                })
         })
         .collect::<Result<_>>()?;
     let dep_idx: Vec<usize> = dependent
         .iter()
         .map(|c| {
-            schema.column_index(c).map_err(|_| QueryError::UnknownColumn {
-                relation: relation.to_string(),
-                column: c.clone(),
-            })
+            schema
+                .column_index(c)
+                .map_err(|_| QueryError::UnknownColumn {
+                    relation: relation.to_string(),
+                    column: c.clone(),
+                })
         })
         .collect::<Result<_>>()?;
     let rows = rel.rows();
@@ -389,7 +399,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(certain.len(), 3);
-        let values: Vec<i64> = certain.iter().map(|t| t.get(0).unwrap().as_int().unwrap()).collect();
+        let values: Vec<i64> = certain
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert!(values.contains(&1) && values.contains(&4) && values.contains(&7));
     }
 

@@ -34,7 +34,10 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::UnknownColumn { relation, column } => {
-                write!(f, "constraint refers to unknown column '{column}' of '{relation}'")
+                write!(
+                    f,
+                    "constraint refers to unknown column '{column}' of '{relation}'"
+                )
             }
             QueryError::UnsatisfiableConstraint { constraint } => {
                 write!(f, "constraint '{constraint}' holds in no possible world")
@@ -88,7 +91,10 @@ mod tests {
         assert!(e.to_string().contains("'X'"));
         let e: QueryError = CoreError::EmptyCondition.into();
         assert!(e.to_string().contains("empty"));
-        let e: QueryError = UrelError::UnknownRelation { relation: "S".into() }.into();
+        let e: QueryError = UrelError::UnknownRelation {
+            relation: "S".into(),
+        }
+        .into();
         assert!(e.to_string().contains("'S'"));
     }
 }

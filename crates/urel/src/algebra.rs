@@ -269,6 +269,8 @@ mod tests {
         assert_eq!(b.len(), 4);
         assert_eq!(answer_ws_set(&b).len(), 4);
         // The answer ws-set covers all worlds: R is nonempty in every world.
-        assert!((answer_ws_set(&b).probability_by_enumeration(db.world_table()) - 1.0).abs() < 1e-12);
+        assert!(
+            (answer_ws_set(&b).probability_by_enumeration(db.world_table()) - 1.0).abs() < 1e-12
+        );
     }
 }

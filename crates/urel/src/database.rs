@@ -109,9 +109,11 @@ impl ProbDb {
     ///
     /// Returns [`UrelError::UnknownRelation`] if it does not exist.
     pub fn relation(&self, name: &str) -> Result<&URelation> {
-        self.relations.get(name).ok_or_else(|| UrelError::UnknownRelation {
-            relation: name.to_string(),
-        })
+        self.relations
+            .get(name)
+            .ok_or_else(|| UrelError::UnknownRelation {
+                relation: name.to_string(),
+            })
     }
 
     /// Mutable lookup of a relation by name.
@@ -186,13 +188,13 @@ impl ProbDb {
     ///
     /// Exponential in the number of variables; tests and brute-force
     /// baselines only.
-    pub fn enumerate_instances(&self) -> impl Iterator<Item = (Vec<ValueIndex>, f64, WorldInstance)> + '_ {
-        self.world_table
-            .enumerate_worlds()
-            .map(move |(world, p)| {
-                let instance = self.instantiate_world(&world);
-                (world, p, instance)
-            })
+    pub fn enumerate_instances(
+        &self,
+    ) -> impl Iterator<Item = (Vec<ValueIndex>, f64, WorldInstance)> + '_ {
+        self.world_table.enumerate_worlds().map(move |(world, p)| {
+            let instance = self.instantiate_world(&world);
+            (world, p, instance)
+        })
     }
 }
 

@@ -63,7 +63,10 @@ impl fmt::Display for UrelError {
                 write!(f, "tuple does not match schema of '{relation}': {detail}")
             }
             UrelError::SchemaMismatch { left, right } => {
-                write!(f, "schemas of '{left}' and '{right}' are not union-compatible")
+                write!(
+                    f,
+                    "schemas of '{left}' and '{right}' are not union-compatible"
+                )
             }
             UrelError::TypeError { detail } => write!(f, "type error: {detail}"),
             UrelError::Wsd(e) => write!(f, "world-set descriptor error: {e}"),

@@ -245,18 +245,26 @@ mod tests {
         let t = tuple();
         assert!(Predicate::col_eq("NAME", "Bill").eval(&s, &t).unwrap());
         assert!(!Predicate::col_eq("NAME", "John").eval(&s, &t).unwrap());
-        assert!(Predicate::cmp(Expr::col("SSN"), Comparison::Gt, Expr::val(4i64))
-            .eval(&s, &t)
-            .unwrap());
-        assert!(Predicate::cmp(Expr::col("SSN"), Comparison::Le, Expr::val(7i64))
-            .eval(&s, &t)
-            .unwrap());
-        assert!(Predicate::cmp(Expr::col("SSN"), Comparison::Ne, Expr::val(4i64))
-            .eval(&s, &t)
-            .unwrap());
-        assert!(!Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(7i64))
-            .eval(&s, &t)
-            .unwrap());
+        assert!(
+            Predicate::cmp(Expr::col("SSN"), Comparison::Gt, Expr::val(4i64))
+                .eval(&s, &t)
+                .unwrap()
+        );
+        assert!(
+            Predicate::cmp(Expr::col("SSN"), Comparison::Le, Expr::val(7i64))
+                .eval(&s, &t)
+                .unwrap()
+        );
+        assert!(
+            Predicate::cmp(Expr::col("SSN"), Comparison::Ne, Expr::val(4i64))
+                .eval(&s, &t)
+                .unwrap()
+        );
+        assert!(
+            !Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(7i64))
+                .eval(&s, &t)
+                .unwrap()
+        );
     }
 
     #[test]
@@ -286,9 +294,11 @@ mod tests {
         let s = schema();
         let t = Tuple::new(vec![Value::Null, Value::str("Bill"), Value::Float(0.5)]);
         assert!(!Predicate::col_eq("SSN", 7i64).eval(&s, &t).unwrap());
-        assert!(!Predicate::cmp(Expr::col("SSN"), Comparison::Ne, Expr::val(7i64))
-            .eval(&s, &t)
-            .unwrap());
+        assert!(
+            !Predicate::cmp(Expr::col("SSN"), Comparison::Ne, Expr::val(7i64))
+                .eval(&s, &t)
+                .unwrap()
+        );
     }
 
     #[test]

@@ -102,12 +102,8 @@ impl Ord for Value {
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => a.total_cmp(b),
             // Mixed numeric comparison: compare as floats, break ties by type.
-            (Int(a), Float(b)) => (*a as f64)
-                .total_cmp(b)
-                .then(Ordering::Less),
-            (Float(a), Int(b)) => a
-                .total_cmp(&(*b as f64))
-                .then(Ordering::Greater),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
             (Str(a), Str(b)) => a.cmp(b),
             _ => self.type_rank().cmp(&other.type_rank()),
         }

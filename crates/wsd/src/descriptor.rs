@@ -198,7 +198,9 @@ impl WsDescriptor {
         }
         merged.extend_from_slice(&self.assignments[i..]);
         merged.extend_from_slice(&other.assignments[j..]);
-        Ok(WsDescriptor { assignments: merged })
+        Ok(WsDescriptor {
+            assignments: merged,
+        })
     }
 
     /// The assignments of `other` that are not part of `self`
@@ -291,7 +293,10 @@ impl WsDescriptor {
     /// Renders the descriptor with variable names and value labels, e.g.
     /// `{j -> 1, b -> 4}`.
     pub fn display<'a>(&'a self, table: &'a WorldTable) -> impl fmt::Display + 'a {
-        DescriptorDisplay { descriptor: self, table }
+        DescriptorDisplay {
+            descriptor: self,
+            table,
+        }
     }
 }
 
@@ -320,7 +325,10 @@ impl fmt::Display for DescriptorDisplay<'_> {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            match (self.table.variable(a.var), self.table.value_label(a.var, a.value)) {
+            match (
+                self.table.variable(a.var),
+                self.table.value_label(a.var, a.value),
+            ) {
                 (Ok(info), Ok(label)) => write!(f, "{} -> {}", info.name, label)?,
                 _ => write!(f, "{:?} -> {:?}", a.var, a.value)?,
             }
@@ -419,7 +427,10 @@ mod tests {
         let idx1 = w.value_index(j, 1).unwrap();
         let idx7 = w.value_index(j, 7).unwrap();
         assert!(d.assign(j, idx1).is_ok());
-        assert!(matches!(d.assign(j, idx7), Err(WsdError::NotFunctional { .. })));
+        assert!(matches!(
+            d.assign(j, idx7),
+            Err(WsdError::NotFunctional { .. })
+        ));
         assert_eq!(d.len(), 1);
     }
 

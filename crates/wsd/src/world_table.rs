@@ -68,9 +68,15 @@ impl WorldTable {
     /// Returns an error if the domain is empty, contains duplicate values,
     /// the name is already taken, a probability is out of range or the
     /// distribution is not normalised.
-    pub fn add_variable(&mut self, name: &str, alternatives: &[(DomainValue, f64)]) -> Result<VarId> {
+    pub fn add_variable(
+        &mut self,
+        name: &str,
+        alternatives: &[(DomainValue, f64)],
+    ) -> Result<VarId> {
         if alternatives.is_empty() {
-            return Err(WsdError::EmptyDomain { name: name.to_string() });
+            return Err(WsdError::EmptyDomain {
+                name: name.to_string(),
+            });
         }
         if alternatives.len() > u16::MAX as usize {
             return Err(WsdError::DomainTooLarge {
@@ -79,7 +85,9 @@ impl WorldTable {
             });
         }
         if self.by_name.contains_key(name) {
-            return Err(WsdError::DuplicateVariable { name: name.to_string() });
+            return Err(WsdError::DuplicateVariable {
+                name: name.to_string(),
+            });
         }
         let mut values = Vec::with_capacity(alternatives.len());
         let mut probabilities = Vec::with_capacity(alternatives.len());
@@ -207,7 +215,8 @@ impl WorldTable {
     /// Resolves an external value label to its domain position.
     pub fn value_index(&self, var: VarId, value: DomainValue) -> Result<ValueIndex> {
         let info = self.variable(var)?;
-        info.index_of(value).ok_or(WsdError::UnknownValue { var, value })
+        info.index_of(value)
+            .ok_or(WsdError::UnknownValue { var, value })
     }
 
     /// `log2` of the number of possible worlds (sum of `log2` domain sizes).

@@ -129,7 +129,9 @@ impl WsSet {
         for d in &self.descriptors {
             result.extend(diff_descriptor_set(d, &other.descriptors, table));
         }
-        WsSet { descriptors: result }
+        WsSet {
+            descriptors: result,
+        }
     }
 
     /// Removes exact duplicates and descriptors that are contained in another
@@ -354,11 +356,7 @@ pub fn diff_descriptor_set(
 /// and every alternative `w'` of `x_i` different from `w_i`, the descriptor
 /// `d1 ∪ {x1 -> w1, …, x_{i−1} -> w_{i−1}, x_i -> w'}`. The produced
 /// descriptors are pairwise mutex and jointly denote `ω(d1) − ω(d2)`.
-pub fn diff_single(
-    d1: &WsDescriptor,
-    d2: &WsDescriptor,
-    table: &WorldTable,
-) -> Vec<WsDescriptor> {
+pub fn diff_single(d1: &WsDescriptor, d2: &WsDescriptor, table: &WorldTable) -> Vec<WsDescriptor> {
     if !d1.is_consistent_with(d2) {
         return vec![d1.clone()];
     }
@@ -465,8 +463,14 @@ mod tests {
         assert_eq!(i13.len(), 1);
         assert_eq!(i13.descriptors()[0], d3);
         // Diff({d2},{d1}) = Diff({d2},{d3}) = {d2} (mutex).
-        assert_eq!(s2.difference(&s1, &w).descriptors(), &[d2.clone()]);
-        assert_eq!(s2.difference(&s3, &w).descriptors(), &[d2.clone()]);
+        assert_eq!(
+            s2.difference(&s1, &w).descriptors(),
+            std::slice::from_ref(&d2)
+        );
+        assert_eq!(
+            s2.difference(&s3, &w).descriptors(),
+            std::slice::from_ref(&d2)
+        );
         // Diff({d1},{d3}) = {{j -> 1, b -> 7}}.
         let expected = WsDescriptor::from_pairs(&w, &[(j, 1), (b, 7)]).unwrap();
         assert_eq!(s1.difference(&s3, &w).descriptors(), &[expected]);
@@ -580,7 +584,9 @@ mod tests {
     #[test]
     fn independent_partition_of_disconnected_booleans_is_fully_split() {
         let mut w = WorldTable::new();
-        let vars: Vec<VarId> = (0..6).map(|i| w.add_boolean(&format!("t{i}"), 0.5).unwrap()).collect();
+        let vars: Vec<VarId> = (0..6)
+            .map(|i| w.add_boolean(&format!("t{i}"), 0.5).unwrap())
+            .collect();
         let s: WsSet = vars
             .iter()
             .map(|&v| WsDescriptor::from_pairs(&w, &[(v, 1)]).unwrap())

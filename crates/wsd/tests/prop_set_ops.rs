@@ -61,7 +61,11 @@ fn build(scenario: &Scenario) -> (WorldTable, WsSet, WsSet) {
             })
             .collect()
     };
-    (table, build_set(&scenario.set_a), build_set(&scenario.set_b))
+    (
+        table,
+        build_set(&scenario.set_a),
+        build_set(&scenario.set_b),
+    )
 }
 
 proptest! {

@@ -45,7 +45,9 @@ fn main() {
                 candidates.push(candidate);
             }
         }
-        let mut weights: Vec<f64> = (0..alternatives).map(|_| rng.random_range(0.1..1.0)).collect();
+        let mut weights: Vec<f64> = (0..alternatives)
+            .map(|_| rng.random_range(0.1..1.0))
+            .collect();
         let total: f64 = weights.iter().sum();
         for w in &mut weights {
             *w /= total;
@@ -61,7 +63,10 @@ fn main() {
             .expect("valid distribution");
         for &(ssn, _) in &distribution {
             relation.push(
-                Tuple::new(vec![Value::Int(ssn), Value::Str(format!("Person#{person:02}"))]),
+                Tuple::new(vec![
+                    Value::Int(ssn),
+                    Value::Str(format!("Person#{person:02}")),
+                ]),
                 WsDescriptor::from_pairs(db.world_table(), &[(var, ssn)])
                     .expect("valid descriptor"),
             );
@@ -90,7 +95,8 @@ fn main() {
     );
     let options = ConditioningOptions::default();
     let step1 = assert_constraint(&db, &range, &options).expect("range constraint is satisfiable");
-    let cleaned = assert_constraint(&step1.db, &key, &options).expect("key constraint is satisfiable");
+    let cleaned =
+        assert_constraint(&step1.db, &key, &options).expect("key constraint is satisfiable");
     println!("\n== Cleaning ==");
     println!("P(valid range)          = {:.6}", step1.confidence);
     println!("P(key | valid range)    = {:.6}", cleaned.confidence);
@@ -122,7 +128,11 @@ fn main() {
         .expect("confidence computation succeeds");
         confidences.sort_by(|a, b| b.1.total_cmp(&a.1));
         if let Some((tuple, p)) = confidences.first() {
-            println!("  {name}: SSN {:>3}  (conf {:.3})", tuple.get(0).expect("one column"), p);
+            println!(
+                "  {name}: SSN {:>3}  (conf {:.3})",
+                tuple.get(0).expect("one column"),
+                p
+            );
         }
     }
 

@@ -67,7 +67,11 @@ fn main() {
         .expect("confidence computation succeeds");
     println!("\n== Prior confidences: Bill's SSN ==");
     for (tuple, p) in &prior_conf {
-        println!("  SSN {}   conf {:.4}", tuple.get(0).expect("one column"), p);
+        println!(
+            "  SSN {}   conf {:.4}",
+            tuple.get(0).expect("one column"),
+            p
+        );
     }
 
     // ----------------------------------------------------------------- //
@@ -77,7 +81,10 @@ fn main() {
     let posterior = assert_constraint(&db, &fd, &ConditioningOptions::default())
         .expect("the FD is satisfiable");
     println!("\n== assert[SSN -> NAME] ==");
-    println!("confidence of the constraint in the prior: {:.4}", posterior.confidence);
+    println!(
+        "confidence of the constraint in the prior: {:.4}",
+        posterior.confidence
+    );
     println!("fresh variables introduced: {}", posterior.new_variables);
     println!("\n== Posterior database ==");
     println!("{}", posterior.db);
@@ -100,18 +107,18 @@ fn main() {
     .expect("confidence computation succeeds");
     println!("== Posterior confidences: Bill's SSN given the FD ==");
     for (tuple, p) in &posterior_conf {
-        println!("  SSN {}   conf {:.4}", tuple.get(0).expect("one column"), p);
+        println!(
+            "  SSN {}   conf {:.4}",
+            tuple.get(0).expect("one column"),
+            p
+        );
     }
 
     // ----------------------------------------------------------------- //
     // 5. select SSN from R where conf(SSN) = 1: the certain SSNs.        //
     // ----------------------------------------------------------------- //
-    let all_ssns = algebra::project(
-        posterior.db.relation("R").expect("R exists"),
-        &["SSN"],
-        "S",
-    )
-    .expect("valid projection");
+    let all_ssns = algebra::project(posterior.db.relation("R").expect("R exists"), &["SSN"], "S")
+        .expect("valid projection");
     let certain = certain_tuples(
         &all_ssns,
         posterior.db.world_table(),
@@ -122,5 +129,9 @@ fn main() {
     for tuple in &certain {
         println!("  SSN {}", tuple.get(0).expect("one column"));
     }
-    assert_eq!(certain.len(), 3, "the introduction's example promises three");
+    assert_eq!(
+        certain.len(),
+        3,
+        "the introduction's example promises three"
+    );
 }

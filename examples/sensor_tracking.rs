@@ -66,15 +66,15 @@ fn main() {
     // Evidence B: object 0 is not in the dock.
     let not_dock = Constraint::row_filter(
         "location",
-        Predicate::col_eq("OBJECT", 0i64)
-            .not()
-            .or(Predicate::cmp(
-                Expr::col("ZONE"),
-                Comparison::Ne,
-                Expr::val("dock"),
-            )),
+        Predicate::col_eq("OBJECT", 0i64).not().or(Predicate::cmp(
+            Expr::col("ZONE"),
+            Comparison::Ne,
+            Expr::val("dock"),
+        )),
     );
-    let evidence = exclusive.satisfying_ws_set(&db).expect("well-formed constraint");
+    let evidence = exclusive
+        .satisfying_ws_set(&db)
+        .expect("well-formed constraint");
     println!("\n== Evidence: no two objects share a zone ==");
     println!(
         "satisfying ws-set: {} descriptors over {} variables",
@@ -101,10 +101,17 @@ fn main() {
     // ----------------------------------------------------------------- //
     let options = ConditioningOptions::default();
     let step1 = assert_constraint(&db, &exclusive, &options).expect("evidence is satisfiable");
-    let posterior = assert_constraint(&step1.db, &not_dock, &options).expect("evidence is satisfiable");
+    let posterior =
+        assert_constraint(&step1.db, &not_dock, &options).expect("evidence is satisfiable");
     println!("== Conditioning ==");
-    println!("P(no shared zone)                  = {:.4}", step1.confidence);
-    println!("P(object 0 not in dock | above)    = {:.4}", posterior.confidence);
+    println!(
+        "P(no shared zone)                  = {:.4}",
+        step1.confidence
+    );
+    println!(
+        "P(object 0 not in dock | above)    = {:.4}",
+        posterior.confidence
+    );
 
     println!("\n== Posterior zone distributions ==");
     print_zone_distributions(&posterior.db);
@@ -137,7 +144,11 @@ fn main() {
         println!("  (none)");
     }
     for t in &certain {
-        println!("  object {} is in the {}", t.get(0).expect("col"), t.get(1).expect("col"));
+        println!(
+            "  object {} is in the {}",
+            t.get(0).expect("col"),
+            t.get(1).expect("col")
+        );
     }
 }
 

@@ -86,7 +86,9 @@ fn main() {
         let kl = karp_luby_epsilon_delta(
             &answer.ws_set,
             table,
-            &ApproximationOptions::default().with_epsilon(0.1).with_delta(0.01),
+            &ApproximationOptions::default()
+                .with_epsilon(0.1)
+                .with_delta(0.01),
         )
         .expect("Karp-Luby succeeds");
         report("KL(eps=.1)", kl.estimate, t.elapsed());

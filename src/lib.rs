@@ -69,8 +69,8 @@ pub mod prelude {
         VariableHeuristic, WsTree,
     };
     pub use uprob_query::{
-        assert_constraint, boolean_confidence, certain_tuples, possible_tuples,
-        tuple_confidences, Constraint,
+        assert_constraint, boolean_confidence, certain_tuples, possible_tuples, tuple_confidences,
+        Constraint,
     };
     pub use uprob_urel::{
         algebra, ColumnType, Comparison, Expr, Predicate, ProbDb, Schema, Tuple, URelation, Value,

@@ -143,7 +143,10 @@ fn conditioning_matches_bayes_on_random_tuple_independent_databases() {
         assert_eq!(expected.len(), got.len(), "case {case}");
         for (key, p) in &expected {
             let q = got.get(key).copied().unwrap_or(0.0);
-            assert!((p - q).abs() < 1e-9, "case {case}, instance {key}: {p} vs {q}");
+            assert!(
+                (p - q).abs() < 1e-9,
+                "case {case}, instance {key}: {p} vs {q}"
+            );
         }
     }
 }
@@ -156,6 +159,22 @@ fn conditioning_matches_bayes_on_random_tuple_independent_databases() {
 fn tpch_answers_have_consistent_confidences() {
     use uprob::datagen::{q1_answer, q2_answer, TpchConfig, TpchDatabase};
     let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.02).with_seed(3));
+    for answer in [q1_answer(&data), q2_answer(&data)] {
+        let table = data.db.world_table();
+        let indve = confidence(&answer.ws_set, table, &DecompositionOptions::indve_minlog())
+            .unwrap()
+            .probability;
+        let minmax = confidence(&answer.ws_set, table, &DecompositionOptions::indve_minmax())
+            .unwrap()
+            .probability;
+        assert!((indve - minmax).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&indve));
+    }
+
+    // VE (no independent partitioning) is exponential in the number of
+    // independent answer descriptors (the transition of Figure 12), so the
+    // three-way agreement including VE runs on a much smaller instance.
+    let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.002).with_seed(3));
     for answer in [q1_answer(&data), q2_answer(&data)] {
         let table = data.db.world_table();
         let indve = confidence(&answer.ws_set, table, &DecompositionOptions::indve_minlog())

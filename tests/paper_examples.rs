@@ -146,9 +146,13 @@ fn introduction_conditional_probability_of_bill_given_the_fd() {
     // P(A4 | B) = P(A4 ∧ B) / P(B) = .3 / .44 ≈ .68 (Introduction), computed
     // both by the two-query formulation and via conditioning.
     let satisfying = fd.satisfying_ws_set(&db).unwrap();
-    let p_b = confidence(&satisfying, db.world_table(), &DecompositionOptions::default())
-        .unwrap()
-        .probability;
+    let p_b = confidence(
+        &satisfying,
+        db.world_table(),
+        &DecompositionOptions::default(),
+    )
+    .unwrap()
+    .probability;
     assert!((p_b - 0.44).abs() < 1e-12);
     let bill4_rows = algebra::select(
         db.relation("R").unwrap(),
@@ -158,9 +162,13 @@ fn introduction_conditional_probability_of_bill_given_the_fd() {
     .unwrap();
     let a4 = bill4_rows.answer_ws_set();
     let a4_and_b = a4.intersect(&satisfying);
-    let p_a4_and_b = confidence(&a4_and_b, db.world_table(), &DecompositionOptions::default())
-        .unwrap()
-        .probability;
+    let p_a4_and_b = confidence(
+        &a4_and_b,
+        db.world_table(),
+        &DecompositionOptions::default(),
+    )
+    .unwrap()
+    .probability;
     let by_two_queries = p_a4_and_b / p_b;
     assert!((by_two_queries - 0.3 / 0.44).abs() < 1e-9);
 
