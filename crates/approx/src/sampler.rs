@@ -278,6 +278,51 @@ mod tests {
     }
 
     #[test]
+    fn skewed_domain_frequencies_match_the_distribution() {
+        // Audit companion to the vendored `rand` bias fix: sampling a
+        // variable with a strongly skewed domain must reproduce every
+        // alternative's probability, including the rare ones — a modulo- or
+        // truncation-biased integer/CDF path would systematically shift
+        // mass between neighbouring buckets.
+        let mut w = WorldTable::new();
+        let skewed = w
+            .add_variable(
+                "skewed",
+                &[
+                    (0, 0.5),
+                    (1, 0.25),
+                    (2, 0.125),
+                    (3, 0.1),
+                    (4, 0.02),
+                    (5, 0.005),
+                ],
+            )
+            .unwrap();
+        let s =
+            WsSet::from_descriptors(vec![WsDescriptor::from_pairs(&w, &[(skewed, 0)]).unwrap()]);
+        let sampler = SetSampler::new(&s, &w).unwrap();
+        let position = sampler.position(skewed).unwrap();
+        let mut world = sampler.scratch();
+        let samples = 200_000;
+        let mut counts = [0usize; 6];
+        let mut rng = StdRng::seed_from_u64(2008);
+        for _ in 0..samples {
+            sampler.sample_world(&mut rng, &mut world);
+            counts[world[position].index()] += 1;
+        }
+        let expected = [0.5, 0.25, 0.125, 0.1, 0.02, 0.005];
+        for (value, (&count, &p)) in counts.iter().zip(&expected).enumerate() {
+            let frequency = count as f64 / samples as f64;
+            // Allow ~5 standard deviations of binomial noise.
+            let tolerance = 5.0 * (p * (1.0 - p) / samples as f64).sqrt() + 1e-4;
+            assert!(
+                (frequency - p).abs() < tolerance,
+                "value {value}: frequency {frequency}, expected {p}"
+            );
+        }
+    }
+
+    #[test]
     fn descriptor_sampling_is_weight_proportional() {
         let (w, s) = setup();
         let sampler = SetSampler::new(&s, &w).unwrap();

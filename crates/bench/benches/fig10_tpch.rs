@@ -1,12 +1,16 @@
 //! Figure 10: INDVE(minlog) confidence computation on the answers of the
-//! TPC-H queries Q1 and Q2, across scale factors.
+//! TPC-H queries Q1 and Q2, across scale factors, plus the per-tuple
+//! `conf()` workload through the shared-cache batch path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
 use uprob_core::{confidence, DecompositionOptions};
-use uprob_datagen::{q1_answer, q2_answer, TpchConfig, TpchDatabase};
+use uprob_datagen::{
+    q1_answer, q1_answer_relation, q2_answer, q2_answer_relation, TpchConfig, TpchDatabase,
+};
+use uprob_query::answer_confidences;
 
 fn bench_fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_tpch");
@@ -52,6 +56,24 @@ fn bench_fig10(c: &mut Criterion) {
                 })
             },
         );
+        // The same queries as per-tuple conf() workloads through the batch
+        // path (shared decomposition cache + scoped worker threads).
+        for (name, relation) in [
+            ("q1_batch_conf", q1_answer_relation(&data)),
+            ("q2_batch_conf", q2_answer_relation(&data)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, scale), &relation, |b, relation| {
+                b.iter(|| {
+                    answer_confidences(
+                        black_box(relation),
+                        table,
+                        &DecompositionOptions::indve_minlog(),
+                        None,
+                    )
+                    .unwrap()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use uprob_approx::{karp_luby_epsilon_delta, optimal_monte_carlo, ApproximationOptions};
 use uprob_core::{
-    confidence, confidence_by_elimination, CoreError, DecompositionOptions, VariableHeuristic,
+    confidence, confidence_by_elimination_with, CoreError, DecompositionOptions, VariableHeuristic,
 };
 use uprob_wsd::{WorldTable, WsSet};
 
@@ -135,10 +135,13 @@ pub fn run_algorithm(
                 Err(e) => panic!("VE failed: {e}"),
             }
         }
-        Algorithm::We => {
-            let result = confidence_by_elimination(set, table).expect("WE cannot fail");
-            finish(result.probability, start)
-        }
+        Algorithm::We => match confidence_by_elimination_with(set, table, node_budget, None) {
+            Ok(result) => finish(result.probability, start),
+            Err(CoreError::BudgetExceeded { .. }) => RunOutcome::BudgetExceeded {
+                elapsed: start.elapsed(),
+            },
+            Err(e) => panic!("WE failed: {e}"),
+        },
         Algorithm::KarpLuby { epsilon } => {
             let options = ApproximationOptions::default()
                 .with_epsilon(epsilon)
@@ -223,15 +226,17 @@ mod tests {
     #[test]
     fn budgets_surface_as_budget_exceeded() {
         let instance = small_instance();
-        let outcome = run_algorithm(
-            Algorithm::Ve,
-            &instance.ws_set,
-            &instance.world_table,
-            Some(1),
-        );
-        assert!(matches!(outcome, RunOutcome::BudgetExceeded { .. }));
-        assert!(outcome.probability().is_none());
-        assert!(outcome.render_time().contains("budget"));
+        for algorithm in [Algorithm::Ve, Algorithm::We] {
+            let outcome =
+                run_algorithm(algorithm, &instance.ws_set, &instance.world_table, Some(1));
+            assert!(
+                matches!(outcome, RunOutcome::BudgetExceeded { .. }),
+                "{} must honor the node budget",
+                algorithm.name()
+            );
+            assert!(outcome.probability().is_none());
+            assert!(outcome.render_time().contains("budget"));
+        }
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! The shared decomposition cache: hash-consed ws-set memoization.
+//!
+//! Exact confidence computation decomposes ws-sets recursively, and the same
+//! sub-ws-set recurs constantly: the tail `T` of a variable elimination is
+//! revisited in nested contexts, independent components reappear across
+//! branches, and the distinct tuples of one query answer share rows with
+//! each other and with the answer-level Boolean query. A
+//! [`DecompositionCache`] memoizes the probability of every canonical
+//! sub-ws-set it sees, so each distinct sub-problem is solved once per
+//! database instead of once per occurrence.
+//!
+//! Keys are built by the hash-consing machinery of `uprob-wsd`
+//! ([`DescriptorInterner`] / [`CanonicalSetKey`]): descriptors are interned
+//! to dense `u32` ids and a ws-set's key is the sorted, deduplicated id
+//! sequence. Equal keys imply equal descriptor sets and therefore equal
+//! world-sets, so a cached probability is always sound to reuse. The
+//! canonicalisation is purely syntactic (no absorption), so semantically
+//! equal but syntactically different sets occupy separate entries — a space
+//! trade-off, never a correctness one.
+//!
+//! # Thread safety
+//!
+//! [`SharedDecompositionCache`] wraps the cache in a [`Mutex`] so that the
+//! batch confidence workers of `uprob-query` (spawned with
+//! `std::thread::scope`) can share one cache by reference. Every lookup and
+//! insert takes the lock for the duration of one hash-map operation only;
+//! probabilities of a ws-set are deterministic, so two workers racing to
+//! insert the same key write the same value (the second insert is a no-op)
+//! and no worker can observe a wrong entry. The lock is intentionally
+//! coarse: correctness first, sharding later (see `DESIGN.md`).
+
+use std::collections::hash_map::Entry;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use uprob_wsd::fast_hash::FxHasher;
+use uprob_wsd::{CanonicalSetKey, DescriptorInterner, FxHashMap, WsSet};
+
+/// Ws-sets larger than this are decomposed without consulting the cache.
+///
+/// Canonicalising a set costs one hash per descriptor; for the very large
+/// outer sets of a decomposition (which almost never recur — reuse lives in
+/// the small independent components and elimination tails) that overhead
+/// exceeds the expected savings. Sub-sets at or below this size are where
+/// sharing actually happens, and their keys are cheap.
+pub const MAX_CACHED_SET_LEN: usize = 64;
+
+/// A pending cache entry: the canonical key of a missed set together with
+/// the shard that produced it (keys are only meaningful within one shard's
+/// interner).
+#[derive(Debug)]
+pub struct PendingEntry {
+    shard: usize,
+    key: CanonicalSetKey,
+}
+
+/// Outcome of a cache lookup: either a memoized probability, or the
+/// pending entry under which the caller should insert its result.
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// The set was solved before; reuse this probability.
+    Hit(f64),
+    /// The set is new; compute it and call
+    /// [`SharedDecompositionCache::insert`] with this pending entry.
+    Miss(PendingEntry),
+}
+
+/// Aggregate counters of one cache (across all runs that shared it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that missed (and were subsequently computed and inserted).
+    pub misses: u64,
+    /// Number of memoized ws-set probabilities.
+    pub entries: u64,
+    /// Number of distinct descriptors interned.
+    pub interned_descriptors: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 if none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// The single-threaded core of one cache shard: an interner plus the
+/// probability memo table and hit/miss counters.
+#[derive(Debug, Default)]
+pub struct DecompositionCache {
+    interner: DescriptorInterner,
+    probabilities: FxHashMap<CanonicalSetKey, f64>,
+    /// Reusable id buffer so hit lookups allocate nothing.
+    scratch: Vec<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecompositionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DecompositionCache::default()
+    }
+
+    /// Looks up the probability of `set`, counting the hit or miss.
+    pub fn lookup(&mut self, set: &WsSet) -> Result<f64, CanonicalSetKey> {
+        let mut ids = std::mem::take(&mut self.scratch);
+        self.interner.canonical_ids(set, &mut ids);
+        // Probe through Borrow<[u32]> — no key allocation on the hit path.
+        let result = match self.probabilities.get(ids.as_slice()) {
+            Some(&p) => {
+                self.hits += 1;
+                Ok(p)
+            }
+            None => {
+                self.misses += 1;
+                Err(CanonicalSetKey::from_sorted_ids(&ids))
+            }
+        };
+        self.scratch = ids;
+        result
+    }
+
+    /// Memoizes the probability of the set behind `key`. The first write
+    /// wins; concurrent writers always carry the same value.
+    pub fn insert(&mut self, key: CanonicalSetKey, probability: f64) {
+        if let Entry::Vacant(slot) = self.probabilities.entry(key) {
+            slot.insert(probability);
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.probabilities.len() as u64,
+            interned_descriptors: self.interner.len() as u64,
+        }
+    }
+}
+
+/// Number of independently locked shards. Sixteen keeps contention low for
+/// the worker counts of commodity machines while staying cheap to
+/// aggregate.
+const SHARDS: usize = 16;
+
+/// A sharded [`DecompositionCache`] shareable by reference between scoped
+/// worker threads (see the module docs for the locking contract).
+///
+/// A set is routed to its shard by an order-independent digest of its
+/// descriptors, so permutations of the same set always meet in the same
+/// shard; each shard owns an independent interner and memo table.
+#[derive(Debug)]
+pub struct SharedDecompositionCache {
+    shards: Vec<Mutex<DecompositionCache>>,
+    /// Stamp of the world table this cache is bound to (0 = not yet bound).
+    /// Cached probabilities are only valid for one (unmutated) table, so
+    /// the first cached run binds the cache and later runs with a
+    /// different table are rejected instead of silently returning stale
+    /// probabilities.
+    bound_table: std::sync::atomic::AtomicU64,
+}
+
+impl Default for SharedDecompositionCache {
+    fn default() -> Self {
+        SharedDecompositionCache {
+            shards: (0..SHARDS).map(|_| Mutex::default()).collect(),
+            bound_table: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl SharedDecompositionCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> Self {
+        SharedDecompositionCache::default()
+    }
+
+    /// Binds this cache to `table` on first use and rejects reuse with any
+    /// other table (world-table stamps are shared only by unmutated
+    /// clones, so equal stamps imply identical contents).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::CacheTableMismatch`] if the cache is
+    /// already bound to a different world table.
+    pub fn bind_table(&self, table: &uprob_wsd::WorldTable) -> crate::Result<()> {
+        use std::sync::atomic::Ordering;
+        let stamp = table.stamp();
+        match self
+            .bound_table
+            .compare_exchange(0, stamp, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => Ok(()),
+            Err(bound) if bound == stamp => Ok(()),
+            Err(bound) => Err(crate::CoreError::CacheTableMismatch {
+                bound,
+                given: stamp,
+            }),
+        }
+    }
+
+    /// True if `set` is worth memoizing: at least two descriptors (smaller
+    /// sets are cheaper to solve than to canonicalise), no nullary
+    /// descriptor (those short-circuit to probability 1), and within
+    /// [`MAX_CACHED_SET_LEN`].
+    pub fn is_cacheable(set: &WsSet) -> bool {
+        (2..=MAX_CACHED_SET_LEN).contains(&set.len()) && !set.contains_universal()
+    }
+
+    /// The shard responsible for `set`: an order-independent (commutative)
+    /// combination of per-descriptor digests, so every permutation of the
+    /// same descriptor list routes identically. A list containing
+    /// duplicates may route to a different shard than its deduplicated
+    /// form — that costs a missed reuse, never a wrong answer (keys are
+    /// resolved within one shard).
+    fn shard_of(&self, set: &WsSet) -> usize {
+        let mut digest = 0u64;
+        for descriptor in set.iter() {
+            let mut hasher = FxHasher::default();
+            descriptor.hash(&mut hasher);
+            digest = digest.wrapping_add(hasher.finish() | 1);
+        }
+        (digest % SHARDS as u64) as usize
+    }
+
+    /// Looks up the probability of `set`, counting the hit or miss.
+    pub fn lookup(&self, set: &WsSet) -> CacheLookup {
+        let shard = self.shard_of(set);
+        match self.shards[shard]
+            .lock()
+            .expect("cache lock poisoned")
+            .lookup(set)
+        {
+            Ok(p) => CacheLookup::Hit(p),
+            Err(key) => CacheLookup::Miss(PendingEntry { shard, key }),
+        }
+    }
+
+    /// Memoizes the probability of the set behind `pending`.
+    pub fn insert(&self, pending: PendingEntry, probability: f64) {
+        self.shards[pending.shard]
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(pending.key, probability);
+    }
+
+    /// Aggregate counters across all shards and every run that used this
+    /// cache.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let stats = shard.lock().expect("cache lock poisoned").stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.entries += stats.entries;
+            total.interned_descriptors += stats.interned_descriptors;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_wsd::{WorldTable, WsDescriptor};
+
+    fn two_sets() -> (WorldTable, WsSet, WsSet) {
+        let mut w = WorldTable::new();
+        let j = w.add_variable("j", &[(1, 0.2), (7, 0.8)]).unwrap();
+        let b = w.add_variable("b", &[(4, 0.3), (7, 0.7)]).unwrap();
+        let d1 = WsDescriptor::from_pairs(&w, &[(j, 1)]).unwrap();
+        let d2 = WsDescriptor::from_pairs(&w, &[(b, 4)]).unwrap();
+        let s12 = WsSet::from_descriptors(vec![d1.clone(), d2.clone()]);
+        let s21 = WsSet::from_descriptors(vec![d2, d1]);
+        (w, s12, s21)
+    }
+
+    #[test]
+    fn miss_then_hit_through_canonicalisation() {
+        let (_, s12, s21) = two_sets();
+        let cache = SharedDecompositionCache::new();
+        let CacheLookup::Miss(key) = cache.lookup(&s12) else {
+            panic!("first lookup must miss");
+        };
+        cache.insert(key, 0.44);
+        // The permuted set canonicalises to the same key.
+        match cache.lookup(&s21) {
+            CacheLookup::Hit(p) => assert_eq!(p, 0.44),
+            CacheLookup::Miss(_) => panic!("permuted set must hit"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.interned_descriptors, 2);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let (_, s12, _) = two_sets();
+        let mut cache = DecompositionCache::new();
+        let Err(key) = cache.lookup(&s12) else {
+            panic!("first lookup must miss");
+        };
+        cache.insert(key.clone(), 0.44);
+        cache.insert(key, 0.99);
+        assert_eq!(cache.lookup(&s12), Ok(0.44));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn shared_cache_is_usable_from_scoped_threads() {
+        let (_, s12, s21) = two_sets();
+        let cache = SharedDecompositionCache::new();
+        std::thread::scope(|scope| {
+            for set in [&s12, &s21, &s12, &s21] {
+                scope.spawn(|| {
+                    if let CacheLookup::Miss(key) = cache.lookup(set) {
+                        cache.insert(key, 0.44);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+        assert_eq!(stats.entries, 1);
+        match cache.lookup(&s21) {
+            CacheLookup::Hit(p) => assert_eq!(p, 0.44),
+            CacheLookup::Miss(_) => panic!("must hit after the threads ran"),
+        }
+    }
+
+    #[test]
+    fn cache_rejects_reuse_across_world_tables() {
+        use crate::confidence::confidence_with_cache;
+        use crate::decompose::DecompositionOptions;
+        let (w, s12, _) = two_sets();
+        let cache = SharedDecompositionCache::new();
+        let options = DecompositionOptions::indve_minlog();
+        confidence_with_cache(&s12, &w, &options, Some(&cache)).unwrap();
+        // Same (unmutated) clone: fine.
+        confidence_with_cache(&s12, &w.clone(), &options, Some(&cache)).unwrap();
+        // A different database — even with identical contents — is refused
+        // instead of silently serving the first database's probabilities.
+        let (other, other_set, _) = two_sets();
+        let err = confidence_with_cache(&other_set, &other, &options, Some(&cache)).unwrap_err();
+        assert!(matches!(err, crate::CoreError::CacheTableMismatch { .. }));
+        // A mutated copy of the original table is refused as well.
+        let mut mutated = w.clone();
+        mutated.add_boolean("extra", 0.5).unwrap();
+        let err = confidence_with_cache(&s12, &mutated, &options, Some(&cache)).unwrap_err();
+        assert!(matches!(err, crate::CoreError::CacheTableMismatch { .. }));
+        // WE shares the same binding.
+        let err = crate::elimination::confidence_by_elimination_with(
+            &other_set,
+            &other,
+            None,
+            Some(&cache),
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::CoreError::CacheTableMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_cache_stats_are_zero() {
+        let cache = SharedDecompositionCache::new();
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats::default());
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+}

@@ -21,9 +21,14 @@
 //!   several independent parts *and* tuples depend on more than one part,
 //!   the ⊗ rule does not preserve tuple marginals (the disjunction of
 //!   independent conditions induces correlations that re-weighting
-//!   variables per part cannot express); see DESIGN.md for the analysis.
-//!   For conditions that do not trigger the ⊗ rule the two variants
-//!   coincide.
+//!   variables per part cannot express); see DESIGN.md, section "The
+//!   ⊗-rule marginals caveat", for the analysis. For conditions that do
+//!   not trigger the ⊗ rule the two variants coincide.
+//!
+//! Conditioning deliberately bypasses the shared decomposition cache of
+//! [`crate::cache`]: its recursion rewrites U-relation descriptors and
+//! allocates fresh variables, so its sub-results are not pure functions
+//! of the sub-ws-set (DESIGN.md, "What is not cached").
 
 use std::collections::HashMap;
 
@@ -675,6 +680,89 @@ mod tests {
             condition(&db, &cond_set, &options),
             Err(CoreError::BudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn budget_enforcement_is_uniform_across_we_exact_and_fig8() {
+        // One hard instance, one budget: the WE confidence path, Exact
+        // conditioning and the PaperFig8 ⊗-branches must all abort with the
+        // budget-exhausted error rather than return a (possibly wrong)
+        // answer. The instance is independence-rich (eight variable-disjoint
+        // pairs): WE's difference expansion doubles per descriptor, Exact
+        // (VE-only) conditioning re-translates the tail in every branch,
+        // and Fig8 conditions every ⊗-part separately.
+        let mut db = ProbDb::new();
+        let mut descriptors = Vec::new();
+        {
+            let table = db.world_table_mut();
+            for i in 0..8 {
+                let x = table.add_boolean(&format!("x{i}"), 0.5).unwrap();
+                let y = table.add_boolean(&format!("y{i}"), 0.5).unwrap();
+                descriptors.push((x, y));
+            }
+        }
+        let schema = Schema::new("T", &[("ID", ColumnType::Int)]);
+        let mut rel = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            for (i, &(x, _)) in descriptors.iter().enumerate() {
+                rel.push(
+                    Tuple::new(vec![Value::Int(i as i64)]),
+                    WsDescriptor::from_pairs(w, &[(x, 1)]).unwrap(),
+                );
+            }
+        }
+        db.insert_relation(rel).unwrap();
+        let cond_set: WsSet = descriptors
+            .iter()
+            .map(|&(x, y)| WsDescriptor::from_pairs(db.world_table(), &[(x, 1), (y, 1)]).unwrap())
+            .collect();
+
+        const BUDGET: u64 = 20;
+        let we = crate::elimination::confidence_by_elimination_with(
+            &cond_set,
+            db.world_table(),
+            Some(BUDGET),
+            None,
+        );
+        assert_eq!(
+            we.unwrap_err(),
+            CoreError::BudgetExceeded { budget: BUDGET }
+        );
+        for options in [
+            ConditioningOptions {
+                node_budget: Some(BUDGET),
+                ..Default::default()
+            },
+            ConditioningOptions {
+                node_budget: Some(BUDGET),
+                ..ConditioningOptions::paper_fig8()
+            },
+        ] {
+            assert_eq!(
+                condition(&db, &cond_set, &options).unwrap_err(),
+                CoreError::BudgetExceeded { budget: BUDGET },
+                "method {:?} must hit the budget",
+                options.method
+            );
+        }
+        // Sanity: without a budget every path agrees on the confidence.
+        let exact_p = 1.0 - 0.75f64.powi(8);
+        let we_full =
+            crate::elimination::confidence_by_elimination(&cond_set, db.world_table()).unwrap();
+        assert!((we_full.probability - exact_p).abs() < 1e-12);
+        for options in [
+            ConditioningOptions::default(),
+            ConditioningOptions::paper_fig8(),
+        ] {
+            let result = condition(&db, &cond_set, &options).unwrap();
+            assert!(
+                (result.confidence - exact_p).abs() < 1e-12,
+                "method {:?} confidence {}",
+                options.method,
+                result.confidence
+            );
+        }
     }
 
     #[test]

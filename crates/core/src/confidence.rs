@@ -16,8 +16,9 @@
 //! evaluates an already-materialised tree; [`confidence_brute_force`]
 //! enumerates the possible worlds and is used as a test oracle.
 
-use uprob_wsd::{WorldTable, WsSet};
+use uprob_wsd::{NeumaierSum, WorldTable, WsSet};
 
+use crate::cache::{CacheLookup, SharedDecompositionCache};
 use crate::decompose::{Decomposer, DecompositionOptions, DecompositionStep};
 use crate::stats::Confidence;
 use crate::wstree::WsTree;
@@ -35,25 +36,72 @@ pub fn confidence(
     table: &WorldTable,
     options: &DecompositionOptions,
 ) -> Result<Confidence> {
+    confidence_with_cache(set, table, options, None)
+}
+
+/// Like [`confidence`], but consults and populates a shared decomposition
+/// cache: every sub-ws-set with at least two descriptors is canonicalised
+/// and memoized, so identical sub-problems — within one run or across runs
+/// sharing the cache — are solved once. The `cache_hits` / `cache_misses`
+/// counters of the returned [`Confidence::stats`] report this run's reuse.
+///
+/// A cache hit returns without charging decomposition nodes, so budgeted
+/// runs can succeed with a warm cache where they would exhaust the budget
+/// cold; the budget bounds the *new* work of a run.
+///
+/// # Errors
+///
+/// Returns [`crate::CoreError::BudgetExceeded`] if `options.node_budget` is
+/// set and exhausted, and [`crate::CoreError::CacheTableMismatch`] if
+/// `cache` was first used with a different world table.
+pub fn confidence_with_cache(
+    set: &WsSet,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+    cache: Option<&SharedDecompositionCache>,
+) -> Result<Confidence> {
+    if let Some(shared) = cache {
+        shared.bind_table(table)?;
+    }
     let mut decomposer = Decomposer::new(table, *options);
-    let probability = confidence_rec(set, &mut decomposer, 1)?;
+    let probability = confidence_rec(set, &mut decomposer, 1, cache)?;
     Ok(Confidence {
         probability,
         stats: decomposer.stats,
     })
 }
 
-fn confidence_rec(set: &WsSet, decomposer: &mut Decomposer<'_>, depth: u64) -> Result<f64> {
-    match decomposer.step(set, depth)? {
-        DecompositionStep::Empty => Ok(0.0),
-        DecompositionStep::Universal => Ok(1.0),
+fn confidence_rec(
+    set: &WsSet,
+    decomposer: &mut Decomposer<'_>,
+    depth: u64,
+    cache: Option<&SharedDecompositionCache>,
+) -> Result<f64> {
+    // Trivial sets are cheaper to solve directly and huge sets rarely
+    // recur, so only sets in the cacheable band are memoized.
+    let pending_key = match cache {
+        Some(shared) if SharedDecompositionCache::is_cacheable(set) => match shared.lookup(set) {
+            CacheLookup::Hit(p) => {
+                decomposer.stats.cache_hits += 1;
+                return Ok(p);
+            }
+            CacheLookup::Miss(key) => {
+                decomposer.stats.cache_misses += 1;
+                Some(key)
+            }
+        },
+        _ => None,
+    };
+    let probability = match decomposer.step(set, depth)? {
+        DecompositionStep::Empty => 0.0,
+        DecompositionStep::Universal => 1.0,
         DecompositionStep::Partition(parts) => {
             let mut complement = 1.0;
             for part in &parts {
-                let p = confidence_rec(part, decomposer, depth + 1)?;
+                let p = confidence_rec(part, decomposer, depth + 1, cache)?;
                 complement *= 1.0 - p;
             }
-            Ok(1.0 - complement)
+            1.0 - complement
         }
         DecompositionStep::Eliminate {
             var,
@@ -62,28 +110,34 @@ fn confidence_rec(set: &WsSet, decomposer: &mut Decomposer<'_>, depth: u64) -> R
             tail,
         } => {
             let table = decomposer.table();
-            let mut total = 0.0;
+            let mut total = NeumaierSum::new();
             for (value, child) in &branches {
                 let weight = table.probability(var, *value)?;
                 if weight == 0.0 {
                     continue;
                 }
-                total += weight * confidence_rec(child, decomposer, depth + 1)?;
+                total.add(weight * confidence_rec(child, decomposer, depth + 1, cache)?);
             }
             // Alternatives of `var` not occurring in the set only contribute
             // through the tail T, whose probability is computed once.
             if !missing_values.is_empty() && !tail.is_empty() {
-                let mut missing_weight = 0.0;
+                let mut missing_weight = NeumaierSum::new();
                 for value in &missing_values {
-                    missing_weight += table.probability(var, *value)?;
+                    missing_weight.add(table.probability(var, *value)?);
                 }
+                let missing_weight = missing_weight.value();
                 if missing_weight > 0.0 {
-                    total += missing_weight * confidence_rec(&tail, decomposer, depth + 1)?;
+                    total
+                        .add(missing_weight * confidence_rec(&tail, decomposer, depth + 1, cache)?);
                 }
             }
-            Ok(total)
+            total.value()
         }
+    };
+    if let (Some(shared), Some(key)) = (cache, pending_key) {
+        shared.insert(key, probability);
     }
+    Ok(probability)
 }
 
 /// Evaluates the probability of a materialised ws-tree (Figure 7).
@@ -111,7 +165,8 @@ pub fn tree_probability(tree: &WsTree, table: &WorldTable) -> f64 {
                     .expect("tree value must be in the variable domain");
                 weight * tree_probability(child, table)
             })
-            .sum(),
+            .collect::<NeumaierSum>()
+            .value(),
     }
 }
 
@@ -275,5 +330,119 @@ mod tests {
         let (w, s) = figure3();
         let options = DecompositionOptions::indve_minlog().with_budget(1);
         assert!(confidence(&s, &w, &options).is_err());
+    }
+
+    #[test]
+    fn choice_fold_survives_many_branch_drift() {
+        // Regression for the naive `total +=` over ⊕-branch contributions:
+        // one variable with a 0.5 head, 29998 half-ulp alternatives (each
+        // absorbed without a trace by a naive sum) and a balancing tail.
+        // The singleton cover {x -> v | v} has probability exactly 1.0.
+        let tiny = 2f64.powi(-54);
+        let tiny_count = 29_998usize;
+        let mut alternatives: Vec<(i64, f64)> = vec![(0, 0.5)];
+        alternatives.extend((0..tiny_count).map(|i| (1 + i as i64, tiny)));
+        alternatives.push((1 + tiny_count as i64, 0.5 - tiny_count as f64 * tiny));
+        let mut w = WorldTable::new();
+        let x = w.add_variable("x", &alternatives).unwrap();
+        let set: WsSet = (0..alternatives.len())
+            .map(|v| {
+                WsDescriptor::from_assignments([uprob_wsd::value::Assignment::new(
+                    x,
+                    uprob_wsd::ValueIndex(v as u16),
+                )])
+                .unwrap()
+            })
+            .collect();
+
+        // The drift the naive fold produced: weights summed in branch order.
+        let mut naive = 0.0;
+        for (_, p) in &alternatives {
+            naive += p;
+        }
+        assert!(
+            (naive - 1.0).abs() > 1e-12,
+            "instance no longer triggers naive drift: {:e}",
+            (naive - 1.0).abs()
+        );
+
+        let result = confidence(&set, &w, &DecompositionOptions::ve_minlog()).unwrap();
+        assert!(
+            (result.probability - 1.0).abs() < 1e-13,
+            "compensated ⊕-fold drifted: {:e}",
+            (result.probability - 1.0).abs()
+        );
+    }
+
+    #[test]
+    fn cached_confidence_matches_uncached_and_reports_reuse() {
+        use crate::cache::SharedDecompositionCache;
+        let (w, s) = figure3();
+        let options = DecompositionOptions::indve_minlog();
+        let cache = SharedDecompositionCache::new();
+        let cold = confidence_with_cache(&s, &w, &options, Some(&cache)).unwrap();
+        let plain = confidence(&s, &w, &options).unwrap();
+        assert!((cold.probability - plain.probability).abs() < 1e-12);
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert!(cold.stats.cache_misses > 0);
+        // A second run over the same set is answered entirely from the cache.
+        let warm = confidence_with_cache(&s, &w, &options, Some(&cache)).unwrap();
+        assert_eq!(warm.probability, cold.probability);
+        assert_eq!(warm.stats.cache_hits, 1);
+        assert_eq!(
+            warm.stats.total_nodes(),
+            0,
+            "no decomposition work on a full hit"
+        );
+        let stats = cache.stats();
+        assert!(stats.hits >= 1);
+        assert!(stats.entries >= 1);
+    }
+
+    #[test]
+    fn cached_confidence_agrees_with_brute_force_on_random_sets() {
+        use crate::cache::SharedDecompositionCache;
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        // One cache shared across every set of one "database": overlapping
+        // sub-sets across cases must never change any probability.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut w = WorldTable::new();
+        let vars: Vec<VarId> = (0..5)
+            .map(|i| w.add_uniform(&format!("v{i}"), 2 + (i % 2)).unwrap())
+            .collect();
+        let cache = SharedDecompositionCache::new();
+        for case in 0..40 {
+            let mut set = WsSet::empty();
+            for _ in 0..rng.random_range(1..=6usize) {
+                let mut d = WsDescriptor::empty();
+                for _ in 0..rng.random_range(0..=4usize) {
+                    let var = vars[rng.random_range(0..vars.len())];
+                    let domain = w.domain_size(var).unwrap();
+                    let _ = d.assign(
+                        var,
+                        uprob_wsd::ValueIndex(rng.random_range(0..domain) as u16),
+                    );
+                }
+                set.push(d);
+            }
+            let expected = confidence_brute_force(&set, &w);
+            for options in [
+                DecompositionOptions::indve_minlog(),
+                DecompositionOptions::ve_minlog(),
+            ] {
+                let got = confidence_with_cache(&set, &w, &options, Some(&cache))
+                    .unwrap()
+                    .probability;
+                assert!(
+                    (got - expected).abs() < 1e-9,
+                    "case {case}: cached {options:?} computed {got}, expected {expected}"
+                );
+            }
+        }
+        assert!(
+            cache.stats().hits > 0,
+            "repeated sub-sets must hit the cache"
+        );
     }
 }

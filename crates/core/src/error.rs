@@ -18,6 +18,16 @@ pub enum CoreError {
         /// The budget that was exceeded.
         budget: u64,
     },
+    /// A shared decomposition cache was reused with a different world
+    /// table than the one it was first populated from. Cached
+    /// probabilities are only valid for one (unmutated) table; hold one
+    /// cache per database version (see DESIGN.md).
+    CacheTableMismatch {
+        /// Stamp of the world table the cache is bound to.
+        bound: u64,
+        /// Stamp of the world table of the rejected call.
+        given: u64,
+    },
     /// An error bubbled up from the ws-descriptor layer.
     Wsd(WsdError),
     /// An error bubbled up from the U-relation layer.
@@ -32,6 +42,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::BudgetExceeded { budget } => {
                 write!(f, "decomposition exceeded the node budget of {budget}")
+            }
+            CoreError::CacheTableMismatch { bound, given } => {
+                write!(
+                    f,
+                    "decomposition cache is bound to world table {bound} but was \
+                     used with world table {given}; hold one cache per database"
+                )
             }
             CoreError::Wsd(e) => write!(f, "world-set descriptor error: {e}"),
             CoreError::Urel(e) => write!(f, "U-relation error: {e}"),

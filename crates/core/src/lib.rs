@@ -17,7 +17,10 @@
 //!   Section 6);
 //! * [`conditioning`]: the `assert[B]` operation (Section 5, Figure 8) that
 //!   transforms a database of priors into a posterior database, with the
-//!   three simplification optimisations.
+//!   three simplification optimisations;
+//! * [`cache`]: the shared decomposition cache — hash-consed canonical
+//!   ws-set keys memoizing sub-set probabilities, shared across the
+//!   confidence fold, WE and the batch query layer (see `DESIGN.md`).
 //!
 //! ## Quick example
 //!
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod conditioning;
 pub mod confidence;
 pub mod decompose;
@@ -55,10 +59,13 @@ pub mod heuristics;
 pub mod stats;
 pub mod wstree;
 
+pub use cache::{CacheLookup, CacheStats, DecompositionCache, SharedDecompositionCache};
 pub use conditioning::{condition, Conditioned, ConditioningMethod, ConditioningOptions};
-pub use confidence::{confidence, confidence_brute_force, tree_probability};
+pub use confidence::{confidence, confidence_brute_force, confidence_with_cache, tree_probability};
 pub use decompose::{build_tree, DecompositionMethod, DecompositionOptions};
-pub use elimination::{confidence_by_elimination, mutex_equivalent};
+pub use elimination::{
+    confidence_by_elimination, confidence_by_elimination_with, mutex_equivalent,
+};
 pub use error::CoreError;
 pub use heuristics::VariableHeuristic;
 pub use stats::{Confidence, DecompositionStats};

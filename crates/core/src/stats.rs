@@ -21,12 +21,29 @@ pub struct DecompositionStats {
     /// Number of variables eliminated (with multiplicity: the same variable
     /// can be eliminated independently in different branches).
     pub variable_eliminations: u64,
+    /// Number of sub-ws-sets answered from the shared decomposition cache
+    /// (zero when no cache was supplied).
+    pub cache_hits: u64,
+    /// Number of sub-ws-sets looked up in the shared decomposition cache but
+    /// not found (they are computed and inserted).
+    pub cache_misses: u64,
 }
 
 impl DecompositionStats {
     /// Total number of inner and leaf nodes of the (virtual) ws-tree.
     pub fn total_nodes(&self) -> u64 {
         self.independent_nodes + self.choice_nodes + self.leaves + self.bottoms
+    }
+
+    /// Fraction of cache lookups answered from the cache, or 0 if the run
+    /// performed no lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
     }
 
     /// Merges counters from a sub-computation into `self`.
@@ -38,6 +55,8 @@ impl DecompositionStats {
         self.branches += other.branches;
         self.max_depth = self.max_depth.max(other.max_depth);
         self.variable_eliminations += other.variable_eliminations;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 }
 
@@ -65,6 +84,7 @@ mod tests {
             branches: 9,
             max_depth: 5,
             variable_eliminations: 2,
+            ..Default::default()
         };
         assert_eq!(stats.total_nodes(), 10);
     }
@@ -79,6 +99,8 @@ mod tests {
             branches: 2,
             max_depth: 3,
             variable_eliminations: 1,
+            cache_hits: 1,
+            cache_misses: 2,
         };
         let b = DecompositionStats {
             independent_nodes: 0,
@@ -88,11 +110,24 @@ mod tests {
             branches: 4,
             max_depth: 7,
             variable_eliminations: 2,
+            cache_hits: 3,
+            cache_misses: 1,
         };
         a.absorb(&b);
         assert_eq!(a.choice_nodes, 3);
         assert_eq!(a.max_depth, 7);
         assert_eq!(a.variable_eliminations, 3);
         assert_eq!(a.total_nodes(), 8);
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.cache_misses, 3);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_lookups() {
+        let mut stats = DecompositionStats::default();
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+        stats.cache_hits = 3;
+        stats.cache_misses = 1;
+        assert!((stats.cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 }

@@ -30,4 +30,4 @@ pub mod tpch_queries;
 
 pub use hard::{HardInstance, HardInstanceConfig};
 pub use tpch::{TpchConfig, TpchDatabase};
-pub use tpch_queries::{q1_answer, q2_answer, QueryAnswer};
+pub use tpch_queries::{q1_answer, q1_answer_relation, q2_answer, q2_answer_relation, QueryAnswer};

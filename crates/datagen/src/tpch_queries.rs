@@ -18,7 +18,7 @@
 use std::collections::{HashMap, HashSet};
 
 use uprob_urel::algebra;
-use uprob_urel::{Comparison, Expr, Predicate, Tuple, Value};
+use uprob_urel::{ColumnType, Comparison, Expr, Predicate, Schema, Tuple, URelation, Value};
 use uprob_wsd::{WsDescriptor, WsSet};
 
 use crate::tpch::{customer_columns, dates, lineitem_columns, orders_columns, TpchDatabase};
@@ -40,8 +40,42 @@ impl QueryAnswer {
     }
 }
 
-/// Evaluates Q1 with a hash-join plan.
-pub fn q1_answer(data: &TpchDatabase) -> QueryAnswer {
+/// Evaluates Q1 with a hash-join plan and returns the answer as a
+/// U-relation keyed by `orderkey`: one row per qualifying lineitem, so the
+/// distinct tuples group the lineitems of each order. This is the per-tuple
+/// `conf()` form of the Figure 10 workload used by the batch confidence
+/// path and the cache-reuse benchmarks.
+pub fn q1_answer_relation(data: &TpchDatabase) -> URelation {
+    let schema = Schema::new("q1", &[("orderkey", ColumnType::Int)]);
+    let mut relation = URelation::new(schema);
+    for (orderkey, descriptor) in q1_rows(data) {
+        relation.push(Tuple::new(vec![Value::Int(orderkey)]), descriptor);
+    }
+    relation
+}
+
+/// Evaluates Q2 and returns the answer as a U-relation keyed by
+/// `orderkey`: one row per qualifying lineitem (lineitems of the same order
+/// group into one distinct tuple).
+pub fn q2_answer_relation(data: &TpchDatabase) -> URelation {
+    let schema = Schema::new("q2", &[("orderkey", ColumnType::Int)]);
+    let mut relation = URelation::new(schema);
+    let lineitem = data.db.relation("lineitem").expect("lineitem exists");
+    for (tuple, descriptor) in lineitem.iter() {
+        if q2_predicate_holds(tuple) {
+            let orderkey = tuple
+                .get(lineitem_columns::ORDERKEY)
+                .and_then(Value::as_int)
+                .expect("orderkey is an integer");
+            relation.push(Tuple::new(vec![Value::Int(orderkey)]), descriptor.clone());
+        }
+    }
+    relation
+}
+
+/// The hash-join evaluation of Q1: qualifying lineitems as
+/// `(orderkey, combined descriptor)` pairs.
+fn q1_rows(data: &TpchDatabase) -> Vec<(i64, WsDescriptor)> {
     let db = &data.db;
     let customer = db.relation("customer").expect("customer exists");
     let orders = db.relation("orders").expect("orders exists");
@@ -92,7 +126,7 @@ pub fn q1_answer(data: &TpchDatabase) -> QueryAnswer {
 
     // Lineitems of qualifying orders: each answer descriptor combines the
     // three tuple variables.
-    let mut ws_set = WsSet::empty();
+    let mut rows = Vec::new();
     for (tuple, descriptor) in lineitem.iter() {
         let orderkey = tuple
             .get(lineitem_columns::ORDERKEY)
@@ -102,8 +136,17 @@ pub fn q1_answer(data: &TpchDatabase) -> QueryAnswer {
             let combined = descriptor
                 .union(order_descriptor)
                 .expect("distinct Boolean variables are always consistent");
-            ws_set.push(combined);
+            rows.push((orderkey, combined));
         }
+    }
+    rows
+}
+
+/// Evaluates Q1 with a hash-join plan.
+pub fn q1_answer(data: &TpchDatabase) -> QueryAnswer {
+    let mut ws_set = WsSet::empty();
+    for (_, descriptor) in q1_rows(data) {
+        ws_set.push(descriptor);
     }
     QueryAnswer {
         ws_set,

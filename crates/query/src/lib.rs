@@ -63,7 +63,10 @@ pub mod confidence;
 pub mod constraints;
 pub mod error;
 
-pub use confidence::{boolean_confidence, certain_tuples, possible_tuples, tuple_confidences};
+pub use confidence::{
+    answer_confidences, answer_confidences_with_cache, boolean_confidence, certain_tuples,
+    possible_tuples, tuple_confidences, tuple_confidences_sequential, AnswerConfidences,
+};
 pub use constraints::{assert_constraint, Constraint};
 pub use error::QueryError;
 

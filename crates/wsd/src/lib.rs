@@ -43,12 +43,18 @@
 
 pub mod descriptor;
 pub mod error;
+pub mod fast_hash;
+pub mod intern;
+pub mod numeric;
 pub mod value;
 pub mod world_table;
 pub mod ws_set;
 
 pub use descriptor::WsDescriptor;
 pub use error::WsdError;
+pub use fast_hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use intern::{CanonicalSetKey, DescriptorId, DescriptorInterner};
+pub use numeric::NeumaierSum;
 pub use value::{DomainValue, ValueIndex, VarId};
 pub use world_table::{VariableInfo, WorldTable};
 pub use ws_set::WsSet;

@@ -45,16 +45,47 @@ impl VariableInfo {
 
 /// A set of independent random variables over finite domains together with
 /// their probability distributions (the relation `W` of the paper).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct WorldTable {
     variables: Vec<VariableInfo>,
     by_name: HashMap<String, VarId>,
+    /// Content stamp: refreshed on every mutation, shared by (unmutated)
+    /// clones. Equal stamps imply identical contents, which lets memo
+    /// caches detect in O(1) that they are being reused across a different
+    /// (or conditioned, hence re-numbered) database.
+    stamp: u64,
+}
+
+/// Source of fresh world-table stamps (0 is reserved for "unbound").
+static NEXT_TABLE_STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_stamp() -> u64 {
+    NEXT_TABLE_STAMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+impl Default for WorldTable {
+    fn default() -> Self {
+        WorldTable {
+            variables: Vec::new(),
+            by_name: HashMap::new(),
+            stamp: fresh_stamp(),
+        }
+    }
 }
 
 impl WorldTable {
     /// Creates an empty world table (it represents exactly one world).
     pub fn new() -> Self {
         WorldTable::default()
+    }
+
+    /// The content stamp of this table: refreshed on every mutation and
+    /// shared only with unmutated clones, so equal stamps imply identical
+    /// variables and distributions. Used by the decomposition cache to
+    /// reject reuse across different databases.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Registers a new variable with the given `(value, probability)`
@@ -91,9 +122,10 @@ impl WorldTable {
         }
         let mut values = Vec::with_capacity(alternatives.len());
         let mut probabilities = Vec::with_capacity(alternatives.len());
+        let mut seen = std::collections::HashSet::with_capacity(alternatives.len());
         let mut sum = 0.0;
         for &(value, p) in alternatives {
-            if values.contains(&value) {
+            if !seen.insert(value) {
                 return Err(WsdError::DuplicateDomainValue {
                     name: name.to_string(),
                     value,
@@ -122,6 +154,7 @@ impl WorldTable {
             values,
             probabilities,
         });
+        self.stamp = fresh_stamp();
         Ok(id)
     }
 
@@ -472,6 +505,22 @@ mod tests {
             w.probability(j, ValueIndex(9)),
             Err(WsdError::UnknownValue { .. })
         ));
+    }
+
+    #[test]
+    fn stamps_track_content_identity() {
+        let (w, _, _) = ssn_table();
+        // An unmutated clone shares the stamp (identical contents)…
+        let clone = w.clone();
+        assert_eq!(w.stamp(), clone.stamp());
+        // …but any mutation refreshes it.
+        let mut mutated = w.clone();
+        mutated.add_boolean("extra", 0.5).unwrap();
+        assert_ne!(w.stamp(), mutated.stamp());
+        // Two independently built tables never share a stamp, even when
+        // their contents happen to coincide.
+        let (other, _, _) = ssn_table();
+        assert_ne!(w.stamp(), other.stamp());
     }
 
     #[test]

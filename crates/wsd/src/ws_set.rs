@@ -212,12 +212,17 @@ impl WsSet {
 
     /// Probability of the represented world-set computed by brute-force world
     /// enumeration. Exponential; tests and baselines only.
+    ///
+    /// The world weights are accumulated with Neumaier compensated summation
+    /// so the oracle stays trustworthy on instances with very many (or very
+    /// skewed) worlds.
     pub fn probability_by_enumeration(&self, table: &WorldTable) -> f64 {
-        table
-            .enumerate_worlds()
-            .filter(|(world, _)| self.matches_world(world))
-            .map(|(_, p)| p)
-            .sum()
+        crate::numeric::compensated_sum(
+            table
+                .enumerate_worlds()
+                .filter(|(world, _)| self.matches_world(world))
+                .map(|(_, p)| p),
+        )
     }
 
     /// Two ws-sets are equivalent iff they represent the same world-set.
@@ -257,19 +262,18 @@ impl WsSet {
             }
         }
         // Group descriptors by component root, preserving first-seen order.
-        let mut groups: Vec<(usize, WsSet)> = Vec::new();
+        let mut group_of_root: crate::fast_hash::FxHashMap<usize, usize> =
+            crate::fast_hash::FxHashMap::default();
+        let mut groups: Vec<WsSet> = Vec::new();
         for (i, d) in self.descriptors.iter().enumerate() {
             let root = uf.find(i);
-            match groups.iter_mut().find(|(r, _)| *r == root) {
-                Some((_, set)) => set.push(d.clone()),
-                None => {
-                    let mut set = WsSet::empty();
-                    set.push(d.clone());
-                    groups.push((root, set));
-                }
-            }
+            let index = *group_of_root.entry(root).or_insert_with(|| {
+                groups.push(WsSet::empty());
+                groups.len() - 1
+            });
+            groups[index].push(d.clone());
         }
-        groups.into_iter().map(|(_, s)| s).collect()
+        groups
     }
 
     /// Renders the ws-set with variable names and value labels.
@@ -335,6 +339,29 @@ pub fn diff_descriptor_set(
     subtrahends: &[WsDescriptor],
     table: &WorldTable,
 ) -> Vec<WsDescriptor> {
+    match try_diff_descriptor_set(d1, subtrahends, table, |_| {
+        Ok::<(), std::convert::Infallible>(())
+    }) {
+        Ok(result) => result,
+        Err(infallible) => match infallible {},
+    }
+}
+
+/// [`diff_descriptor_set`] with a per-subtrahend hook: after each
+/// subtraction step, `on_step` receives the number of descriptors the
+/// step generated and may abort the (potentially exponential) expansion
+/// early by returning an error — used e.g. to enforce node budgets while
+/// the difference grows.
+///
+/// # Errors
+///
+/// Propagates the first error returned by `on_step`.
+pub fn try_diff_descriptor_set<E>(
+    d1: &WsDescriptor,
+    subtrahends: &[WsDescriptor],
+    table: &WorldTable,
+    mut on_step: impl FnMut(usize) -> std::result::Result<(), E>,
+) -> std::result::Result<Vec<WsDescriptor>, E> {
     let mut current = vec![d1.clone()];
     for d2 in subtrahends {
         if current.is_empty() {
@@ -344,9 +371,10 @@ pub fn diff_descriptor_set(
         for c in &current {
             next.extend(diff_single(c, d2, table));
         }
+        on_step(next.len())?;
         current = next;
     }
-    current
+    Ok(current)
 }
 
 /// `Diff({d1}, {d2})` for single descriptors (Section 3.2, first equation).

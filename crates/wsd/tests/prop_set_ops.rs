@@ -128,6 +128,93 @@ proptest! {
         prop_assert!(n.len() <= a.len());
     }
 
+    /// Absorption under adversarial redundancy: the input set is inflated
+    /// with exact duplicates and strictly subsumed extensions of its own
+    /// descriptors, interleaved in an arbitrary order. Normalisation must
+    /// (1) preserve the world-set (checked by enumeration), (2) be
+    /// idempotent, and (3) leave no descriptor contained in another.
+    #[test]
+    fn normalization_absorbs_duplicates_and_subsumed_descriptors(
+        (scenario, extension_seeds, interleave) in (
+            scenario_strategy(),
+            prop::collection::vec((0usize..64, 0u8..8, 0u8..3), 0..=6),
+            0usize..4,
+        )
+    ) {
+        let (table, a, _) = build(&scenario);
+        if a.is_empty() {
+            return Ok(());
+        }
+        let base: Vec<WsDescriptor> = a.iter().cloned().collect();
+        // Redundant descriptors: duplicates of base descriptors plus
+        // extensions (every extension of d is contained in d and must be
+        // absorbed whenever d itself is kept).
+        let mut redundant = Vec::new();
+        for &(pick, var_idx, val) in &extension_seeds {
+            let d = &base[pick % base.len()];
+            redundant.push(d.clone());
+            let var_idx = (var_idx as usize) % scenario.domains.len();
+            let domain = scenario.domains[var_idx] as u16;
+            let mut extended = d.clone();
+            // Ignore conflicts: the first assignment of a variable wins.
+            let _ = extended.assign(
+                VarId(var_idx as u32),
+                ValueIndex(val as u16 % domain),
+            );
+            redundant.push(extended);
+        }
+        // Interleave the redundancy in different positions relative to the
+        // base descriptors so absorption order is exercised both ways.
+        let mut inflated: Vec<WsDescriptor> = Vec::new();
+        match interleave {
+            0 => {
+                inflated.extend(base.iter().cloned());
+                inflated.extend(redundant.iter().cloned());
+            }
+            1 => {
+                inflated.extend(redundant.iter().cloned());
+                inflated.extend(base.iter().cloned());
+            }
+            2 => {
+                let mut r = redundant.iter();
+                for d in &base {
+                    if let Some(x) = r.next() {
+                        inflated.push(x.clone());
+                    }
+                    inflated.push(d.clone());
+                }
+                inflated.extend(r.cloned());
+            }
+            _ => {
+                inflated.extend(base.iter().rev().cloned());
+                inflated.extend(redundant.iter().rev().cloned());
+            }
+        }
+        let inflated = WsSet::from_descriptors(inflated);
+        let normalized = inflated.normalized();
+        // (1) same world-set as both the inflated and the original set.
+        prop_assert!(normalized.is_equivalent_by_enumeration(&inflated, &table));
+        prop_assert!(normalized.is_equivalent_by_enumeration(&a, &table));
+        // (2) idempotent: a second normalisation changes nothing.
+        prop_assert_eq!(&normalized.normalized(), &normalized);
+        // (3) irredundant: no descriptor contained in a different one, no
+        // exact duplicates.
+        let descriptors = normalized.descriptors();
+        for (i, d1) in descriptors.iter().enumerate() {
+            for (j, d2) in descriptors.iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !d1.is_contained_in(d2),
+                        "descriptor {i} is absorbed by {j} but survived"
+                    );
+                }
+            }
+        }
+        // The result is never larger than the un-inflated original after
+        // its own normalisation.
+        prop_assert_eq!(normalized.len(), a.normalized().len());
+    }
+
     /// Independent partitioning: parts are pairwise independent and their
     /// union is the original set.
     #[test]

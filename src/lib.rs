@@ -65,12 +65,14 @@ pub mod prelude {
     pub use uprob_approx::{karp_luby_epsilon_delta, optimal_monte_carlo, ApproximationOptions};
     pub use uprob_core::{
         build_tree, condition, confidence, confidence_brute_force, confidence_by_elimination,
-        ConditioningMethod, ConditioningOptions, DecompositionMethod, DecompositionOptions,
+        confidence_by_elimination_with, confidence_with_cache, CacheStats, ConditioningMethod,
+        ConditioningOptions, DecompositionMethod, DecompositionOptions, SharedDecompositionCache,
         VariableHeuristic, WsTree,
     };
     pub use uprob_query::{
-        assert_constraint, boolean_confidence, certain_tuples, possible_tuples, tuple_confidences,
-        Constraint,
+        answer_confidences, answer_confidences_with_cache, assert_constraint, boolean_confidence,
+        certain_tuples, possible_tuples, tuple_confidences, tuple_confidences_sequential,
+        AnswerConfidences, Constraint,
     };
     pub use uprob_urel::{
         algebra, ColumnType, Comparison, Expr, Predicate, ProbDb, Schema, Tuple, URelation, Value,

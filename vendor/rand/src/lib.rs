@@ -91,11 +91,30 @@ fn unit_f64(word: u64) -> f64 {
     (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-/// Uniform draw from `[0, bound)` for `bound > 0` using Lemire's
-/// multiply-shift reduction (bias is negligible for 64-bit words).
+/// Uniform draw from `[0, bound)` for `bound > 0` using Lemire's unbiased
+/// multiply-shift reduction with rejection (Lemire 2019, "Fast Random
+/// Integer Generation in an Interval").
+///
+/// The plain multiply-shift `(x * bound) >> 64` maps `2^64` inputs onto
+/// `bound` buckets; when `bound` does not divide `2^64`, some buckets
+/// receive one extra input — the same defect as the classic `x % bound`
+/// modulo bias. Rejecting the `2^64 mod bound` smallest low-product values
+/// removes exactly the surplus inputs, making every bucket equally likely.
+/// The rejection probability is `< bound / 2^64`, so for the small bounds
+/// used here a redraw is astronomically rare and accepted draws produce the
+/// same values as the biased version (deterministic streams are preserved
+/// in practice).
 fn bounded_u64<G: RngCore>(rng: &mut G, bound: u64) -> u64 {
     debug_assert!(bound > 0);
-    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+    let mut product = rng.next_u64() as u128 * bound as u128;
+    if (product as u64) < bound {
+        // 2^64 mod bound, computed without 128-bit division.
+        let threshold = bound.wrapping_neg() % bound;
+        while (product as u64) < threshold {
+            product = rng.next_u64() as u128 * bound as u128;
+        }
+    }
+    (product >> 64) as u64
 }
 
 macro_rules! impl_int_sample_range {
@@ -203,5 +222,57 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
         assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn skewed_range_frequencies_are_uniform() {
+        // Regression for the integer-range bias: a bound that does not
+        // divide 2^64 must still produce (statistically) equal bucket
+        // frequencies. Several seeds guard against a lucky stream.
+        const BOUND: usize = 3;
+        const DRAWS: usize = 60_000;
+        for seed in [1u64, 7, 42, 2008] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut counts = [0usize; BOUND];
+            for _ in 0..DRAWS {
+                counts[rng.random_range(0..BOUND)] += 1;
+            }
+            for (bucket, &count) in counts.iter().enumerate() {
+                let frequency = count as f64 / DRAWS as f64;
+                let expected = 1.0 / BOUND as f64;
+                assert!(
+                    (frequency - expected).abs() < 0.01,
+                    "seed {seed}: bucket {bucket} has frequency {frequency}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejection_threshold_matches_two_pow_64_mod_bound() {
+        // The rejection region must have size 2^64 mod bound so that the
+        // accepted inputs split evenly across the buckets.
+        for bound in [2u64, 3, 5, 6, 7, 10, 48_271, u64::MAX / 2 + 2] {
+            let threshold = bound.wrapping_neg() % bound;
+            let exact = (u128::from(u64::MAX) + 1) % u128::from(bound);
+            assert_eq!(u128::from(threshold), exact, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn rejection_loop_redraws_until_acceptable() {
+        // A generator that first emits a word inside the rejection region
+        // for bound = 3 (2^64 mod 3 = 1, so only the product-low-bits value
+        // 0 is rejected, i.e. raw word 0), then a clean word.
+        struct Scripted(Vec<u64>);
+        impl crate::RngCore for Scripted {
+            fn next_u64(&mut self) -> u64 {
+                self.0.remove(0)
+            }
+        }
+        let mut rng = Scripted(vec![0, u64::MAX]);
+        let v: u64 = crate::bounded_u64(&mut rng, 3);
+        assert_eq!(v, 2, "the rejected word must be skipped");
+        assert!(rng.0.is_empty(), "exactly two words consumed");
     }
 }
