@@ -9,9 +9,10 @@
 //! variance. We implement the full AA algorithm: the stopping-rule phase,
 //! the variance-estimation phase, and the final estimation phase.
 
-use uprob_wsd::{WorldTable, WsSet};
+use uprob_wsd::{NeumaierSum, WorldTable, WsSet};
 
 use crate::karp_luby::KarpLuby;
+use crate::parallel::{stream_sum, STREAM_CHUNK};
 use crate::{ApproximationOptions, Result};
 
 /// Result of the optimal Monte-Carlo estimation.
@@ -35,6 +36,12 @@ impl StoppingRuleResult {
 /// λ = e − 2, the constant of the zero-one estimator theorem.
 const LAMBDA: f64 = std::f64::consts::E - 2.0;
 
+/// Disjoint RNG-stream bases for the three phases, so no stream index is
+/// ever shared between phases (or with a caller using small bases).
+const PHASE1_STREAM: u64 = 1 << 40;
+const PHASE2_STREAM_BASE: u64 = 2 << 40;
+const PHASE3_STREAM_BASE: u64 = 3 << 40;
+
 /// Runs the AA algorithm on the Karp–Luby estimator variable `Z ∈ [0, 1]`
 /// (whose expectation is `confidence / M`), returning the confidence
 /// estimate `M · μ̂`.
@@ -49,13 +56,6 @@ pub fn optimal_monte_carlo(
 ) -> Result<StoppingRuleResult> {
     options.validate()?;
     let estimator = KarpLuby::new(set, table)?;
-    if estimator.num_descriptors() == 0 {
-        return Ok(StoppingRuleResult {
-            estimate: 0.0,
-            stopping_iterations: 0,
-            refinement_iterations: 0,
-        });
-    }
     if set.contains_universal() {
         return Ok(StoppingRuleResult {
             estimate: 1.0,
@@ -63,7 +63,36 @@ pub fn optimal_monte_carlo(
             refinement_iterations: 0,
         });
     }
-    let mut rng = options.rng();
+    optimal_monte_carlo_prepared(&estimator, options)
+}
+
+/// [`optimal_monte_carlo`] against an already-prepared estimator, so one
+/// [`KarpLuby`] (descriptor weights + sampling tables) can be reused across
+/// several estimation runs — e.g. the per-tuple estimates of a batch, or the
+/// numerator and denominator of a conditioned estimate over the same set.
+///
+/// The adaptive stopping-rule phase runs sequentially on the RNG of a
+/// reserved stream; the variance and final-estimation phases (which have
+/// fixed iteration counts) are fanned out over sampling worker threads with
+/// per-stream deterministic RNGs, so the result depends only on
+/// `options.seed` — never on the worker count.
+///
+/// # Errors
+///
+/// Fails if ε or δ are invalid.
+pub fn optimal_monte_carlo_prepared(
+    estimator: &KarpLuby<'_>,
+    options: &ApproximationOptions,
+) -> Result<StoppingRuleResult> {
+    options.validate()?;
+    if let Some(p) = estimator.degenerate(1) {
+        return Ok(StoppingRuleResult {
+            estimate: p,
+            stopping_iterations: 0,
+            refinement_iterations: 0,
+        });
+    }
+    let mut rng = options.rng_for_stream(PHASE1_STREAM);
     let mut world = estimator.scratch();
     // The AA algorithm works with accuracy ε' = min(1/2, sqrt(ε)) in its
     // first phase and δ/3 per phase.
@@ -72,6 +101,7 @@ pub fn optimal_monte_carlo(
     let epsilon1 = (epsilon.sqrt()).min(0.5);
 
     // Phase 1: stopping rule with accuracy (ε₁, δ/3) — gives a coarse μ̂.
+    // Inherently sequential (stop as soon as the running sum crosses υ₁).
     let upsilon = 4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon * epsilon);
     let upsilon1 =
         1.0 + (1.0 + epsilon1) * 4.0 * LAMBDA * (2.0 / delta).ln() / (epsilon1 * epsilon1);
@@ -83,22 +113,34 @@ pub fn optimal_monte_carlo(
     }
     let mu_hat = upsilon1 / n1 as f64;
 
-    // Phase 2: estimate the variance ρ̂ from pairs of samples.
+    // Phase 2: estimate the variance ρ̂ from pairs of samples, in parallel
+    // over deterministic streams (each iteration draws one pair).
     let n2 = (upsilon * epsilon1 / mu_hat).ceil().max(1.0) as u64;
-    let mut variance_sum = 0.0;
-    for _ in 0..n2 {
-        let a = estimator.sample(&mut rng, &mut world);
-        let b = estimator.sample(&mut rng, &mut world);
-        variance_sum += (a - b) * (a - b) / 2.0;
-    }
+    let workers =
+        options.resolved_workers(usize::try_from(n2.div_ceil(STREAM_CHUNK)).unwrap_or(usize::MAX));
+    let variance_sum = stream_sum(
+        n2,
+        workers,
+        |stream| options.rng_for_stream(PHASE2_STREAM_BASE + stream),
+        |rng, count| {
+            let mut world = estimator.scratch();
+            let mut local = NeumaierSum::new();
+            for _ in 0..count {
+                let a = estimator.sample(rng, &mut world);
+                let b = estimator.sample(rng, &mut world);
+                local.add((a - b) * (a - b) / 2.0);
+            }
+            local.value()
+        },
+    );
     let rho_hat = (variance_sum / n2 as f64).max(epsilon * mu_hat);
 
-    // Phase 3: final estimate with the optimal number of samples.
+    // Phase 3: final estimate with the optimal number of samples, again in
+    // parallel over deterministic streams.
     let n3 = (upsilon * rho_hat / (mu_hat * mu_hat)).ceil().max(1.0) as u64;
-    let mut final_sum = 0.0;
-    for _ in 0..n3 {
-        final_sum += estimator.sample(&mut rng, &mut world);
-    }
+    let workers =
+        options.resolved_workers(usize::try_from(n3.div_ceil(STREAM_CHUNK)).unwrap_or(usize::MAX));
+    let final_sum = estimator.sample_sum_streams(n3, options, PHASE3_STREAM_BASE, workers);
     let mu_final = final_sum / n3 as f64;
     Ok(StoppingRuleResult {
         estimate: (estimator.total_weight() * mu_final).min(1.0),
@@ -184,5 +226,41 @@ mod tests {
         let (w, _, set) = independent_booleans(2, 0.5);
         let options = ApproximationOptions::default().with_delta(1.5);
         assert!(optimal_monte_carlo(&set, &w, &options).is_err());
+        let estimator = KarpLuby::new(&set, &w).unwrap();
+        assert!(optimal_monte_carlo_prepared(&estimator, &options).is_err());
+    }
+
+    #[test]
+    fn prepared_estimator_is_reusable_and_worker_count_independent() {
+        let (w, _, set) = independent_booleans(8, 0.2);
+        let exact = 1.0 - 0.8f64.powi(8);
+        let estimator = KarpLuby::new(&set, &w).unwrap();
+        let base = ApproximationOptions::default()
+            .with_epsilon(0.05)
+            .with_delta(0.05)
+            .with_seed(41);
+        let reference =
+            optimal_monte_carlo_prepared(&estimator, &base.with_workers(Some(1))).unwrap();
+        assert!(
+            (reference.estimate - exact).abs() <= 0.05 * exact + 0.01,
+            "estimate {} vs exact {exact}",
+            reference.estimate
+        );
+        for workers in [2usize, 8] {
+            let got = optimal_monte_carlo_prepared(&estimator, &base.with_workers(Some(workers)))
+                .unwrap();
+            assert_eq!(
+                got.estimate.to_bits(),
+                reference.estimate.to_bits(),
+                "workers {workers}"
+            );
+            assert_eq!(got.total_iterations(), reference.total_iterations());
+        }
+        // Reusing the estimator with a fresh seed is a fresh, but still
+        // deterministic, run.
+        let reseeded = optimal_monte_carlo_prepared(&estimator, &base.with_seed(99)).unwrap();
+        let reseeded_again = optimal_monte_carlo_prepared(&estimator, &base.with_seed(99)).unwrap();
+        assert_eq!(reseeded, reseeded_again);
+        assert!((reseeded.estimate - exact).abs() <= 0.05 * exact + 0.01);
     }
 }

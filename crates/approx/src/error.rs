@@ -14,6 +14,10 @@ pub enum ApproxError {
         /// Offending value.
         value: f64,
     },
+    /// A conditioned estimate was requested against a condition whose
+    /// estimated probability is zero; `P(Q | C)` is undefined (the sampling
+    /// counterpart of `uprob-core`'s `EmptyCondition`).
+    ImpossibleCondition,
     /// An error bubbled up from the ws-descriptor layer.
     Wsd(WsdError),
 }
@@ -23,6 +27,12 @@ impl fmt::Display for ApproxError {
         match self {
             ApproxError::InvalidParameter { name, value } => {
                 write!(f, "parameter {name} = {value} must lie in (0, 1)")
+            }
+            ApproxError::ImpossibleCondition => {
+                write!(
+                    f,
+                    "cannot estimate a confidence conditioned on a zero-probability world-set"
+                )
             }
             ApproxError::Wsd(e) => write!(f, "world-set descriptor error: {e}"),
         }

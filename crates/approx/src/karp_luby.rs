@@ -13,8 +13,9 @@
 
 use rand::rngs::StdRng;
 
-use uprob_wsd::{WorldTable, WsSet};
+use uprob_wsd::{NeumaierSum, WorldTable, WsSet};
 
+use crate::parallel::stream_sum;
 use crate::sampler::SetSampler;
 use crate::{ApproximationOptions, Result};
 
@@ -75,12 +76,8 @@ impl<'a> KarpLuby<'a> {
     ///
     /// Degenerate inputs short-circuit: an empty set has probability 0.
     pub fn estimate_fixed(&self, iterations: u64, rng: &mut StdRng) -> f64 {
-        if self.sampler.num_descriptors() == 0 || iterations == 0 {
-            return 0.0;
-        }
-        if self.sampler.num_variables() == 0 {
-            // Only nullary descriptors: the set covers all worlds.
-            return 1.0;
+        if let Some(p) = self.degenerate(iterations) {
+            return p;
         }
         let mut world = self.sampler.scratch();
         let mut sum = 0.0;
@@ -96,9 +93,67 @@ impl<'a> KarpLuby<'a> {
         let m = self.num_descriptors().max(1) as f64;
         (4.0 * m * (2.0 / delta).ln() / (epsilon * epsilon)).ceil() as u64
     }
+
+    /// Degenerate short-circuit shared by the fixed estimators: `Some(p)` if
+    /// the estimate is known without sampling.
+    pub(crate) fn degenerate(&self, iterations: u64) -> Option<f64> {
+        if self.sampler.num_descriptors() == 0 || iterations == 0 {
+            return Some(0.0);
+        }
+        if self.sampler.num_variables() == 0 {
+            // Only nullary descriptors: the set covers all worlds.
+            return Some(1.0);
+        }
+        None
+    }
+
+    /// The sum of `iterations` samples of `Z` drawn over deterministic RNG
+    /// streams (see [`crate::parallel`]): stream `s` uses
+    /// `options.rng_for_stream(stream_base + s)`. The result is a pure
+    /// function of `(options.seed, stream_base, iterations)` — it does not
+    /// depend on the worker count.
+    pub fn sample_sum_streams(
+        &self,
+        iterations: u64,
+        options: &ApproximationOptions,
+        stream_base: u64,
+        workers: usize,
+    ) -> f64 {
+        stream_sum(
+            iterations,
+            workers,
+            |stream| options.rng_for_stream(stream_base + stream),
+            |rng, count| {
+                let mut world = self.scratch();
+                let mut sum = NeumaierSum::new();
+                for _ in 0..count {
+                    sum.add(self.sample(rng, &mut world));
+                }
+                sum.value()
+            },
+        )
+    }
+
+    /// Runs a fixed number of iterations fanned out over sampling worker
+    /// threads with per-stream deterministic RNGs and returns the estimate.
+    ///
+    /// Unlike [`KarpLuby::estimate_fixed`] (one sequential RNG), the result
+    /// here depends only on `options.seed` and `iterations`, never on the
+    /// worker count; degenerate inputs short-circuit the same way.
+    pub fn estimate_fixed_parallel(&self, iterations: u64, options: &ApproximationOptions) -> f64 {
+        if let Some(p) = self.degenerate(iterations) {
+            return p;
+        }
+        let num_streams = iterations.div_ceil(crate::parallel::STREAM_CHUNK);
+        let workers = options.resolved_workers(usize::try_from(num_streams).unwrap_or(usize::MAX));
+        let sum = self.sample_sum_streams(iterations, options, 0, workers);
+        (self.total_weight() * sum / iterations as f64).min(1.0)
+    }
 }
 
-/// Runs the Karp–Luby estimator with the classic (ε, δ) iteration bound.
+/// Runs the Karp–Luby estimator with the classic (ε, δ) iteration bound,
+/// fanning the sampling loop out over deterministic per-stream RNGs (the
+/// result is independent of the worker count).
 ///
 /// # Errors
 ///
@@ -111,8 +166,7 @@ pub fn karp_luby_epsilon_delta(
     options.validate()?;
     let estimator = KarpLuby::new(set, table)?;
     let iterations = estimator.iteration_bound(options.epsilon, options.delta);
-    let mut rng = options.rng();
-    let estimate = estimator.estimate_fixed(iterations, &mut rng);
+    let estimate = estimator.estimate_fixed_parallel(iterations, options);
     Ok(KarpLubyResult {
         estimate,
         iterations,
@@ -218,5 +272,31 @@ mod tests {
         let (w, _, set) = independent_booleans(2, 0.5);
         let options = ApproximationOptions::default().with_epsilon(0.0);
         assert!(karp_luby_epsilon_delta(&set, &w, &options).is_err());
+    }
+
+    #[test]
+    fn parallel_estimate_is_worker_count_independent_and_accurate() {
+        let (w, _, set) = independent_booleans(5, 0.3);
+        let exact = 1.0 - 0.7f64.powi(5);
+        let estimator = KarpLuby::new(&set, &w).unwrap();
+        let base = ApproximationOptions::default().with_seed(77);
+        let reference = estimator.estimate_fixed_parallel(60_000, &base.with_workers(Some(1)));
+        assert!(
+            (reference - exact).abs() < 0.01,
+            "estimate {reference}, exact {exact}"
+        );
+        for workers in [2usize, 4, 16] {
+            let got = estimator.estimate_fixed_parallel(60_000, &base.with_workers(Some(workers)));
+            assert_eq!(
+                got.to_bits(),
+                reference.to_bits(),
+                "workers {workers}: {got} != {reference}"
+            );
+        }
+        // Degenerate inputs short-circuit exactly like the sequential path.
+        let empty = KarpLuby::new(&WsSet::empty(), &w).unwrap();
+        assert_eq!(empty.estimate_fixed_parallel(1_000, &base), 0.0);
+        let universal = KarpLuby::new(&WsSet::universal(), &w).unwrap();
+        assert_eq!(universal.estimate_fixed_parallel(1_000, &base), 1.0);
     }
 }

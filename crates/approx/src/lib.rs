@@ -36,13 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conditioned;
 pub mod dagum;
 pub mod error;
 pub mod karp_luby;
 pub mod naive;
+pub mod parallel;
 pub mod sampler;
 
-pub use dagum::{optimal_monte_carlo, StoppingRuleResult};
+pub use conditioned::{conditioned_monte_carlo, ConditionedEstimate};
+pub use dagum::{optimal_monte_carlo, optimal_monte_carlo_prepared, StoppingRuleResult};
 pub use error::ApproxError;
 pub use karp_luby::{karp_luby_epsilon_delta, KarpLuby};
 pub use naive::naive_monte_carlo;
@@ -60,8 +63,17 @@ pub struct ApproximationOptions {
     pub epsilon: f64,
     /// Failure probability δ (0 < δ < 1).
     pub delta: f64,
-    /// Seed for the deterministic random number generator.
+    /// Seed for the deterministic random number generator. Every estimator
+    /// run derives its RNG (and the RNGs of its sampling streams) from this
+    /// seed alone, so a given `(instance, options)` pair always reproduces
+    /// the same estimate — there is no entropy-seeded path.
     pub seed: u64,
+    /// Number of worker threads for the parallel sampling loops. `None`
+    /// (default) uses the available CPU parallelism. Estimates are
+    /// *independent of the worker count*: iterations are pre-partitioned
+    /// into fixed streams with per-stream RNGs (see [`parallel`]), so this
+    /// knob only changes wall-clock time, never the result.
+    pub workers: Option<usize>,
 }
 
 impl Default for ApproximationOptions {
@@ -70,6 +82,7 @@ impl Default for ApproximationOptions {
             epsilon: 0.1,
             delta: 0.01,
             seed: 0xC0FFEE,
+            workers: None,
         }
     }
 }
@@ -93,9 +106,45 @@ impl ApproximationOptions {
         self
     }
 
+    /// Returns a copy with the given sampling worker count (`None` = use the
+    /// available CPU parallelism).
+    pub fn with_workers(mut self, workers: Option<usize>) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// The seeded random number generator used by the estimators.
     pub fn rng(&self) -> StdRng {
         StdRng::seed_from_u64(self.seed)
+    }
+
+    /// A derived seed for an auxiliary RNG stream (a sampling worker stream,
+    /// a per-tuple estimator of a batch, or the numerator / denominator of a
+    /// conditioned estimate). The derivation is a SplitMix64 finalizer over
+    /// the base seed and the stream index, so distinct streams get
+    /// statistically independent generators while remaining a pure function
+    /// of `(seed, stream)`.
+    pub fn stream_seed(&self, stream: u64) -> u64 {
+        split_mix64(self.seed ^ split_mix64(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// The deterministic RNG of stream `stream` (see
+    /// [`ApproximationOptions::stream_seed`]).
+    pub fn rng_for_stream(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.stream_seed(stream))
+    }
+
+    /// The resolved sampling worker count given `available` units of work:
+    /// the explicit [`ApproximationOptions::workers`] if set, otherwise the
+    /// available CPU parallelism, always clamped to `[1, available]`.
+    pub fn resolved_workers(&self, available: usize) -> usize {
+        self.workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+            .clamp(1, available.max(1))
     }
 
     /// Validates ε and δ.
@@ -119,6 +168,14 @@ impl ApproximationOptions {
         }
         Ok(())
     }
+}
+
+/// The SplitMix64 finalizer used to derive stream seeds.
+fn split_mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -169,5 +226,28 @@ mod tests {
             a.random_range(0..1_000_000u64),
             b.random_range(0..1_000_000u64)
         );
+    }
+
+    #[test]
+    fn stream_seeds_are_deterministic_and_distinct() {
+        let options = ApproximationOptions::default().with_seed(42);
+        assert_eq!(options.stream_seed(0), options.stream_seed(0));
+        let seeds: std::collections::HashSet<u64> =
+            (0..100).map(|s| options.stream_seed(s)).collect();
+        assert_eq!(seeds.len(), 100, "stream seeds must not collide");
+        // Different base seeds derive different stream seeds.
+        let other = ApproximationOptions::default().with_seed(43);
+        assert_ne!(options.stream_seed(7), other.stream_seed(7));
+    }
+
+    #[test]
+    fn worker_resolution_clamps_to_available_work() {
+        let explicit = ApproximationOptions::default().with_workers(Some(4));
+        assert_eq!(explicit.resolved_workers(16), 4);
+        assert_eq!(explicit.resolved_workers(2), 2);
+        assert_eq!(explicit.resolved_workers(0), 1);
+        let auto = ApproximationOptions::default();
+        assert!(auto.resolved_workers(8) >= 1);
+        assert_eq!(auto.resolved_workers(1), 1);
     }
 }

@@ -1,0 +1,148 @@
+//! Deterministic stream-parallel sampling.
+//!
+//! The Monte-Carlo loops of this crate are embarrassingly parallel, but a
+//! naive "split the iterations over the available threads" scheme makes the
+//! estimate depend on the machine's CPU count (each thread consumes a
+//! different slice of one RNG sequence). Instead, iterations are
+//! pre-partitioned into **fixed-size streams**: stream `s` always covers the
+//! same iterations and draws from its own RNG,
+//! [`crate::ApproximationOptions::rng_for_stream`]`(base + s)`. Worker
+//! threads steal whole streams off an atomic counter and the per-stream
+//! partial sums are combined in stream order with compensated summation, so
+//! the result is a pure function of `(options.seed, total iterations)` —
+//! one worker or sixty-four, laptop or CI runner.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use uprob_wsd::NeumaierSum;
+
+/// Iterations per stream. Small enough that short runs still fan out over a
+/// few workers, large enough that the per-stream overhead (RNG construction,
+/// one slot write) is noise.
+pub const STREAM_CHUNK: u64 = 8_192;
+
+/// Runs `total` iterations of a sampling loop split into fixed-size streams
+/// and returns the sum of all per-iteration values.
+///
+/// `rng_for_stream` derives the RNG of a stream from its index;
+/// `sample_stream` runs `iterations` samples with that RNG and returns their
+/// (locally compensated) sum. The result does not depend on `workers`.
+pub fn stream_sum<R, S>(total: u64, workers: usize, rng_for_stream: R, sample_stream: S) -> f64
+where
+    R: Fn(u64) -> StdRng + Sync,
+    S: Fn(&mut StdRng, u64) -> f64 + Sync,
+{
+    if total == 0 {
+        return 0.0;
+    }
+    let num_streams = total.div_ceil(STREAM_CHUNK);
+    let iterations_of = |stream: u64| {
+        if stream + 1 == num_streams {
+            total - stream * STREAM_CHUNK
+        } else {
+            STREAM_CHUNK
+        }
+    };
+    let run_stream = |stream: u64| {
+        let mut rng = rng_for_stream(stream);
+        sample_stream(&mut rng, iterations_of(stream))
+    };
+    let workers = workers.clamp(1, usize::try_from(num_streams).unwrap_or(usize::MAX));
+    let mut partials = vec![0.0f64; num_streams as usize];
+    if workers <= 1 {
+        for (stream, slot) in partials.iter_mut().enumerate() {
+            *slot = run_stream(stream as u64);
+        }
+    } else {
+        // Work-stealing by atomic counter, mirroring the batch-confidence
+        // workers of `uprob-query`: streams are uniform in size, but stealing
+        // keeps the code identical to the proven pattern and tolerates
+        // scheduling noise.
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let stream = next.fetch_add(1, Ordering::Relaxed);
+                            if stream as u64 >= num_streams {
+                                break;
+                            }
+                            local.push((stream, run_stream(stream as u64)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (stream, partial) in handle.join().expect("sampling worker panicked") {
+                    partials[stream] = partial;
+                }
+            }
+        });
+    }
+    // Combine in stream order so the floating-point result is independent of
+    // which worker computed which stream.
+    partials.into_iter().collect::<NeumaierSum>().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproximationOptions;
+    use rand::RngExt;
+
+    fn mean_of_uniform(total: u64, workers: usize) -> f64 {
+        let options = ApproximationOptions::default().with_seed(9);
+        stream_sum(
+            total,
+            workers,
+            |stream| options.rng_for_stream(stream),
+            |rng, iterations| {
+                let mut sum = NeumaierSum::new();
+                for _ in 0..iterations {
+                    sum.add(rng.random_range(0.0..1.0));
+                }
+                sum.value()
+            },
+        ) / total as f64
+    }
+
+    #[test]
+    fn result_is_independent_of_worker_count() {
+        let reference = mean_of_uniform(50_000, 1);
+        for workers in [2, 3, 8, 64] {
+            let got = mean_of_uniform(50_000, workers);
+            assert_eq!(
+                got.to_bits(),
+                reference.to_bits(),
+                "workers {workers}: {got} != {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_the_mean() {
+        let mean = mean_of_uniform(200_000, 4);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_iterations_short_circuit() {
+        assert!(mean_of_uniform(0, 4).is_nan()); // 0/0
+        let options = ApproximationOptions::default();
+        let sum = stream_sum(0, 4, |s| options.rng_for_stream(s), |_, _| 1.0);
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn partial_last_stream_is_counted_once() {
+        // total not a multiple of the chunk: the last stream is short.
+        let total = STREAM_CHUNK + 17;
+        let options = ApproximationOptions::default();
+        let counted = stream_sum(total, 2, |s| options.rng_for_stream(s), |_, n| n as f64);
+        assert_eq!(counted, total as f64);
+    }
+}

@@ -7,7 +7,7 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use uprob_approx::{optimal_monte_carlo, ApproximationOptions};
-use uprob_core::{confidence, DecompositionOptions};
+use uprob_core::{confidence, estimate_confidence, ConfidenceStrategy, DecompositionOptions};
 use uprob_datagen::{HardInstance, HardInstanceConfig};
 
 fn bench_fig11a(c: &mut Criterion) {
@@ -59,6 +59,25 @@ fn bench_fig11a(c: &mut Criterion) {
                 .estimate
             })
         });
+        // The hybrid engine on the same sweep: pays the budgeted exact
+        // attempt, then falls back to the adaptive estimator above.
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_b100k_e0.1", w),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    estimate_confidence(
+                        black_box(&inst.ws_set),
+                        &inst.world_table,
+                        &DecompositionOptions::indve_minlog(),
+                        &ConfidenceStrategy::hybrid(100_000, 0.1, 0.01),
+                        None,
+                    )
+                    .unwrap()
+                    .probability
+                })
+            },
+        );
     }
     group.finish();
 }

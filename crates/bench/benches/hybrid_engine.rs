@@ -1,0 +1,80 @@
+//! The hybrid confidence engine on both sides of the feasibility wall:
+//!
+//! * on a **feasible** instance, `Hybrid` must track `Exact` (the budget
+//!   check is the only overhead — the fallback never fires);
+//! * on a **hard** instance (fig11a shape), `Exact` burns its whole budget
+//!   and aborts, while `Hybrid` pays the same aborted attempt *plus* the
+//!   sampling fallback — comparing the two shows the price of transparent
+//!   degradation, and `Approximate` shows the floor (sampling only).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use uprob_core::{estimate_confidence, ConfidenceStrategy, DecompositionOptions};
+use uprob_datagen::{HardInstance, HardInstanceConfig};
+
+fn bench_hybrid_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    // Feasible region: 12 variables, the fig12 transition shape.
+    let feasible = HardInstance::generate(HardInstanceConfig {
+        num_variables: 12,
+        alternatives: 4,
+        descriptor_length: 4,
+        num_descriptors: 24,
+        seed: 100,
+    });
+    // Hard region: the fig11a shape; exact aborts at this budget.
+    let hard = HardInstance::generate(HardInstanceConfig {
+        num_variables: 100,
+        alternatives: 4,
+        descriptor_length: 4,
+        num_descriptors: 1_000,
+        seed: 11,
+    });
+    const BUDGET: u64 = 10_000;
+
+    for (region, instance) in [("feasible_w24", &feasible), ("hard_w1000", &hard)] {
+        for strategy in [
+            ConfidenceStrategy::Exact,
+            ConfidenceStrategy::hybrid(BUDGET, 0.1, 0.05),
+            ConfidenceStrategy::approximate(0.1, 0.05),
+        ] {
+            // The Exact strategy runs under the same budget (playing the
+            // role of the paper's per-run timeout): on the hard instance it
+            // aborts quickly instead of running for hours, and the NAN it
+            // renders is exactly the "timed out" cell of the paper's plots.
+            let options = match strategy {
+                ConfidenceStrategy::Exact => {
+                    DecompositionOptions::indve_minlog().with_budget(BUDGET)
+                }
+                _ => DecompositionOptions::indve_minlog(),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), region),
+                instance,
+                |b, inst| {
+                    b.iter(|| {
+                        estimate_confidence(
+                            black_box(&inst.ws_set),
+                            &inst.world_table,
+                            &options,
+                            &strategy,
+                            None,
+                        )
+                        .map(|r| r.probability)
+                        .unwrap_or(f64::NAN)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid_engine);
+criterion_main!(benches);

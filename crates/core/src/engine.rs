@@ -1,0 +1,650 @@
+//! The unified confidence engine: exact, approximate and hybrid strategies.
+//!
+//! The paper pairs the exact ws-tree decomposition (Sections 4–6) with
+//! Karp–Luby sampling under the Dagum–Karp–Luby–Ross optimal stopping rule
+//! (Section 7) for instances where exact computation is infeasible. This
+//! module makes that pairing a first-class, explicit choice:
+//!
+//! * [`ConfidenceStrategy::Exact`] — the decomposition fold of
+//!   [`crate::confidence`], with whatever budget the caller configured;
+//! * [`ConfidenceStrategy::Approximate`] — Karp–Luby sampling with the
+//!   optimal stopping rule, never touching the exact path;
+//! * [`ConfidenceStrategy::Hybrid`] — run the (cached) exact decomposition
+//!   under a node budget and, on [`crate::CoreError::BudgetExceeded`],
+//!   transparently fall back to sampling.
+//!
+//! The **fallback contract**: on instances the exact path completes within
+//! budget, `Hybrid` returns the exact path's bit-identical probability (no
+//! spurious fallback, [`ResolvedPath::Exact`]); on instances it aborts,
+//! `Hybrid` returns a sampled estimate with the requested (ε, δ) guarantee
+//! and reports it as [`ResolvedPath::Sampled`] with `fell_back: true`.
+//! Errors other than the exhausted budget are never masked by sampling.
+//!
+//! Conditioned confidence `P(Q | C) = P(Q ∧ C) / P(C)` is supported under
+//! every strategy (exactly as a ratio of two decomposition folds, via
+//! [`uprob_approx::conditioned`] when sampling), so constraint assertion and
+//! batch tuple confidence work on instances where exact conditioning blows
+//! up — see `uprob-query`.
+
+use uprob_approx::{conditioned_monte_carlo, optimal_monte_carlo, ApproximationOptions};
+use uprob_wsd::{WorldTable, WsSet};
+
+use crate::cache::SharedDecompositionCache;
+use crate::confidence::confidence_with_cache;
+use crate::decompose::DecompositionOptions;
+use crate::error::CoreError;
+use crate::stats::DecompositionStats;
+use crate::Result;
+
+/// How a confidence value should be computed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfidenceStrategy {
+    /// Exact decomposition only; an exhausted node budget is an error.
+    Exact,
+    /// Karp–Luby sampling with the Dagum et al. optimal stopping rule at
+    /// the given (ε, δ); the exact path is never attempted.
+    Approximate(ApproximationOptions),
+    /// Exact decomposition under `budget` nodes, falling back to sampling
+    /// at `approx`'s (ε, δ) when the budget is exhausted.
+    Hybrid {
+        /// Node budget for the exact attempt (the same unit as
+        /// [`DecompositionOptions::node_budget`]).
+        budget: u64,
+        /// Parameters of the sampling fallback.
+        approx: ApproximationOptions,
+    },
+}
+
+impl ConfidenceStrategy {
+    /// An approximate strategy with the given (ε, δ) and default seed.
+    pub fn approximate(epsilon: f64, delta: f64) -> Self {
+        ConfidenceStrategy::Approximate(
+            ApproximationOptions::default()
+                .with_epsilon(epsilon)
+                .with_delta(delta),
+        )
+    }
+
+    /// A hybrid strategy with the given exact-node budget and sampling
+    /// (ε, δ), with the default seed.
+    pub fn hybrid(budget: u64, epsilon: f64, delta: f64) -> Self {
+        ConfidenceStrategy::Hybrid {
+            budget,
+            approx: ApproximationOptions::default()
+                .with_epsilon(epsilon)
+                .with_delta(delta),
+        }
+    }
+
+    /// Short name used in reports and benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConfidenceStrategy::Exact => "exact",
+            ConfidenceStrategy::Approximate(_) => "approximate",
+            ConfidenceStrategy::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// The sampling options, if this strategy can sample.
+    pub fn approx_options(&self) -> Option<&ApproximationOptions> {
+        match self {
+            ConfidenceStrategy::Exact => None,
+            ConfidenceStrategy::Approximate(a) => Some(a),
+            ConfidenceStrategy::Hybrid { approx, .. } => Some(approx),
+        }
+    }
+
+    /// Returns a copy with the sampling seed replaced (no-op for `Exact`).
+    pub fn with_seed(self, seed: u64) -> Self {
+        match self {
+            ConfidenceStrategy::Exact => ConfidenceStrategy::Exact,
+            ConfidenceStrategy::Approximate(a) => {
+                ConfidenceStrategy::Approximate(a.with_seed(seed))
+            }
+            ConfidenceStrategy::Hybrid { budget, approx } => ConfidenceStrategy::Hybrid {
+                budget,
+                approx: approx.with_seed(seed),
+            },
+        }
+    }
+
+    /// Derives the strategy for the `stream`-th unit of a batch: the
+    /// sampling seed is re-derived through
+    /// [`ApproximationOptions::stream_seed`], so every tuple of a batch
+    /// samples from its own deterministic RNG stream regardless of which
+    /// worker thread runs it.
+    pub fn for_stream(self, stream: u64) -> Self {
+        match self.approx_options() {
+            Some(a) => {
+                let seed = a.stream_seed(stream);
+                self.with_seed(seed)
+            }
+            None => self,
+        }
+    }
+}
+
+/// Which computation actually produced a reported probability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedPath {
+    /// The exact decomposition fold completed (within budget, if any).
+    Exact,
+    /// Karp–Luby/Dagum sampling produced the value.
+    Sampled {
+        /// True if sampling was the *fallback* of a hybrid run whose exact
+        /// attempt exhausted its budget; false if the strategy was
+        /// approximate from the start.
+        fell_back: bool,
+    },
+}
+
+impl ResolvedPath {
+    /// True if the value came out of the sampling path.
+    pub fn is_sampled(&self) -> bool {
+        matches!(self, ResolvedPath::Sampled { .. })
+    }
+}
+
+/// Sampling metadata of a [`ConfidenceReport`], the Monte-Carlo counterpart
+/// of [`DecompositionStats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SamplingStats {
+    /// Total Monte-Carlo iterations across all phases (and both
+    /// sub-estimates, for a conditioned run).
+    pub iterations: u64,
+    /// The relative error bound ε the run guarantees.
+    pub epsilon: f64,
+    /// The failure probability δ of that guarantee.
+    pub delta: f64,
+}
+
+/// The result of a strategy-driven confidence computation: the probability
+/// plus how it was obtained and what it cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfidenceReport {
+    /// The computed (or estimated) probability.
+    pub probability: f64,
+    /// The strategy that was requested (its short [`ConfidenceStrategy::name`]).
+    pub strategy: &'static str,
+    /// Which path produced the value.
+    pub path: ResolvedPath,
+    /// Exact-path decomposition counters (zeroed when the exact path was
+    /// never attempted; the counters of an *aborted* attempt are not
+    /// recoverable and contribute zero after a fallback, but exact folds
+    /// that did complete — e.g. the exact denominator of a partially
+    /// fallen-back conditioned ratio — are counted).
+    pub stats: DecompositionStats,
+    /// Sampling metadata, present iff the value was sampled.
+    pub sampling: Option<SamplingStats>,
+}
+
+impl ConfidenceReport {
+    fn exact(strategy: &ConfidenceStrategy, run: crate::stats::Confidence) -> Self {
+        ConfidenceReport {
+            probability: run.probability,
+            strategy: strategy.name(),
+            path: ResolvedPath::Exact,
+            stats: run.stats,
+            sampling: None,
+        }
+    }
+
+    fn sampled(
+        strategy: &ConfidenceStrategy,
+        probability: f64,
+        iterations: u64,
+        approx: &ApproximationOptions,
+        fell_back: bool,
+    ) -> Self {
+        ConfidenceReport {
+            probability,
+            strategy: strategy.name(),
+            path: ResolvedPath::Sampled { fell_back },
+            stats: DecompositionStats::default(),
+            sampling: Some(SamplingStats {
+                iterations,
+                epsilon: approx.epsilon,
+                delta: approx.delta,
+            }),
+        }
+    }
+}
+
+/// Computes the confidence of `set` under the given strategy.
+///
+/// A shared decomposition cache benefits the exact path of `Exact` and
+/// `Hybrid` runs exactly as in [`confidence_with_cache`]; the sampling path
+/// does not consult it.
+///
+/// # Errors
+///
+/// * `Exact`: any error of the exact fold, including
+///   [`CoreError::BudgetExceeded`];
+/// * `Approximate` / `Hybrid`: invalid (ε, δ) or unknown variables, as
+///   [`CoreError::Approx`]. An exhausted hybrid budget is *not* an error —
+///   it triggers the sampling fallback.
+pub fn estimate_confidence(
+    set: &WsSet,
+    table: &WorldTable,
+    decomposition: &DecompositionOptions,
+    strategy: &ConfidenceStrategy,
+    cache: Option<&SharedDecompositionCache>,
+) -> Result<ConfidenceReport> {
+    match strategy {
+        ConfidenceStrategy::Exact => {
+            let run = confidence_with_cache(set, table, decomposition, cache)?;
+            Ok(ConfidenceReport::exact(strategy, run))
+        }
+        ConfidenceStrategy::Approximate(approx) => {
+            let run = optimal_monte_carlo(set, table, approx)?;
+            Ok(ConfidenceReport::sampled(
+                strategy,
+                run.estimate,
+                run.total_iterations(),
+                approx,
+                false,
+            ))
+        }
+        ConfidenceStrategy::Hybrid { budget, approx } => {
+            let budgeted = decomposition.with_budget(*budget);
+            match confidence_with_cache(set, table, &budgeted, cache) {
+                Ok(run) => Ok(ConfidenceReport::exact(strategy, run)),
+                Err(CoreError::BudgetExceeded { .. }) => {
+                    let run = optimal_monte_carlo(set, table, approx)?;
+                    Ok(ConfidenceReport::sampled(
+                        strategy,
+                        run.estimate,
+                        run.total_iterations(),
+                        approx,
+                        true,
+                    ))
+                }
+                Err(other) => Err(other),
+            }
+        }
+    }
+}
+
+/// Computes the conditioned confidence `P(query | condition)` under the
+/// given strategy, **without materialising the conditioned database**: the
+/// exact path evaluates the ratio of two decomposition folds
+/// (`P(Intersect(Q, C)) / P(C)`), the sampling path runs
+/// [`conditioned_monte_carlo`] with its composed (ε, δ) guarantee.
+///
+/// Under `Hybrid`, *each* of the two exact folds runs under the node
+/// budget. If only the joint fold aborts, the already-computed **exact**
+/// denominator `P(C)` is kept and just the numerator is sampled (at the
+/// full (ε, δ) — the ratio inherits the numerator's relative error, so no
+/// tightening is needed); if the condition fold itself aborts, the whole
+/// ratio falls back to [`conditioned_monte_carlo`].
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyCondition`] if the exact path finds `P(C) = 0`
+///   (the sampling path reports the analogous
+///   [`uprob_approx::ApproxError::ImpossibleCondition`] as
+///   [`CoreError::Approx`]);
+/// * otherwise as [`estimate_confidence`].
+pub fn estimate_conditioned_confidence(
+    query: &WsSet,
+    condition: &WsSet,
+    table: &WorldTable,
+    decomposition: &DecompositionOptions,
+    strategy: &ConfidenceStrategy,
+    cache: Option<&SharedDecompositionCache>,
+) -> Result<ConfidenceReport> {
+    let exact_ratio = |options: &DecompositionOptions| -> Result<(f64, DecompositionStats)> {
+        let condition_run = confidence_with_cache(condition, table, options, cache)?;
+        if condition_run.probability <= 0.0 {
+            return Err(CoreError::EmptyCondition);
+        }
+        let joint_set = query.intersect(condition).normalized();
+        let joint_run = confidence_with_cache(&joint_set, table, options, cache)?;
+        let mut stats = condition_run.stats;
+        stats.absorb(&joint_run.stats);
+        Ok((
+            (joint_run.probability / condition_run.probability).min(1.0),
+            stats,
+        ))
+    };
+    match strategy {
+        ConfidenceStrategy::Exact => {
+            let (probability, stats) = exact_ratio(decomposition)?;
+            Ok(ConfidenceReport {
+                probability,
+                strategy: strategy.name(),
+                path: ResolvedPath::Exact,
+                stats,
+                sampling: None,
+            })
+        }
+        ConfidenceStrategy::Approximate(approx) => {
+            let run = conditioned_monte_carlo(query, condition, table, approx)?;
+            Ok(ConfidenceReport::sampled(
+                strategy,
+                run.estimate,
+                run.total_iterations(),
+                approx,
+                false,
+            ))
+        }
+        ConfidenceStrategy::Hybrid { budget, approx } => {
+            let budgeted = decomposition.with_budget(*budget);
+            let condition_run = match confidence_with_cache(condition, table, &budgeted, cache) {
+                Ok(run) => {
+                    if run.probability <= 0.0 {
+                        return Err(CoreError::EmptyCondition);
+                    }
+                    Some(run)
+                }
+                Err(CoreError::BudgetExceeded { .. }) => None,
+                Err(other) => return Err(other),
+            };
+            let Some(condition_run) = condition_run else {
+                // The condition itself is past the wall: sample the whole
+                // ratio.
+                let run = conditioned_monte_carlo(query, condition, table, approx)?;
+                return Ok(ConfidenceReport::sampled(
+                    strategy,
+                    run.estimate,
+                    run.total_iterations(),
+                    approx,
+                    true,
+                ));
+            };
+            let joint_set = query.intersect(condition).normalized();
+            match confidence_with_cache(&joint_set, table, &budgeted, cache) {
+                Ok(joint_run) => {
+                    let mut stats = condition_run.stats;
+                    stats.absorb(&joint_run.stats);
+                    Ok(ConfidenceReport {
+                        probability: (joint_run.probability / condition_run.probability).min(1.0),
+                        strategy: strategy.name(),
+                        path: ResolvedPath::Exact,
+                        stats,
+                        sampling: None,
+                    })
+                }
+                Err(CoreError::BudgetExceeded { .. }) => {
+                    // Keep the exact denominator; only the numerator is
+                    // estimated. The ratio's relative error is exactly the
+                    // numerator's, so the full (ε, δ) applies unchanged.
+                    let joint_run = optimal_monte_carlo(&joint_set, table, approx)?;
+                    let mut report = ConfidenceReport::sampled(
+                        strategy,
+                        (joint_run.estimate / condition_run.probability).min(1.0),
+                        joint_run.total_iterations(),
+                        approx,
+                        true,
+                    );
+                    report.stats = condition_run.stats;
+                    Ok(report)
+                }
+                Err(other) => Err(other),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confidence::confidence_brute_force;
+    use uprob_wsd::WsDescriptor;
+
+    /// The world table and ws-set S of Figure 3 (P(S) = 0.7578).
+    fn figure3() -> (WorldTable, WsSet) {
+        let mut w = WorldTable::new();
+        let x = w
+            .add_variable("x", &[(1, 0.1), (2, 0.4), (3, 0.5)])
+            .unwrap();
+        let y = w.add_variable("y", &[(1, 0.2), (2, 0.8)]).unwrap();
+        let z = w.add_variable("z", &[(1, 0.4), (2, 0.6)]).unwrap();
+        let u = w.add_variable("u", &[(1, 0.7), (2, 0.3)]).unwrap();
+        let v = w.add_variable("v", &[(1, 0.5), (2, 0.5)]).unwrap();
+        let s = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (y, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (z, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 1), (v, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 2)]).unwrap(),
+        ]);
+        (w, s)
+    }
+
+    fn independent_pairs(n: usize) -> (WorldTable, WsSet) {
+        // n variable-disjoint pairs: the budget-hostile shape of the
+        // conditioning tests (exact cost grows quickly, sampling is easy).
+        let mut w = WorldTable::new();
+        let mut set = WsSet::empty();
+        for i in 0..n {
+            let x = w.add_boolean(&format!("x{i}"), 0.5).unwrap();
+            let y = w.add_boolean(&format!("y{i}"), 0.5).unwrap();
+            set.push(WsDescriptor::from_pairs(&w, &[(x, 1), (y, 1)]).unwrap());
+        }
+        (w, set)
+    }
+
+    #[test]
+    fn hybrid_on_feasible_instances_is_bit_identical_to_exact() {
+        let (w, s) = figure3();
+        let options = DecompositionOptions::indve_minlog();
+        let exact =
+            estimate_confidence(&s, &w, &options, &ConfidenceStrategy::Exact, None).unwrap();
+        let hybrid = estimate_confidence(
+            &s,
+            &w,
+            &options,
+            &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+            None,
+        )
+        .unwrap();
+        assert_eq!(exact.path, ResolvedPath::Exact);
+        assert_eq!(hybrid.path, ResolvedPath::Exact, "no spurious fallback");
+        assert_eq!(
+            hybrid.probability.to_bits(),
+            exact.probability.to_bits(),
+            "hybrid must reproduce the exact result bit for bit"
+        );
+        assert!((exact.probability - 0.7578).abs() < 1e-12);
+        assert!(hybrid.sampling.is_none());
+        assert_eq!(hybrid.strategy, "hybrid");
+    }
+
+    #[test]
+    fn hybrid_falls_back_to_sampling_when_the_budget_is_exhausted() {
+        let (w, s) = independent_pairs(10);
+        let exact_p = 1.0 - 0.75f64.powi(10);
+        let options = DecompositionOptions::ve_minlog();
+        // Exact aborts under this budget…
+        let strategy = ConfidenceStrategy::Hybrid {
+            budget: 5,
+            approx: ApproximationOptions::default()
+                .with_epsilon(0.05)
+                .with_delta(0.05)
+                .with_seed(13),
+        };
+        assert!(matches!(
+            estimate_confidence(
+                &s,
+                &w,
+                &options.with_budget(5),
+                &ConfidenceStrategy::Exact,
+                None
+            ),
+            Err(CoreError::BudgetExceeded { .. })
+        ));
+        // …but the hybrid run completes via sampling within ε.
+        let report = estimate_confidence(&s, &w, &options, &strategy, None).unwrap();
+        assert_eq!(report.path, ResolvedPath::Sampled { fell_back: true });
+        let sampling = report.sampling.expect("sampling metadata present");
+        assert!(sampling.iterations > 0);
+        assert_eq!(sampling.epsilon, 0.05);
+        assert!(
+            (report.probability - exact_p).abs() <= 0.05 * exact_p + 0.01,
+            "estimate {} vs exact {exact_p}",
+            report.probability
+        );
+    }
+
+    #[test]
+    fn approximate_strategy_never_runs_the_exact_path() {
+        let (w, s) = figure3();
+        let strategy = ConfidenceStrategy::Approximate(
+            ApproximationOptions::default()
+                .with_epsilon(0.05)
+                .with_delta(0.05)
+                .with_seed(21),
+        );
+        let report =
+            estimate_confidence(&s, &w, &DecompositionOptions::default(), &strategy, None).unwrap();
+        assert_eq!(report.path, ResolvedPath::Sampled { fell_back: false });
+        assert_eq!(report.stats, DecompositionStats::default());
+        assert!((report.probability - 0.7578).abs() <= 0.05 * 0.7578 + 0.01);
+    }
+
+    #[test]
+    fn conditioned_confidence_matches_brute_force_on_all_strategies() {
+        let (w, s) = figure3();
+        // Condition: u -> 1 (probability 0.7).
+        let u = w.variable_by_name("u").unwrap();
+        let c = WsSet::from_descriptors(vec![WsDescriptor::from_pairs(&w, &[(u, 1)]).unwrap()]);
+        let joint = s.intersect(&c).normalized();
+        let expected = confidence_brute_force(&joint, &w) / confidence_brute_force(&c, &w);
+        let options = DecompositionOptions::indve_minlog();
+        let exact =
+            estimate_conditioned_confidence(&s, &c, &w, &options, &ConfidenceStrategy::Exact, None)
+                .unwrap();
+        assert!((exact.probability - expected).abs() < 1e-12);
+        assert!(exact.stats.total_nodes() > 0);
+        let hybrid = estimate_conditioned_confidence(
+            &s,
+            &c,
+            &w,
+            &options,
+            &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+            None,
+        )
+        .unwrap();
+        assert_eq!(hybrid.probability.to_bits(), exact.probability.to_bits());
+        assert_eq!(hybrid.path, ResolvedPath::Exact);
+        let sampled = estimate_conditioned_confidence(
+            &s,
+            &c,
+            &w,
+            &options,
+            &ConfidenceStrategy::Approximate(
+                ApproximationOptions::default()
+                    .with_epsilon(0.05)
+                    .with_delta(0.05)
+                    .with_seed(31),
+            ),
+            None,
+        )
+        .unwrap();
+        assert!(
+            (sampled.probability - expected).abs() <= 0.05 * expected + 0.01,
+            "sampled {} vs exact {expected}",
+            sampled.probability
+        );
+    }
+
+    #[test]
+    fn conditioned_hybrid_falls_back_on_budget_abort() {
+        let (w, s) = independent_pairs(10);
+        // Condition on the first pair's x variable.
+        let x0 = w.variable_by_name("x0").unwrap();
+        let c = WsSet::from_descriptors(vec![WsDescriptor::from_pairs(&w, &[(x0, 1)]).unwrap()]);
+        let joint = s.intersect(&c).normalized();
+        let expected = confidence_brute_force(&joint, &w) / 0.5;
+        let strategy = ConfidenceStrategy::Hybrid {
+            budget: 5,
+            approx: ApproximationOptions::default()
+                .with_epsilon(0.05)
+                .with_delta(0.05)
+                .with_seed(17),
+        };
+        let report = estimate_conditioned_confidence(
+            &s,
+            &c,
+            &w,
+            &DecompositionOptions::ve_minlog(),
+            &strategy,
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.path, ResolvedPath::Sampled { fell_back: true });
+        assert!(
+            (report.probability - expected).abs() <= 0.05 * expected + 0.015,
+            "estimate {} vs exact {expected}",
+            report.probability
+        );
+    }
+
+    #[test]
+    fn empty_conditions_are_errors_on_both_paths() {
+        let (w, s) = figure3();
+        let options = DecompositionOptions::default();
+        let exact = estimate_conditioned_confidence(
+            &s,
+            &WsSet::empty(),
+            &w,
+            &options,
+            &ConfidenceStrategy::Exact,
+            None,
+        );
+        assert_eq!(exact.unwrap_err(), CoreError::EmptyCondition);
+        let sampled = estimate_conditioned_confidence(
+            &s,
+            &WsSet::empty(),
+            &w,
+            &options,
+            &ConfidenceStrategy::approximate(0.1, 0.05),
+            None,
+        );
+        assert_eq!(
+            sampled.unwrap_err(),
+            CoreError::Approx(uprob_approx::ApproxError::ImpossibleCondition)
+        );
+    }
+
+    #[test]
+    fn strategy_helpers_and_stream_derivation() {
+        let strategy = ConfidenceStrategy::hybrid(100, 0.1, 0.05);
+        assert_eq!(strategy.name(), "hybrid");
+        let a = strategy.approx_options().unwrap();
+        assert_eq!(a.epsilon, 0.1);
+        let s1 = strategy.for_stream(1);
+        let s2 = strategy.for_stream(2);
+        assert_ne!(
+            s1.approx_options().unwrap().seed,
+            s2.approx_options().unwrap().seed,
+            "streams must sample independently"
+        );
+        assert_eq!(
+            s1.approx_options().unwrap().seed,
+            strategy.for_stream(1).approx_options().unwrap().seed,
+            "stream derivation is deterministic"
+        );
+        assert_eq!(
+            ConfidenceStrategy::Exact.for_stream(5),
+            ConfidenceStrategy::Exact
+        );
+        assert!(ResolvedPath::Sampled { fell_back: true }.is_sampled());
+        assert!(!ResolvedPath::Exact.is_sampled());
+    }
+
+    #[test]
+    fn hybrid_exact_attempt_benefits_from_a_shared_cache() {
+        use crate::cache::SharedDecompositionCache;
+        let (w, s) = figure3();
+        let cache = SharedDecompositionCache::new();
+        let strategy = ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01);
+        let options = DecompositionOptions::indve_minlog();
+        let cold = estimate_confidence(&s, &w, &options, &strategy, Some(&cache)).unwrap();
+        let warm = estimate_confidence(&s, &w, &options, &strategy, Some(&cache)).unwrap();
+        assert_eq!(warm.probability, cold.probability);
+        assert!(warm.stats.cache_hits >= 1);
+        assert_eq!(warm.stats.total_nodes(), 0, "full hit: no new work");
+    }
+}

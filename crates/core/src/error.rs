@@ -32,6 +32,9 @@ pub enum CoreError {
     Wsd(WsdError),
     /// An error bubbled up from the U-relation layer.
     Urel(UrelError),
+    /// An error bubbled up from the Monte-Carlo approximation layer (the
+    /// sampling fallback of the hybrid confidence engine).
+    Approx(uprob_approx::ApproxError),
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +55,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Wsd(e) => write!(f, "world-set descriptor error: {e}"),
             CoreError::Urel(e) => write!(f, "U-relation error: {e}"),
+            CoreError::Approx(e) => write!(f, "approximation error: {e}"),
         }
     }
 }
@@ -61,6 +65,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Wsd(e) => Some(e),
             CoreError::Urel(e) => Some(e),
+            CoreError::Approx(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +80,12 @@ impl From<WsdError> for CoreError {
 impl From<UrelError> for CoreError {
     fn from(e: UrelError) -> Self {
         CoreError::Urel(e)
+    }
+}
+
+impl From<uprob_approx::ApproxError> for CoreError {
+    fn from(e: uprob_approx::ApproxError) -> Self {
+        CoreError::Approx(e)
     }
 }
 

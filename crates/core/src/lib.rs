@@ -20,7 +20,12 @@
 //!   three simplification optimisations;
 //! * [`cache`]: the shared decomposition cache — hash-consed canonical
 //!   ws-set keys memoizing sub-set probabilities, shared across the
-//!   confidence fold, WE and the batch query layer (see `DESIGN.md`).
+//!   confidence fold, WE and the batch query layer (see `DESIGN.md`);
+//! * [`engine`]: the unified confidence engine — an explicit
+//!   [`ConfidenceStrategy`] (`Exact` / `Approximate(ε, δ)` /
+//!   `Hybrid { budget, ε, δ }`) that runs the cached exact decomposition
+//!   under a node budget and transparently falls back to Karp–Luby/Dagum
+//!   sampling, including conditioned confidence `P(Q ∧ C)/P(C)`.
 //!
 //! ## Quick example
 //!
@@ -54,6 +59,7 @@ pub mod conditioning;
 pub mod confidence;
 pub mod decompose;
 pub mod elimination;
+pub mod engine;
 pub mod error;
 pub mod heuristics;
 pub mod stats;
@@ -66,9 +72,14 @@ pub use decompose::{build_tree, DecompositionMethod, DecompositionOptions};
 pub use elimination::{
     confidence_by_elimination, confidence_by_elimination_with, mutex_equivalent,
 };
+pub use engine::{
+    estimate_conditioned_confidence, estimate_confidence, ConfidenceReport, ConfidenceStrategy,
+    ResolvedPath, SamplingStats,
+};
 pub use error::CoreError;
 pub use heuristics::VariableHeuristic;
 pub use stats::{Confidence, DecompositionStats};
+pub use uprob_approx::ApproximationOptions;
 pub use wstree::WsTree;
 
 /// Result alias used throughout the crate.

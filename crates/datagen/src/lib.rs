@@ -12,7 +12,10 @@
 //!   non-hierarchical join queries `R_1 ⋈ … ⋈ R_s` on tuple-independent
 //!   databases, parameterised by the number of variables `n`, the number of
 //!   alternatives per variable `r`, the descriptor length `s` and the
-//!   number of descriptors `w`.
+//!   number of descriptors `w`;
+//! * [`random`]: small random world-tables and ws-sets (with non-uniform
+//!   distributions) plus proptest strategies, feeding the differential
+//!   confidence test harness.
 //!
 //! The paper ran TPC-H's `dbgen` at scale factors 0.01–0.10 on a 2008-era
 //! machine; this crate substitutes an in-process, seeded generator that
@@ -25,9 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod hard;
+pub mod random;
 pub mod tpch;
 pub mod tpch_queries;
 
 pub use hard::{HardInstance, HardInstanceConfig};
+pub use random::{arb_small_recipe, random_small_instance, SmallInstance, SmallInstanceRecipe};
 pub use tpch::{TpchConfig, TpchDatabase};
 pub use tpch_queries::{q1_answer, q1_answer_relation, q2_answer, q2_answer_relation, QueryAnswer};

@@ -1,0 +1,251 @@
+//! Random *small* instances for differential testing.
+//!
+//! The differential confidence harness cross-checks every confidence
+//! algorithm (brute-force enumeration, the cached decomposition fold,
+//! ws-descriptor elimination and Karp–Luby sampling) on randomly generated
+//! world tables and ws-sets small enough that the brute-force oracle is
+//! instant. This module provides the generators in two forms:
+//!
+//! * [`SmallInstanceRecipe`] — a plain-data recipe (the proptest *input*,
+//!   so a failing property prints everything needed to reproduce the
+//!   instance) with [`SmallInstanceRecipe::build`] materialising the world
+//!   table and ws-sets;
+//! * [`arb_small_recipe`] — the proptest strategy generating recipes, used
+//!   by `tests/differential_confidence.rs`;
+//! * [`random_small_instance`] — a seed-driven generator for plain
+//!   seed-matrix loops outside proptest.
+//!
+//! Variables get *non-uniform* random distributions (derived from the
+//! recipe's probability seed), so numeric paths are exercised away from the
+//! uniform-probability happy case.
+
+use proptest::{collection, Strategy};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use uprob_wsd::{ValueIndex, VarId, WorldTable, WsDescriptor, WsSet};
+
+/// A compact, printable recipe for a random world table plus two ws-sets
+/// over it (a "query" set and a "condition" set for conditioned tests).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SmallInstanceRecipe {
+    /// Domain size per variable (each in `2..=4`).
+    pub domains: Vec<u8>,
+    /// Seed from which the per-variable probability distributions are
+    /// derived.
+    pub probability_seed: u64,
+    /// The query ws-set: each descriptor is a list of
+    /// `(variable index, value index)` pairs (wrapped into the domain; the
+    /// first assignment of a variable wins).
+    pub query: Vec<Vec<(u8, u8)>>,
+    /// The condition ws-set, in the same encoding.
+    pub condition: Vec<Vec<(u8, u8)>>,
+}
+
+/// A materialised small instance.
+#[derive(Clone, Debug)]
+pub struct SmallInstance {
+    /// The world table (at most a few hundred worlds).
+    pub table: WorldTable,
+    /// The query ws-set.
+    pub query: WsSet,
+    /// The condition ws-set.
+    pub condition: WsSet,
+}
+
+impl SmallInstanceRecipe {
+    /// Materialises the recipe: builds the world table with random
+    /// (seed-derived, non-uniform) distributions and the two ws-sets.
+    pub fn build(&self) -> SmallInstance {
+        let mut rng = StdRng::seed_from_u64(self.probability_seed);
+        let mut table = WorldTable::new();
+        let vars: Vec<VarId> = self
+            .domains
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                let alternatives = random_distribution(&mut rng, size as usize);
+                table
+                    .add_variable(&format!("v{i}"), &alternatives)
+                    .expect("generated distribution is valid")
+            })
+            .collect();
+        let build_set = |raw: &[Vec<(u8, u8)>]| -> WsSet {
+            raw.iter()
+                .map(|pairs| {
+                    let mut d = WsDescriptor::empty();
+                    for &(var_idx, val) in pairs {
+                        let var_idx = var_idx as usize % vars.len();
+                        let domain = self.domains[var_idx] as u16;
+                        // First assignment of a variable wins.
+                        let _ = d.assign(vars[var_idx], ValueIndex(val as u16 % domain));
+                    }
+                    d
+                })
+                .collect()
+        };
+        SmallInstance {
+            table,
+            query: build_set(&self.query),
+            condition: build_set(&self.condition),
+        }
+    }
+}
+
+/// A random non-uniform distribution over `k` alternatives labelled
+/// `0..k`: weights are drawn from `[0.05, 1)` and normalised, with the last
+/// probability set to the exact remainder so the distribution sums to 1.
+fn random_distribution(rng: &mut StdRng, k: usize) -> Vec<(i64, f64)> {
+    let weights: Vec<f64> = (0..k).map(|_| rng.random_range(0.05..1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut alternatives = Vec::with_capacity(k);
+    let mut assigned = 0.0;
+    for (value, weight) in weights.iter().enumerate().take(k - 1) {
+        let p = weight / total;
+        alternatives.push((value as i64, p));
+        assigned += p;
+    }
+    alternatives.push(((k - 1) as i64, 1.0 - assigned));
+    alternatives
+}
+
+/// Proptest strategy for one descriptor over `num_vars` variables: up to
+/// `num_vars` raw `(variable, value)` pairs (wrapping and first-wins
+/// de-duplication happen in [`SmallInstanceRecipe::build`]).
+fn arb_descriptor(num_vars: usize) -> impl Strategy<Value = Vec<(u8, u8)>> {
+    collection::vec((0..num_vars as u8, 0..4u8), 0..=num_vars)
+}
+
+/// Proptest strategy for [`SmallInstanceRecipe`]: 2–5 variables with domain
+/// sizes 2–4, up to 6 query descriptors and 1–4 condition descriptors.
+/// Worlds stay under `4^5 = 1024`, so brute-force enumeration is instant.
+pub fn arb_small_recipe() -> impl Strategy<Value = SmallInstanceRecipe> {
+    (2usize..=5).prop_flat_map(|num_vars| {
+        (
+            collection::vec(2u8..=4, num_vars),
+            0u64..u64::MAX,
+            collection::vec(arb_descriptor(num_vars), 0..=6),
+            collection::vec(arb_descriptor(num_vars), 1..=4),
+        )
+            .prop_map(|(domains, probability_seed, query, condition)| {
+                SmallInstanceRecipe {
+                    domains,
+                    probability_seed,
+                    query,
+                    condition,
+                }
+            })
+    })
+}
+
+/// Generates a materialised small instance from a single seed (for plain
+/// seed-matrix loops outside proptest). The same seed always produces the
+/// same instance.
+pub fn random_small_instance(seed: u64) -> SmallInstance {
+    fn descriptor_list(
+        rng: &mut StdRng,
+        num_vars: usize,
+        min: usize,
+        max: usize,
+    ) -> Vec<Vec<(u8, u8)>> {
+        let count = rng.random_range(min..=max);
+        (0..count)
+            .map(|_| {
+                let width = rng.random_range(0..=num_vars);
+                (0..width)
+                    .map(|_| {
+                        (
+                            rng.random_range(0..num_vars) as u8,
+                            rng.random_range(0..4usize) as u8,
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_vars = rng.random_range(2..=5usize);
+    let domains: Vec<u8> = (0..num_vars)
+        .map(|_| rng.random_range(2..=4usize) as u8)
+        .collect();
+    let probability_seed = rng.random_range(0..u64::MAX);
+    let query = descriptor_list(&mut rng, num_vars, 0, 6);
+    let condition = descriptor_list(&mut rng, num_vars, 1, 4);
+    SmallInstanceRecipe {
+        domains,
+        probability_seed,
+        query,
+        condition,
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_are_normalised_and_positive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for k in 2..=6 {
+            let d = random_distribution(&mut rng, k);
+            assert_eq!(d.len(), k);
+            let total: f64 = d.iter().map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-12, "sum {total}");
+            for (_, p) in &d {
+                assert!(*p > 0.0, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn recipes_build_consistent_instances() {
+        let recipe = SmallInstanceRecipe {
+            domains: vec![2, 3, 4],
+            probability_seed: 99,
+            query: vec![vec![(0, 1), (1, 5)], vec![]],
+            condition: vec![vec![(7, 9)]],
+        };
+        let instance = recipe.build();
+        assert_eq!(instance.table.num_variables(), 3);
+        assert_eq!(instance.query.len(), 2);
+        assert_eq!(instance.condition.len(), 1);
+        // Out-of-range indexes wrap into valid variables and values.
+        for d in instance.query.iter().chain(instance.condition.iter()) {
+            for a in d.iter() {
+                let domain = instance.table.domain_size(a.var).unwrap();
+                assert!(a.value.index() < domain);
+            }
+        }
+        // Building twice is deterministic.
+        let again = recipe.build();
+        assert_eq!(instance.query, again.query);
+        assert_eq!(instance.condition, again.condition);
+    }
+
+    #[test]
+    fn seeded_instances_are_deterministic_and_varied() {
+        let a = random_small_instance(1);
+        let b = random_small_instance(1);
+        assert_eq!(a.query, b.query);
+        assert_eq!(a.condition, b.condition);
+        let c = random_small_instance(2);
+        assert!(
+            a.query != c.query || a.condition != c.condition,
+            "different seeds should produce different instances"
+        );
+    }
+
+    #[test]
+    fn strategy_generates_buildable_recipes() {
+        use proptest::TestRng;
+        let strategy = arb_small_recipe();
+        let mut rng = TestRng::new(42);
+        for _ in 0..50 {
+            let recipe = strategy.generate(&mut rng);
+            assert!(!recipe.domains.is_empty());
+            let instance = recipe.build();
+            assert_eq!(instance.table.num_variables(), recipe.domains.len());
+            assert!(!instance.condition.is_empty());
+        }
+    }
+}

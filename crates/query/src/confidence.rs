@@ -18,8 +18,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use uprob_core::stats::{Confidence, DecompositionStats};
 use uprob_core::{
-    confidence as exact_confidence, confidence_with_cache, DecompositionOptions,
-    SharedDecompositionCache,
+    confidence as exact_confidence, confidence_with_cache, estimate_confidence, ConfidenceReport,
+    ConfidenceStrategy, DecompositionOptions, SharedDecompositionCache,
 };
 use uprob_urel::{Tuple, URelation};
 use uprob_wsd::{WorldTable, WsSet};
@@ -101,6 +101,169 @@ pub fn answer_confidences_with_cache(
     })
 }
 
+/// The batch result of a strategy-driven `conf()` run over one query
+/// answer: per-tuple [`ConfidenceReport`]s (each recording whether the
+/// exact path or the sampling fallback produced the value) plus the
+/// answer-level Boolean confidence and aggregated counters.
+#[derive(Clone, Debug)]
+pub struct StrategyAnswerConfidences {
+    /// The distinct tuples of the answer with their confidence reports, in
+    /// deterministic (sorted-tuple) order.
+    pub tuples: Vec<(Tuple, ConfidenceReport)>,
+    /// The Boolean confidence of the answer under the same strategy.
+    pub boolean: ConfidenceReport,
+    /// Aggregated exact-path decomposition counters of all runs.
+    pub stats: DecompositionStats,
+}
+
+impl StrategyAnswerConfidences {
+    /// Number of tuples whose exact attempt exhausted its budget and fell
+    /// back to sampling (always 0 for the `Exact` strategy; equal to the
+    /// tuple count for `Approximate`).
+    pub fn sampled_tuples(&self) -> usize {
+        self.tuples
+            .iter()
+            .filter(|(_, r)| r.path.is_sampled())
+            .count()
+    }
+
+    /// Total Monte-Carlo iterations across all sampled tuples and the
+    /// Boolean run.
+    pub fn sampling_iterations(&self) -> u64 {
+        self.tuples
+            .iter()
+            .map(|(_, r)| r.sampling.map_or(0, |s| s.iterations))
+            .sum::<u64>()
+            + self.boolean.sampling.map_or(0, |s| s.iterations)
+    }
+}
+
+/// [`answer_confidences`] under an explicit [`ConfidenceStrategy`]: with
+/// `Hybrid`, every tuple first runs the cached exact decomposition under
+/// the strategy's node budget and, on a budget abort, transparently falls
+/// back to Karp–Luby/Dagum sampling — so the batch completes on answers
+/// where exact computation blows up for *some* (or all) tuples.
+///
+/// Sampling seeds are derived per tuple index through deterministic RNG
+/// streams, so a tuple's *sampled estimate* never depends on the worker
+/// count or scheduling order, and under `Exact` or `Approximate` the whole
+/// batch is bit-reproducible. Under `Hybrid` one caveat applies: the
+/// tuples share one decomposition cache, and cache hits are not charged
+/// against the node budget — so *which side of the wall* a borderline
+/// tuple lands on can depend on which sibling warmed the cache first
+/// (more warmth can only move tuples from sampled to exact). Either way
+/// every value honours the fallback contract — exact, or sampled with the
+/// requested (ε, δ) — and the per-tuple [`ConfidenceReport`] says which.
+/// `threads` fans the tuples out exactly like [`answer_confidences`]
+/// (`None` = one worker per CPU for large answers).
+///
+/// # Errors
+///
+/// Propagates exact-path errors (for `Exact`, including the exhausted
+/// budget) and sampling errors (invalid ε/δ, unknown variables).
+pub fn answer_confidences_with_strategy(
+    answer: &URelation,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+    strategy: &ConfidenceStrategy,
+    threads: Option<usize>,
+) -> Result<StrategyAnswerConfidences> {
+    let cache = SharedDecompositionCache::new();
+    let groups = answer.distinct_tuples();
+    let reports = fan_out_over_groups(&groups, threads, |index, ws_set| {
+        // Stream 0 is reserved for the answer-level Boolean run.
+        let tuple_strategy = strategy.for_stream(index as u64 + 1);
+        estimate_confidence(ws_set, table, options, &tuple_strategy, Some(&cache))
+    })?;
+    let boolean = estimate_confidence(
+        &answer.answer_ws_set(),
+        table,
+        options,
+        &strategy.for_stream(0),
+        Some(&cache),
+    )
+    .map_err(crate::QueryError::Core)?;
+    let mut stats = boolean.stats.clone();
+    let mut tuples = Vec::with_capacity(groups.len());
+    for ((tuple, _), report) in groups.into_iter().zip(reports) {
+        stats.absorb(&report.stats);
+        tuples.push((tuple, report));
+    }
+    Ok(StrategyAnswerConfidences {
+        tuples,
+        boolean,
+        stats,
+    })
+}
+
+/// Fans an arbitrary per-group computation out over scoped worker threads
+/// (work-stealing by atomic counter: groups vary wildly in cost, so a
+/// static partition would leave workers idle behind one hard group),
+/// preserving input order. The closure receives the group index (for
+/// deterministic per-group seed streams) and its ws-set.
+pub(crate) fn fan_out_over_groups<T, F>(
+    groups: &[(Tuple, WsSet)],
+    threads: Option<usize>,
+    run: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, &WsSet) -> uprob_core::Result<T> + Sync,
+{
+    // In auto mode, small answers run inline: spawning scoped workers (and
+    // paying their cold cache-misses in parallel) costs more than a few
+    // tiny computations. An explicit `threads` request is always honored.
+    const MIN_PARALLEL_GROUPS: usize = 16;
+    let workers = threads
+        .unwrap_or_else(|| {
+            if groups.len() < MIN_PARALLEL_GROUPS {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            }
+        })
+        .clamp(1, groups.len().max(1));
+    let mut slots: Vec<Option<uprob_core::Result<T>>> = (0..groups.len()).map(|_| None).collect();
+    if workers <= 1 || groups.len() <= 1 {
+        for (index, (slot, (_, ws_set))) in slots.iter_mut().zip(groups).enumerate() {
+            *slot = Some(run(index, ws_set));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((_, ws_set)) = groups.get(index) else {
+                                break;
+                            };
+                            local.push((index, run(index, ws_set)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, result) in handle.join().expect("confidence worker panicked") {
+                    slots[index] = Some(result);
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.expect("every group is assigned to exactly one worker")
+                .map_err(crate::QueryError::Core)
+        })
+        .collect()
+}
+
 /// `select ..., conf() from Q group by ...`: the distinct tuples of a query
 /// answer together with their exact confidence values.
 ///
@@ -162,60 +325,11 @@ fn batch_over_groups(
     cache: &SharedDecompositionCache,
     stats: &mut DecompositionStats,
 ) -> Result<Vec<(Tuple, f64)>> {
-    // In auto mode, small answers run inline: spawning scoped workers (and
-    // paying their cold caches-misses in parallel) costs more than a few
-    // tiny decompositions. An explicit `threads` request is always honored.
-    const MIN_PARALLEL_GROUPS: usize = 16;
-    let workers = threads
-        .unwrap_or_else(|| {
-            if groups.len() < MIN_PARALLEL_GROUPS {
-                1
-            } else {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            }
-        })
-        .clamp(1, groups.len().max(1));
-    let mut slots: Vec<Option<uprob_core::Result<Confidence>>> =
-        (0..groups.len()).map(|_| None).collect();
-    if workers <= 1 || groups.len() <= 1 {
-        for (slot, (_, ws_set)) in slots.iter_mut().zip(&groups) {
-            *slot = Some(confidence_with_cache(ws_set, table, options, Some(cache)));
-        }
-    } else {
-        // Work-stealing by atomic counter: tuples vary wildly in cost, so a
-        // static partition would leave workers idle behind one hard tuple.
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let index = next.fetch_add(1, Ordering::Relaxed);
-                            let Some((_, ws_set)) = groups.get(index) else {
-                                break;
-                            };
-                            local.push((
-                                index,
-                                confidence_with_cache(ws_set, table, options, Some(cache)),
-                            ));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (index, result) in handle.join().expect("confidence worker panicked") {
-                    slots[index] = Some(result);
-                }
-            }
-        });
-    }
+    let runs: Vec<Confidence> = fan_out_over_groups(&groups, threads, |_, ws_set| {
+        confidence_with_cache(ws_set, table, options, Some(cache))
+    })?;
     let mut out = Vec::with_capacity(groups.len());
-    for ((tuple, _), slot) in groups.into_iter().zip(slots) {
-        let run = slot.expect("every group is assigned to exactly one worker")?;
+    for ((tuple, _), run) in groups.into_iter().zip(runs) {
         stats.absorb(&run.stats);
         out.push((tuple, run.probability));
     }
@@ -455,6 +569,102 @@ mod tests {
             full.stats
         );
         assert!(full.stats.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn strategy_batch_exact_and_hybrid_agree_bit_for_bit() {
+        let db = ssn_db();
+        let options = DecompositionOptions::default();
+        let names = algebra::project(db.relation("R").unwrap(), &["NAME"], "Names").unwrap();
+        let exact = answer_confidences_with_strategy(
+            &names,
+            db.world_table(),
+            &options,
+            &ConfidenceStrategy::Exact,
+            Some(2),
+        )
+        .unwrap();
+        let hybrid = answer_confidences_with_strategy(
+            &names,
+            db.world_table(),
+            &options,
+            &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(exact.tuples.len(), hybrid.tuples.len());
+        assert_eq!(hybrid.sampled_tuples(), 0, "no spurious fallback");
+        assert_eq!(hybrid.sampling_iterations(), 0);
+        for ((t1, r1), (t2, r2)) in exact.tuples.iter().zip(&hybrid.tuples) {
+            assert_eq!(t1, t2);
+            assert_eq!(r1.probability.to_bits(), r2.probability.to_bits());
+        }
+        assert_eq!(
+            exact.boolean.probability.to_bits(),
+            hybrid.boolean.probability.to_bits()
+        );
+        // And both match the plain batch path.
+        let plain = answer_confidences(&names, db.world_table(), &options, Some(2)).unwrap();
+        for ((t1, p1), (t2, r2)) in plain.tuples.iter().zip(&exact.tuples) {
+            assert_eq!(t1, t2);
+            assert!((p1 - r2.probability).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn strategy_batch_approximate_lands_near_exact() {
+        let db = ssn_db();
+        let options = DecompositionOptions::default();
+        let ssns = algebra::project(db.relation("R").unwrap(), &["SSN"], "S").unwrap();
+        let exact = answer_confidences(&ssns, db.world_table(), &options, Some(1)).unwrap();
+        let approx = answer_confidences_with_strategy(
+            &ssns,
+            db.world_table(),
+            &options,
+            &ConfidenceStrategy::approximate(0.05, 0.05).with_seed(19),
+            Some(2),
+        )
+        .unwrap();
+        assert_eq!(approx.sampled_tuples(), approx.tuples.len());
+        assert!(approx.sampling_iterations() > 0);
+        for ((t1, p1), (t2, r2)) in exact.tuples.iter().zip(&approx.tuples) {
+            assert_eq!(t1, t2);
+            assert!(
+                (p1 - r2.probability).abs() <= 0.05 * p1 + 0.01,
+                "tuple {t1:?}: exact {p1}, sampled {}",
+                r2.probability
+            );
+        }
+        assert!((approx.boolean.probability - exact.boolean).abs() <= 0.05 + 0.01);
+    }
+
+    #[test]
+    fn strategy_batch_is_deterministic_across_worker_counts() {
+        let db = ssn_db();
+        let options = DecompositionOptions::default();
+        let ssns = algebra::project(db.relation("R").unwrap(), &["SSN"], "S").unwrap();
+        let strategy = ConfidenceStrategy::approximate(0.1, 0.05).with_seed(23);
+        let reference =
+            answer_confidences_with_strategy(&ssns, db.world_table(), &options, &strategy, Some(1))
+                .unwrap();
+        for threads in [Some(2), Some(8), None] {
+            let got = answer_confidences_with_strategy(
+                &ssns,
+                db.world_table(),
+                &options,
+                &strategy,
+                threads,
+            )
+            .unwrap();
+            for ((t1, r1), (t2, r2)) in reference.tuples.iter().zip(&got.tuples) {
+                assert_eq!(t1, t2);
+                assert_eq!(
+                    r1.probability.to_bits(),
+                    r2.probability.to_bits(),
+                    "threads {threads:?}, tuple {t1:?}"
+                );
+            }
+        }
     }
 
     #[test]

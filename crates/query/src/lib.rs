@@ -64,10 +64,13 @@ pub mod constraints;
 pub mod error;
 
 pub use confidence::{
-    answer_confidences, answer_confidences_with_cache, boolean_confidence, certain_tuples,
-    possible_tuples, tuple_confidences, tuple_confidences_sequential, AnswerConfidences,
+    answer_confidences, answer_confidences_with_cache, answer_confidences_with_strategy,
+    boolean_confidence, certain_tuples, possible_tuples, tuple_confidences,
+    tuple_confidences_sequential, AnswerConfidences, StrategyAnswerConfidences,
 };
-pub use constraints::{assert_constraint, Constraint};
+pub use constraints::{
+    assert_constraint, assert_constraint_with_strategy, Assertion, Constraint, EstimatedAssertion,
+};
 pub use error::QueryError;
 
 /// Result alias used throughout the crate.

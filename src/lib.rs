@@ -62,17 +62,22 @@ pub use uprob_wsd as wsd;
 
 /// The types most applications need.
 pub mod prelude {
-    pub use uprob_approx::{karp_luby_epsilon_delta, optimal_monte_carlo, ApproximationOptions};
+    pub use uprob_approx::{
+        conditioned_monte_carlo, karp_luby_epsilon_delta, optimal_monte_carlo,
+        optimal_monte_carlo_prepared, ApproximationOptions, KarpLuby,
+    };
     pub use uprob_core::{
         build_tree, condition, confidence, confidence_brute_force, confidence_by_elimination,
-        confidence_by_elimination_with, confidence_with_cache, CacheStats, ConditioningMethod,
-        ConditioningOptions, DecompositionMethod, DecompositionOptions, SharedDecompositionCache,
-        VariableHeuristic, WsTree,
+        confidence_by_elimination_with, confidence_with_cache, estimate_conditioned_confidence,
+        estimate_confidence, CacheStats, ConditioningMethod, ConditioningOptions, ConfidenceReport,
+        ConfidenceStrategy, DecompositionMethod, DecompositionOptions, ResolvedPath, SamplingStats,
+        SharedDecompositionCache, VariableHeuristic, WsTree,
     };
     pub use uprob_query::{
-        answer_confidences, answer_confidences_with_cache, assert_constraint, boolean_confidence,
-        certain_tuples, possible_tuples, tuple_confidences, tuple_confidences_sequential,
-        AnswerConfidences, Constraint,
+        answer_confidences, answer_confidences_with_cache, answer_confidences_with_strategy,
+        assert_constraint, assert_constraint_with_strategy, boolean_confidence, certain_tuples,
+        possible_tuples, tuple_confidences, tuple_confidences_sequential, AnswerConfidences,
+        Assertion, Constraint, EstimatedAssertion, StrategyAnswerConfidences,
     };
     pub use uprob_urel::{
         algebra, ColumnType, Comparison, Expr, Predicate, ProbDb, Schema, Tuple, URelation, Value,

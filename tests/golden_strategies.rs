@@ -1,0 +1,358 @@
+//! Golden regression tests routing the paper's worked examples (Figure 3's
+//! 0.7578, Example 5.1's 0.44) and the Figure 10 TPC-H fixture through all
+//! three [`ConfidenceStrategy`] variants, plus the hard-instance acceptance
+//! scenario: a `Hybrid` batch on a `#P`-hard datagen instance that exact
+//! computation aborts on (BudgetExceeded) must complete via sampling, and
+//! must land within the requested ε on a brute-forceable downscaled twin.
+
+use uprob::datagen::{
+    q1_answer_relation, HardInstance, HardInstanceConfig, TpchConfig, TpchDatabase,
+};
+use uprob::prelude::*;
+
+/// The Figure 3 ws-set with exact probability 0.7578.
+fn figure3() -> (WorldTable, WsSet) {
+    let mut w = WorldTable::new();
+    let x = w
+        .add_variable("x", &[(1, 0.1), (2, 0.4), (3, 0.5)])
+        .unwrap();
+    let y = w.add_variable("y", &[(1, 0.2), (2, 0.8)]).unwrap();
+    let z = w.add_variable("z", &[(1, 0.4), (2, 0.6)]).unwrap();
+    let u = w.add_variable("u", &[(1, 0.7), (2, 0.3)]).unwrap();
+    let v = w.add_variable("v", &[(1, 0.5), (2, 0.5)]).unwrap();
+    let s = WsSet::from_descriptors(vec![
+        WsDescriptor::from_pairs(&w, &[(x, 1)]).unwrap(),
+        WsDescriptor::from_pairs(&w, &[(x, 2), (y, 1)]).unwrap(),
+        WsDescriptor::from_pairs(&w, &[(x, 2), (z, 1)]).unwrap(),
+        WsDescriptor::from_pairs(&w, &[(u, 1), (v, 1)]).unwrap(),
+        WsDescriptor::from_pairs(&w, &[(u, 2)]).unwrap(),
+    ]);
+    (w, s)
+}
+
+/// The SSN database of Figure 2 with the FD of Example 5.1 (P = 0.44).
+fn ssn_db() -> (ProbDb, Constraint) {
+    let mut db = ProbDb::new();
+    let j = db
+        .world_table_mut()
+        .add_variable("j", &[(1, 0.2), (7, 0.8)])
+        .unwrap();
+    let b = db
+        .world_table_mut()
+        .add_variable("b", &[(4, 0.3), (7, 0.7)])
+        .unwrap();
+    let schema = Schema::new("R", &[("SSN", ColumnType::Int), ("NAME", ColumnType::Str)]);
+    let mut r = db.create_relation(schema).unwrap();
+    {
+        let w = db.world_table();
+        r.push(
+            Tuple::new(vec![Value::Int(1), Value::str("John")]),
+            WsDescriptor::from_pairs(w, &[(j, 1)]).unwrap(),
+        );
+        r.push(
+            Tuple::new(vec![Value::Int(7), Value::str("John")]),
+            WsDescriptor::from_pairs(w, &[(j, 7)]).unwrap(),
+        );
+        r.push(
+            Tuple::new(vec![Value::Int(4), Value::str("Bill")]),
+            WsDescriptor::from_pairs(w, &[(b, 4)]).unwrap(),
+        );
+        r.push(
+            Tuple::new(vec![Value::Int(7), Value::str("Bill")]),
+            WsDescriptor::from_pairs(w, &[(b, 7)]).unwrap(),
+        );
+    }
+    db.insert_relation(r).unwrap();
+    let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+    (db, fd)
+}
+
+/// Wraps a hard instance's ws-set into a U-relation whose distinct tuples
+/// partition the descriptors into `groups` answer tuples (the per-tuple
+/// `conf()` shape of a grouped query answer).
+fn hard_relation(instance: &HardInstance, groups: usize) -> URelation {
+    let schema = Schema::new("H", &[("ID", ColumnType::Int)]);
+    let mut relation = URelation::new(schema);
+    for (i, d) in instance.ws_set.iter().enumerate() {
+        relation.push(Tuple::new(vec![Value::Int((i % groups) as i64)]), d.clone());
+    }
+    relation
+}
+
+#[test]
+fn figure3_through_all_three_strategies() {
+    let (w, s) = figure3();
+    let options = DecompositionOptions::indve_minlog();
+    let exact = estimate_confidence(&s, &w, &options, &ConfidenceStrategy::Exact, None).unwrap();
+    assert!((exact.probability - 0.7578).abs() < 1e-12);
+    assert_eq!(exact.path, ResolvedPath::Exact);
+
+    // Hybrid on a feasible instance: the exact path's result, bit for bit,
+    // and no spurious fallback.
+    let hybrid = estimate_confidence(
+        &s,
+        &w,
+        &options,
+        &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+        None,
+    )
+    .unwrap();
+    assert_eq!(hybrid.path, ResolvedPath::Exact);
+    assert_eq!(hybrid.probability.to_bits(), exact.probability.to_bits());
+    assert!(hybrid.sampling.is_none());
+
+    // Approximate within its ε-band (pinned seed).
+    let epsilon = 0.05;
+    let approx = estimate_confidence(
+        &s,
+        &w,
+        &options,
+        &ConfidenceStrategy::approximate(epsilon, 0.05).with_seed(2008),
+        None,
+    )
+    .unwrap();
+    assert_eq!(approx.path, ResolvedPath::Sampled { fell_back: false });
+    let sampling = approx.sampling.unwrap();
+    assert!(sampling.iterations > 0);
+    assert_eq!(sampling.epsilon, epsilon);
+    assert!(
+        (approx.probability - 0.7578).abs() <= epsilon * 0.7578 + 0.01,
+        "approximate {} vs 0.7578",
+        approx.probability
+    );
+}
+
+#[test]
+fn example_5_1_constraint_through_all_three_strategies() {
+    let (db, fd) = ssn_db();
+    let options = ConditioningOptions::default();
+
+    let exact =
+        assert_constraint_with_strategy(&db, &fd, &options, &ConfidenceStrategy::Exact).unwrap();
+    assert!(exact.is_materialized());
+    assert!((exact.confidence() - 0.44).abs() < 1e-12);
+
+    let hybrid = assert_constraint_with_strategy(
+        &db,
+        &fd,
+        &options,
+        &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+    )
+    .unwrap();
+    assert!(hybrid.is_materialized(), "feasible: must materialise");
+    assert_eq!(hybrid.confidence().to_bits(), exact.confidence().to_bits());
+
+    let epsilon = 0.05;
+    let approx = assert_constraint_with_strategy(
+        &db,
+        &fd,
+        &options,
+        &ConfidenceStrategy::approximate(epsilon, 0.05).with_seed(44),
+    )
+    .unwrap();
+    assert!(!approx.is_materialized());
+    assert!(
+        (approx.confidence() - 0.44).abs() <= epsilon * 0.44 + 0.01,
+        "estimated P(C) {}",
+        approx.confidence()
+    );
+    // The virtual posterior agrees with the materialised one on the
+    // introduction's query: P(Bill has SSN 4 | FD) = .3/.44.
+    let Assertion::Estimated(virtual_posterior) = &approx else {
+        unreachable!()
+    };
+    let Assertion::Materialized(conditioned) = &exact else {
+        unreachable!()
+    };
+    let bills = algebra::select(
+        db.relation("R").unwrap(),
+        &Predicate::col_eq("NAME", "Bill"),
+        "Bills",
+    )
+    .unwrap();
+    let ssns = algebra::project(&bills, &["SSN"], "Q").unwrap();
+    let posterior = virtual_posterior
+        .tuple_confidences(&ssns, db.world_table(), Some(1))
+        .unwrap();
+    let p4 = posterior
+        .iter()
+        .find(|(t, _)| t.get(0) == Some(&Value::Int(4)))
+        .unwrap()
+        .1
+        .probability;
+    assert!(
+        (p4 - 0.3 / 0.44).abs() <= 0.05 * (0.3 / 0.44) + 0.02,
+        "virtual posterior P(SSN 4 | FD) = {p4}"
+    );
+    assert!((conditioned.confidence - 0.44).abs() < 1e-12);
+}
+
+#[test]
+fn fig10_tpch_fixture_through_all_three_strategies() {
+    let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.05).with_seed(2008));
+    let world_table = data.db.world_table();
+    let relation = q1_answer_relation(&data);
+    assert!(!relation.is_empty(), "the tiny instance has Q1 answers");
+    let options = DecompositionOptions::indve_minlog();
+
+    let exact = answer_confidences_with_strategy(
+        &relation,
+        world_table,
+        &options,
+        &ConfidenceStrategy::Exact,
+        Some(2),
+    )
+    .unwrap();
+    let hybrid = answer_confidences_with_strategy(
+        &relation,
+        world_table,
+        &options,
+        &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+        Some(2),
+    )
+    .unwrap();
+    assert_eq!(exact.tuples.len(), hybrid.tuples.len());
+    assert_eq!(hybrid.sampled_tuples(), 0, "no spurious fallback");
+    for ((t1, r1), (t2, r2)) in exact.tuples.iter().zip(&hybrid.tuples) {
+        assert_eq!(t1, t2);
+        assert_eq!(
+            r1.probability.to_bits(),
+            r2.probability.to_bits(),
+            "tuple {t1:?}: hybrid must be the exact value, bit for bit"
+        );
+    }
+    assert_eq!(
+        exact.boolean.probability.to_bits(),
+        hybrid.boolean.probability.to_bits()
+    );
+
+    // Approximate: every tuple lands within the ε-band (pinned seed, with
+    // the band's δ slack folded into a small absolute floor).
+    let epsilon = 0.1;
+    let approx = answer_confidences_with_strategy(
+        &relation,
+        world_table,
+        &options,
+        &ConfidenceStrategy::approximate(epsilon, 0.05).with_seed(1010),
+        Some(2),
+    )
+    .unwrap();
+    assert_eq!(approx.sampled_tuples(), approx.tuples.len());
+    for ((t1, r1), (_, r2)) in exact.tuples.iter().zip(&approx.tuples) {
+        assert!(
+            (r1.probability - r2.probability).abs() <= epsilon * r1.probability + 0.02,
+            "tuple {t1:?}: exact {}, sampled {}",
+            r1.probability,
+            r2.probability
+        );
+    }
+}
+
+#[test]
+fn hybrid_batch_completes_on_a_hard_instance_where_exact_aborts() {
+    // The fig11a-shaped #P-hard instance: 100 variables, 2000 descriptors.
+    // Exact decomposition blows the 20k-node budget on every answer tuple;
+    // the hybrid batch must complete via the sampling fallback.
+    const BUDGET: u64 = 20_000;
+    let instance = HardInstance::generate(HardInstanceConfig {
+        num_variables: 100,
+        alternatives: 4,
+        descriptor_length: 4,
+        num_descriptors: 2_000,
+        seed: 11,
+    });
+    let relation = hard_relation(&instance, 4);
+    let options = DecompositionOptions::indve_minlog();
+
+    // The exact strategy aborts with BudgetExceeded...
+    let exact_attempt = answer_confidences_with_strategy(
+        &relation,
+        &instance.world_table,
+        &options.with_budget(BUDGET),
+        &ConfidenceStrategy::Exact,
+        Some(1),
+    );
+    assert!(
+        matches!(
+            exact_attempt,
+            Err(uprob::query::QueryError::Core(
+                uprob::core::CoreError::BudgetExceeded { .. }
+            ))
+        ),
+        "the hard instance must exhaust the exact budget"
+    );
+
+    // ...and the hybrid batch completes through sampling, reporting the
+    // fallback per tuple.
+    let hybrid = answer_confidences_with_strategy(
+        &relation,
+        &instance.world_table,
+        &options,
+        &ConfidenceStrategy::hybrid(BUDGET, 0.1, 0.05).with_seed(7),
+        Some(2),
+    )
+    .unwrap();
+    assert_eq!(hybrid.tuples.len(), 4);
+    assert_eq!(hybrid.sampled_tuples(), 4, "every tuple fell back");
+    assert!(hybrid.sampling_iterations() > 0);
+    for (tuple, report) in &hybrid.tuples {
+        assert_eq!(
+            report.path,
+            ResolvedPath::Sampled { fell_back: true },
+            "tuple {tuple:?}"
+        );
+        let sampling = report.sampling.unwrap();
+        assert_eq!(sampling.epsilon, 0.1);
+        assert_eq!(sampling.delta, 0.05);
+        assert!((0.0..=1.0).contains(&report.probability));
+    }
+    assert!(hybrid.boolean.path.is_sampled());
+}
+
+#[test]
+fn hybrid_fallback_lands_within_epsilon_on_the_downscaled_twin() {
+    // The brute-forceable twin of the hard instance (12 Boolean-ish
+    // variables, 2^12 · r worlds): force the fallback with a budget of 1
+    // and compare every sampled tuple confidence against the brute-force
+    // reference within the requested ε.
+    let epsilon = 0.1;
+    let instance = HardInstance::generate(HardInstanceConfig {
+        num_variables: 12,
+        alternatives: 2,
+        descriptor_length: 4,
+        num_descriptors: 60,
+        seed: 11,
+    });
+    let relation = hard_relation(&instance, 6);
+    let hybrid = answer_confidences_with_strategy(
+        &relation,
+        &instance.world_table,
+        &DecompositionOptions::indve_minlog(),
+        &ConfidenceStrategy::hybrid(1, epsilon, 0.05).with_seed(2008),
+        Some(2),
+    )
+    .unwrap();
+    assert_eq!(hybrid.sampled_tuples(), hybrid.tuples.len());
+    for ((tuple, ws_set), (reported_tuple, report)) in
+        relation.distinct_tuples().into_iter().zip(&hybrid.tuples)
+    {
+        assert_eq!(&tuple, reported_tuple);
+        assert_eq!(report.path, ResolvedPath::Sampled { fell_back: true });
+        let reference = confidence_brute_force(&ws_set, &instance.world_table);
+        assert!(
+            (report.probability - reference).abs() <= epsilon * reference + 0.01,
+            "tuple {tuple:?}: sampled {} vs brute force {reference}",
+            report.probability
+        );
+    }
+    // The answer-level Boolean confidence falls back and lands in-band too.
+    let boolean_reference =
+        confidence_brute_force(&relation.answer_ws_set(), &instance.world_table);
+    assert!(hybrid.boolean.path.is_sampled());
+    assert!(
+        (hybrid.boolean.probability - boolean_reference).abs()
+            <= epsilon * boolean_reference + 0.01,
+        "boolean {} vs brute force {boolean_reference}",
+        hybrid.boolean.probability
+    );
+}
