@@ -15,7 +15,7 @@ use std::process::ExitCode;
 use uprob_bench::runner::with_large_stack;
 use uprob_bench::{
     ablation_conditioning, ablation_decomposition, fig10, fig11a, fig11b, fig12, fig13,
-    ExperimentScale, ResultTable,
+    planned_vs_eager, ExperimentScale, ResultTable,
 };
 
 fn main() -> ExitCode {
@@ -36,7 +36,7 @@ fn main() -> ExitCode {
             "--csv" => csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|all] [--paper] [--csv]"
+                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|planned|all] [--paper] [--csv]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -56,6 +56,7 @@ fn main() -> ExitCode {
             "fig13",
             "ablation",
             "conditioning",
+            "planned",
         ]
     } else {
         vec![experiment.as_str()]
@@ -71,6 +72,7 @@ fn main() -> ExitCode {
             "fig13" => with_large_stack(move || fig13(scale)),
             "ablation" => with_large_stack(move || ablation_decomposition(scale)),
             "conditioning" => with_large_stack(move || ablation_conditioning(scale)),
+            "planned" => with_large_stack(move || planned_vs_eager(scale)),
             other => {
                 eprintln!("unknown experiment: {other}");
                 return ExitCode::from(2);

@@ -15,13 +15,14 @@ use std::time::Instant;
 
 use uprob_core::{ConditioningOptions, DecompositionOptions, VariableHeuristic};
 use uprob_datagen::{
-    q1_answer, q1_answer_relation, q2_answer, q2_answer_relation, HardInstance, HardInstanceConfig,
-    TpchConfig, TpchDatabase,
+    q1_answer, q1_answer_relation, q1_plan, q2_answer, q2_answer_relation, HardInstance,
+    HardInstanceConfig, TpchConfig, TpchDatabase,
 };
 use uprob_query::{
     answer_confidences, assert_constraint, boolean_confidence, tuple_confidences_sequential,
     Constraint,
 };
+use uprob_urel::{optimize_plan, Plan, Predicate};
 
 use crate::runner::{run_algorithm, Algorithm, RunOutcome};
 use crate::table::ResultTable;
@@ -150,6 +151,106 @@ pub fn fig10(scale: ExperimentScale) -> ResultTable {
             ]);
         }
     }
+    table
+}
+
+/// The TPC-H-shaped equi-join used by the planned-vs-eager comparison:
+/// `σ_{orderdate > 1995-03-15}(orders) ⋈_{orderkey} lineitem`, with the
+/// selection already pushed so the two execution paths differ only in the
+/// join algorithm (nested loop vs hash).
+pub fn orders_lineitem_join_plan() -> Plan {
+    Plan::scan("orders")
+        .select(Predicate::cmp(
+            uprob_urel::Expr::col("orderdate"),
+            uprob_urel::Comparison::Gt,
+            uprob_urel::Expr::val(uprob_datagen::tpch::dates::DATE_1995_03_15),
+        ))
+        .join_on(
+            Plan::scan("lineitem"),
+            Predicate::cols_eq("orderkey", "lineitem.orderkey"),
+        )
+}
+
+/// **Planned vs. eager execution**: the TPC-H equi-join through the eager
+/// nested-loop reference, the pipelined hash join, and the full Q1
+/// product-chain plan through the optimizer — the speedup column is the
+/// nested-loop over hash-join wall-clock ratio on the identical join.
+pub fn planned_vs_eager(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Planned vs. eager: TPC-H equi-join (nested loop vs hash join)",
+        &[
+            "row_scale",
+            "orders",
+            "lineitems",
+            "join_rows",
+            "eager_nested_loop_s",
+            "pipelined_hash_s",
+            "optimized_q1_s",
+            "hash_join_speedup",
+        ],
+    );
+    let row_scales: &[f64] = if scale.is_quick() {
+        &[0.02, 0.05]
+    } else {
+        &[0.05, 0.1, 0.2]
+    };
+    for &row_scale in row_scales {
+        let data = TpchDatabase::generate(
+            TpchConfig::scale(0.01)
+                .with_row_scale(row_scale)
+                .with_seed(2008),
+        );
+        let join = orders_lineitem_join_plan();
+
+        let start = Instant::now();
+        let eager = data.db.query_eager(&join).expect("valid join plan");
+        let eager_elapsed = start.elapsed();
+
+        let start = Instant::now();
+        let hashed = data.db.query_unoptimized(&join).expect("valid join plan");
+        let hash_elapsed = start.elapsed();
+        assert_eq!(eager.rows(), hashed.rows(), "hash join must match");
+
+        // The full Q1 plan in its unoptimized product-chain form, through
+        // optimize + pipelined execution (optimization time included).
+        let start = Instant::now();
+        let optimized = data.db.query(&q1_plan()).expect("valid q1 plan");
+        let optimized_elapsed = start.elapsed();
+
+        let speedup = eager_elapsed.as_secs_f64() / hash_elapsed.as_secs_f64().max(1e-9);
+        table.push_row(vec![
+            format!("{row_scale}"),
+            data.db
+                .relation("orders")
+                .expect("orders")
+                .len()
+                .to_string(),
+            data.db
+                .relation("lineitem")
+                .expect("lineitem")
+                .len()
+                .to_string(),
+            format!("{} (q1: {})", hashed.len(), optimized.len()),
+            format!("{:.4}", eager_elapsed.as_secs_f64()),
+            format!("{:.4}", hash_elapsed.as_secs_f64()),
+            format!("{:.4}", optimized_elapsed.as_secs_f64()),
+            format!("{speedup:.1}x"),
+        ]);
+    }
+    // The optimizer output is stable across scales; record its shape once
+    // so regressions in rule firing show up in the table diff.
+    let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.01).with_seed(1));
+    let optimized = optimize_plan(&q1_plan(), &data.db).expect("valid q1 plan");
+    table.push_row(vec![
+        "optimized_q1_nodes".to_string(),
+        optimized.node_count().to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
     table
 }
 

@@ -16,7 +16,7 @@ pub mod table;
 
 pub use experiments::{
     ablation_conditioning, ablation_decomposition, fig10, fig11a, fig11b, fig12, fig13,
-    ExperimentScale,
+    orders_lineitem_join_plan, planned_vs_eager, ExperimentScale,
 };
 pub use runner::{run_algorithm, Algorithm, RunOutcome};
 pub use table::ResultTable;

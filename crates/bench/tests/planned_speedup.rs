@@ -1,0 +1,50 @@
+//! Acceptance test for the planned executor: on the TPC-H-shaped
+//! equi-join, the pipelined hash join must beat the eager nested loop by
+//! at least 5x (the expected gap is well above 20x — the nested loop
+//! touches |orders'| × |lineitem| pairs, the hash join |orders'| +
+//! |lineitem| + output — so the margin absorbs machine noise and debug
+//! builds alike).
+
+use std::time::{Duration, Instant};
+
+use uprob_bench::orders_lineitem_join_plan;
+use uprob_datagen::{TpchConfig, TpchDatabase};
+
+/// Wall-clock of the fastest of `runs` executions of `f`.
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+#[test]
+fn hash_join_beats_nested_loop_by_5x() {
+    // ~300 orders (half pass the date selection) x 1200 lineitems: large
+    // enough that the nested loop's 180k pairs dominate its constant
+    // costs, small enough for debug-mode CI.
+    let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.02).with_seed(2008));
+    let join = orders_lineitem_join_plan();
+
+    let eager_reference = data.db.query_eager(&join).unwrap();
+    let planned = data.db.query(&join).unwrap();
+    assert_eq!(
+        eager_reference.rows(),
+        planned.rows(),
+        "the two paths must compute the same join"
+    );
+    assert!(!planned.is_empty(), "the join must produce rows");
+
+    let eager = best_of(2, || data.db.query_eager(&join).unwrap());
+    let hashed = best_of(2, || data.db.query(&join).unwrap());
+    let speedup = eager.as_secs_f64() / hashed.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 5.0,
+        "hash join speedup over the nested loop is only {speedup:.1}x \
+         (eager {eager:?}, hash {hashed:?})"
+    );
+}

@@ -15,7 +15,10 @@
 //!   number of descriptors `w`;
 //! * [`random`]: small random world-tables and ws-sets (with non-uniform
 //!   distributions) plus proptest strategies, feeding the differential
-//!   confidence test harness.
+//!   confidence test harness;
+//! * [`random_plan`]: small random U-relational databases and random query
+//!   plans over them, feeding the differential plan-equivalence harness
+//!   (`tests/plan_equivalence.rs`).
 //!
 //! The paper ran TPC-H's `dbgen` at scale factors 0.01–0.10 on a 2008-era
 //! machine; this crate substitutes an in-process, seeded generator that
@@ -29,10 +32,17 @@
 
 pub mod hard;
 pub mod random;
+pub mod random_plan;
 pub mod tpch;
 pub mod tpch_queries;
 
 pub use hard::{HardInstance, HardInstanceConfig};
 pub use random::{arb_small_recipe, random_small_instance, SmallInstance, SmallInstanceRecipe};
+pub use random_plan::{
+    arb_plan_case, arb_small_db_recipe, PlanCaseRecipe, PlanRecipe, PredicateRecipe,
+    RelationRecipe, SmallDbRecipe,
+};
 pub use tpch::{TpchConfig, TpchDatabase};
-pub use tpch_queries::{q1_answer, q1_answer_relation, q2_answer, q2_answer_relation, QueryAnswer};
+pub use tpch_queries::{
+    q1_answer, q1_answer_relation, q1_plan, q2_answer, q2_answer_relation, q2_plan, QueryAnswer,
+};

@@ -94,7 +94,7 @@ impl SmallInstanceRecipe {
 /// A random non-uniform distribution over `k` alternatives labelled
 /// `0..k`: weights are drawn from `[0.05, 1)` and normalised, with the last
 /// probability set to the exact remainder so the distribution sums to 1.
-fn random_distribution(rng: &mut StdRng, k: usize) -> Vec<(i64, f64)> {
+pub(crate) fn random_distribution(rng: &mut StdRng, k: usize) -> Vec<(i64, f64)> {
     let weights: Vec<f64> = (0..k).map(|_| rng.random_range(0.05..1.0)).collect();
     let total: f64 = weights.iter().sum();
     let mut alternatives = Vec::with_capacity(k);

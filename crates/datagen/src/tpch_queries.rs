@@ -18,7 +18,7 @@
 use std::collections::{HashMap, HashSet};
 
 use uprob_urel::algebra;
-use uprob_urel::{ColumnType, Comparison, Expr, Predicate, Schema, Tuple, URelation, Value};
+use uprob_urel::{ColumnType, Comparison, Expr, Plan, Predicate, Schema, Tuple, URelation, Value};
 use uprob_wsd::{WsDescriptor, WsSet};
 
 use crate::tpch::{customer_columns, dates, lineitem_columns, orders_columns, TpchDatabase};
@@ -187,6 +187,49 @@ fn q2_predicate_holds(tuple: &Tuple) -> bool {
         && quantity < 24
 }
 
+/// Q1 as a logical query [`Plan`], in the textbook unoptimized shape the
+/// SQL of Figure 10 parses to: a selection over the cross product of the
+/// three relations, projected onto the order key. Run through
+/// [`uprob_urel::ProbDb::query`] the optimizer pushes the single-table
+/// conjuncts below the products, recognizes the two equi-joins and
+/// executes them as hash joins — producing exactly the rows of
+/// [`q1_answer_relation`] (same schema, set-equal rows).
+pub fn q1_plan() -> Plan {
+    Plan::scan("customer")
+        .product(Plan::scan("orders"))
+        .product(Plan::scan("lineitem"))
+        .select(
+            Predicate::col_eq("mktsegment", "BUILDING")
+                .and(Predicate::cols_eq("custkey", "orders.custkey"))
+                .and(Predicate::cmp(
+                    Expr::col("orderdate"),
+                    Comparison::Gt,
+                    Expr::val(dates::DATE_1995_03_15),
+                ))
+                .and(Predicate::cols_eq("orderkey", "lineitem.orderkey")),
+        )
+        .project(&["orderkey"])
+        .rename("q1")
+}
+
+/// Q2 as a logical query [`Plan`]: the safe selection on `lineitem`,
+/// projected onto the order key (the per-tuple `conf()` form of
+/// [`q2_answer_relation`]).
+pub fn q2_plan() -> Plan {
+    Plan::scan("lineitem")
+        .select(
+            Predicate::between("shipdate", dates::DATE_1994_01_01, dates::DATE_1996_01_01)
+                .and(Predicate::between("discount", 0.05, 0.08))
+                .and(Predicate::cmp(
+                    Expr::col("quantity"),
+                    Comparison::Lt,
+                    Expr::val(24i64),
+                )),
+        )
+        .project(&["orderkey"])
+        .rename("q2")
+}
+
 /// Reference evaluation of Q1 using the generic relational-algebra
 /// operators (nested-loop joins); quadratic, use only on small instances.
 pub fn q1_answer_algebra(data: &TpchDatabase) -> QueryAnswer {
@@ -331,6 +374,55 @@ mod tests {
         let q2 = q2_answer(&data).ws_set_size() as f64 / lineitems;
         assert!((0.05..0.20).contains(&q1), "Q1 selectivity {q1}");
         assert!((0.02..0.10).contains(&q2), "Q2 selectivity {q2}");
+    }
+
+    #[test]
+    fn q1_plan_matches_the_hand_written_hash_join() {
+        let data = tiny();
+        let planned = data.db.query(&q1_plan()).unwrap();
+        let reference = q1_answer_relation(&data);
+        assert_eq!(planned.schema(), reference.schema());
+        let as_set = |rel: &URelation| -> HashSet<(Tuple, WsDescriptor)> {
+            rel.rows().iter().cloned().collect()
+        };
+        assert_eq!(planned.len(), reference.len());
+        assert_eq!(as_set(&planned), as_set(&reference));
+        // The optimizer recognized both equi-joins: no cross product
+        // survives in the optimized plan.
+        let optimized = uprob_urel::optimize_plan(&q1_plan(), &data.db).unwrap();
+        fn has_product(plan: &Plan) -> bool {
+            match plan {
+                Plan::Product { .. } => true,
+                Plan::Scan { .. } | Plan::Empty { .. } => false,
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Rename { input, .. }
+                | Plan::Distinct { input } => has_product(input),
+                Plan::Join { left, right, .. } | Plan::Union { left, right } => {
+                    has_product(left) || has_product(right)
+                }
+            }
+        }
+        assert!(!has_product(&optimized), "products remain:\n{optimized}");
+        // And all three execution paths agree — on a smaller instance,
+        // because the eager reference materialises the full cross-product
+        // chain of the unoptimized plan.
+        let small =
+            TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.005).with_seed(42));
+        let eager = small.db.query_eager(&q1_plan()).unwrap();
+        let unoptimized = small.db.query_unoptimized(&q1_plan()).unwrap();
+        let planned_small = small.db.query(&q1_plan()).unwrap();
+        assert_eq!(as_set(&eager), as_set(&planned_small));
+        assert_eq!(eager.rows(), unoptimized.rows());
+    }
+
+    #[test]
+    fn q2_plan_matches_the_scan_evaluation() {
+        let data = tiny();
+        let planned = data.db.query(&q2_plan()).unwrap();
+        let reference = q2_answer_relation(&data);
+        assert_eq!(planned.schema(), reference.schema());
+        assert_eq!(planned.rows(), reference.rows());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!   *satisfy* them, and the `assert[·]` operation that conditions a
 //!   database on a constraint (Section 5);
 //! * the confidence comparison predicates that motivate exact computation
-//!   in the paper (e.g. `conf(t) = 1`, "certain answers").
+//!   in the paper (e.g. `conf(t) = 1`, "certain answers");
+//! * [`planned`]: the same `conf()` aggregates over logical query plans —
+//!   `ProbDb::query(plan)` (rule-based optimization + pipelined hash-join
+//!   execution) composed with the batch confidence paths in one call.
 //!
 //! ## Example: the introduction's data-cleaning scenario
 //!
@@ -62,6 +65,7 @@
 pub mod confidence;
 pub mod constraints;
 pub mod error;
+pub mod planned;
 
 pub use confidence::{
     answer_confidences, answer_confidences_with_cache, answer_confidences_with_strategy,
@@ -72,6 +76,10 @@ pub use constraints::{
     assert_constraint, assert_constraint_with_strategy, Assertion, Constraint, EstimatedAssertion,
 };
 pub use error::QueryError;
+pub use planned::{
+    planned_answer_confidences, planned_answer_confidences_with_cache,
+    planned_answer_confidences_with_strategy, planned_boolean_confidence,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -76,12 +76,19 @@ pub fn join(
     let mut out = URelation::new(schema.clone());
     for (lt, ld) in left.iter() {
         for (rt, rd) in right.iter() {
-            // ψ: the two descriptors must have a common extension.
-            let Ok(combined) = ld.union(rd) else {
+            // ψ: the two descriptors must have a common extension. The
+            // consistency check is an allocation-free merge scan, so
+            // inconsistent pairs are skipped before paying for the tuple
+            // concatenation, the predicate evaluation, or the descriptor
+            // union (which is only materialised for matching pairs).
+            if !ld.is_consistent_with(rd) {
                 continue;
-            };
+            }
             let tuple = lt.concat(rt);
             if predicate.eval(&schema, &tuple)? {
+                let combined = ld
+                    .union(rd)
+                    .expect("consistent descriptors always have a union");
                 out.push(tuple, combined);
             }
         }
@@ -104,6 +111,24 @@ pub fn union(left: &URelation, right: &URelation, name: &str) -> Result<URelatio
         out.push(t.clone(), d.clone());
     }
     Ok(out)
+}
+
+/// Duplicate elimination `δ(R)`: drops rows whose `(tuple, descriptor)`
+/// pair already occurred, keeping first occurrences in order. World-by-world
+/// correct: identical rows are present in exactly the same worlds, so the
+/// instantiated output (a set) is unchanged. Rows carrying the same tuple
+/// under *different* descriptors are kept — they are distinct derivations
+/// and their world-sets union in [`URelation::tuple_ws_set`].
+pub fn distinct(relation: &URelation) -> URelation {
+    let mut seen: std::collections::HashSet<(&Tuple, &uprob_wsd::WsDescriptor)> =
+        std::collections::HashSet::new();
+    let mut out = URelation::new(relation.schema().clone());
+    for (t, d) in relation.iter() {
+        if seen.insert((t, d)) {
+            out.push(t.clone(), d.clone());
+        }
+    }
+    out
 }
 
 /// Renames a relation (schema name only; columns are unchanged).
@@ -248,6 +273,107 @@ mod tests {
             expected.dedup();
             assert_eq!(out_instance, expected);
         }
+    }
+
+    #[test]
+    fn join_skips_inconsistent_pairs_before_the_predicate() {
+        // A predicate that errors on evaluation: if the join evaluated it
+        // on descriptor-inconsistent pairs, every pairing below would fail.
+        // Two single-row relations whose descriptors assign the same
+        // variable different values are inconsistent, so the bad predicate
+        // is never reached and the join is empty.
+        let mut w = uprob_wsd::WorldTable::new();
+        let x = w.add_variable("x", &[(0, 0.5), (1, 0.5)]).unwrap();
+        let schema = Schema::new("L", &[("A", ColumnType::Int)]);
+        let mut l = URelation::new(schema);
+        l.push(
+            Tuple::new(vec![Value::Int(1)]),
+            WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap(),
+        );
+        let mut r = URelation::new(Schema::new("R", &[("B", ColumnType::Int)]));
+        r.push(
+            Tuple::new(vec![Value::Int(2)]),
+            WsDescriptor::from_pairs(&w, &[(x, 1)]).unwrap(),
+        );
+        let bad = Predicate::col_eq("NO_SUCH_COLUMN", 0i64);
+        let joined = join(&l, &r, &bad, "J").unwrap();
+        assert!(joined.is_empty());
+        let crossed = product(&l, &r, "P").unwrap();
+        assert!(crossed.is_empty());
+        // With a consistent right side the predicate *is* evaluated and the
+        // error surfaces.
+        let mut r2 = URelation::new(Schema::new("R2", &[("B", ColumnType::Int)]));
+        r2.push(
+            Tuple::new(vec![Value::Int(2)]),
+            WsDescriptor::from_pairs(&w, &[(x, 0)]).unwrap(),
+        );
+        assert!(join(&l, &r2, &bad, "J").is_err());
+    }
+
+    #[test]
+    fn join_with_empty_relations_is_empty() {
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let empty = URelation::new(r.schema().renamed("E"));
+        for (a, b) in [(r, &empty), (&empty, r), (&empty, &empty)] {
+            let j = join(a, b, &Predicate::True, "J").unwrap();
+            assert!(j.is_empty());
+            assert_eq!(j.schema().arity(), 4);
+            assert!(product(a, b, "P").unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn self_join_keeps_identical_descriptor_pairs() {
+        // Self-join with the same variable on both sides: a row paired with
+        // itself has a (trivially consistent) identical descriptor, and the
+        // union is that descriptor again — no duplicated assignments.
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        let r2 = rename(r, "R2");
+        let self_pairs = join(
+            r,
+            &r2,
+            &Predicate::cols_eq("SSN", "R2.SSN").and(Predicate::cols_eq("NAME", "R2.NAME")),
+            "S",
+        )
+        .unwrap();
+        // Exactly the four diagonal pairs survive (distinct rows differ in
+        // SSN or NAME, or are descriptor-inconsistent).
+        assert_eq!(self_pairs.len(), 4);
+        for (tuple, descriptor) in self_pairs.iter() {
+            assert_eq!(descriptor.len(), 1, "no duplicated assignments");
+            assert_eq!(tuple.get(0), tuple.get(2));
+            assert_eq!(tuple.get(1), tuple.get(3));
+        }
+        // World-by-world, the self-join equals the classical self-join of
+        // the instantiated input.
+        for (world, _p) in db.world_table().enumerate_worlds() {
+            let got = self_pairs.instantiate(&world);
+            let expected: Vec<Tuple> = {
+                let mut v: Vec<Tuple> = r.instantiate(&world).iter().map(|t| t.concat(t)).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn distinct_drops_only_identical_rows() {
+        let db = ssn_db();
+        let r = db.relation("R").unwrap();
+        // Duplicate every row and add a same-tuple/different-descriptor row.
+        let mut doubled = union(r, r, "U").unwrap();
+        let extra = Tuple::new(vec![Value::Int(7), Value::str("Bill")]);
+        doubled.push(extra.clone(), WsDescriptor::empty());
+        let deduped = distinct(&doubled);
+        // 4 distinct rows + the extra derivation of (7, Bill).
+        assert_eq!(deduped.len(), 5);
+        assert_eq!(deduped.tuple_ws_set(&extra).len(), 2);
+        // Idempotent, and a no-op on an already-duplicate-free relation.
+        assert_eq!(distinct(&deduped), deduped);
+        assert_eq!(distinct(r).len(), 4);
     }
 
     #[test]

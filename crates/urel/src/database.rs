@@ -176,6 +176,48 @@ impl ProbDb {
         Ok(())
     }
 
+    /// Evaluates a logical query [`Plan`](crate::Plan) against this
+    /// database: the plan is first rewritten by the rule-based optimizer
+    /// ([`crate::optimize_plan`] — predicate/projection pushdown,
+    /// select-product → join recognition, trivial-predicate and
+    /// empty-relation pruning) and then run through the pipelined executor
+    /// ([`crate::execute_plan`] — streaming operators, hash equi-joins).
+    ///
+    /// The result is row-for-row identical (same order, same descriptors)
+    /// to the eager reference [`ProbDb::query_eager`]; the answer feeds
+    /// directly into the `conf()` / constraint layer of `uprob-query`.
+    ///
+    /// # Errors
+    ///
+    /// Returns plan-validation errors (unknown relations/columns,
+    /// predicate type errors, union incompatibility).
+    pub fn query(&self, plan: &crate::Plan) -> Result<URelation> {
+        let optimized = crate::optimize_plan(plan, self)?;
+        crate::execute_plan(self, &optimized)
+    }
+
+    /// Runs a plan through the pipelined executor *without* optimizing it
+    /// first (used to isolate optimizer effects in tests and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Returns plan-validation errors.
+    pub fn query_unoptimized(&self, plan: &crate::Plan) -> Result<URelation> {
+        crate::execute_plan(self, plan)
+    }
+
+    /// Runs a plan through the eager, materializing reference interpreter
+    /// (nested-loop joins; see [`crate::execute_plan_eager`]). The
+    /// semantics oracle for the other two paths — quadratic, keep it away
+    /// from large inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns plan-validation errors.
+    pub fn query_eager(&self, plan: &crate::Plan) -> Result<URelation> {
+        crate::execute_plan_eager(self, plan)
+    }
+
     /// Materialises the deterministic database of one possible world.
     pub fn instantiate_world(&self, world: &[ValueIndex]) -> WorldInstance {
         self.relations
@@ -209,12 +251,13 @@ impl fmt::Display for ProbDb {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::schema::ColumnType;
     use crate::value::Value;
 
-    /// Builds the SSN database of Figures 1/2.
+    /// Builds the SSN database of Figures 1/2 (shared with the plan-layer
+    /// tests).
     pub(crate) fn ssn_db() -> ProbDb {
         let mut db = ProbDb::new();
         let j = db

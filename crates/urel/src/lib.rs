@@ -11,7 +11,12 @@
 //!   U-relations) with possible-world semantics,
 //! * the **positive relational algebra** on U-relations: selection,
 //!   projection, join (with the ws-descriptor consistency condition),
-//!   cross product, union and tuple-possibility helpers.
+//!   cross product, union and tuple-possibility helpers,
+//! * **logical query plans** over that algebra: the [`Plan`] AST, the
+//!   rule-based [`optimize_plan`] rewriter (predicate/projection pushdown,
+//!   select-product → join recognition, trivial-predicate and
+//!   empty-relation pruning) and the pipelined [`execute_plan`] executor
+//!   with hash equi-joins — run end-to-end via [`ProbDb::query`].
 //!
 //! The query/constraint layer (`uprob-query`) and the confidence /
 //! conditioning algorithms (`uprob-core`) are built on top of this crate.
@@ -52,6 +57,9 @@
 pub mod algebra;
 pub mod database;
 pub mod error;
+pub mod exec;
+pub mod optimizer;
+pub mod plan;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
@@ -60,6 +68,9 @@ pub mod value;
 
 pub use database::ProbDb;
 pub use error::UrelError;
+pub use exec::execute_plan;
+pub use optimizer::optimize_plan;
+pub use plan::{execute_plan_eager, Plan};
 pub use predicate::{ColumnRef, Comparison, Expr, Predicate};
 pub use relation::URelation;
 pub use schema::{Column, ColumnType, Schema};

@@ -76,11 +76,14 @@ pub mod prelude {
     pub use uprob_query::{
         answer_confidences, answer_confidences_with_cache, answer_confidences_with_strategy,
         assert_constraint, assert_constraint_with_strategy, boolean_confidence, certain_tuples,
-        possible_tuples, tuple_confidences, tuple_confidences_sequential, AnswerConfidences,
-        Assertion, Constraint, EstimatedAssertion, StrategyAnswerConfidences,
+        planned_answer_confidences, planned_answer_confidences_with_cache,
+        planned_answer_confidences_with_strategy, planned_boolean_confidence, possible_tuples,
+        tuple_confidences, tuple_confidences_sequential, AnswerConfidences, Assertion, Constraint,
+        EstimatedAssertion, StrategyAnswerConfidences,
     };
     pub use uprob_urel::{
-        algebra, ColumnType, Comparison, Expr, Predicate, ProbDb, Schema, Tuple, URelation, Value,
+        algebra, execute_plan, execute_plan_eager, optimize_plan, ColumnType, Comparison, Expr,
+        Plan, Predicate, ProbDb, Schema, Tuple, URelation, Value,
     };
     pub use uprob_wsd::{DomainValue, ValueIndex, VarId, WorldTable, WsDescriptor, WsSet};
 }

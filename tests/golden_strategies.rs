@@ -6,7 +6,7 @@
 //! must land within the requested ε on a brute-forceable downscaled twin.
 
 use uprob::datagen::{
-    q1_answer_relation, HardInstance, HardInstanceConfig, TpchConfig, TpchDatabase,
+    q1_answer_relation, q1_plan, HardInstance, HardInstanceConfig, TpchConfig, TpchDatabase,
 };
 use uprob::prelude::*;
 
@@ -239,6 +239,239 @@ fn fig10_tpch_fixture_through_all_three_strategies() {
     .unwrap();
     assert_eq!(approx.sampled_tuples(), approx.tuples.len());
     for ((t1, r1), (_, r2)) in exact.tuples.iter().zip(&approx.tuples) {
+        assert!(
+            (r1.probability - r2.probability).abs() <= epsilon * r1.probability + 0.02,
+            "tuple {t1:?}: exact {}, sampled {}",
+            r1.probability,
+            r2.probability
+        );
+    }
+}
+
+#[test]
+fn figure3_through_a_query_plan_and_all_three_strategies() {
+    // The Figure 3 ws-set wrapped into a stored relation: projecting a scan
+    // to the nullary schema is the Boolean query whose answer ws-set
+    // collects all five descriptors — exact probability 0.7578.
+    let (w, s) = figure3();
+    let mut db = ProbDb::with_world_table(w);
+    let mut f = db
+        .create_relation(Schema::new("F", &[("ID", ColumnType::Int)]))
+        .unwrap();
+    for (i, d) in s.iter().enumerate() {
+        f.push(Tuple::new(vec![Value::Int(i as i64)]), d.clone());
+    }
+    db.insert_relation(f).unwrap();
+    let plan = Plan::scan("F").project(&[]);
+    let options = DecompositionOptions::indve_minlog();
+
+    // Planned and eager answers are row-identical, and the exact route is
+    // bit-identical between them.
+    let planned = db.query(&plan).unwrap();
+    let eager = db.query_eager(&plan).unwrap();
+    assert_eq!(planned.rows(), eager.rows());
+    let planned_exact = estimate_confidence(
+        &planned.answer_ws_set(),
+        db.world_table(),
+        &options,
+        &ConfidenceStrategy::Exact,
+        None,
+    )
+    .unwrap();
+    let eager_exact = estimate_confidence(
+        &eager.answer_ws_set(),
+        db.world_table(),
+        &options,
+        &ConfidenceStrategy::Exact,
+        None,
+    )
+    .unwrap();
+    assert!((planned_exact.probability - 0.7578).abs() < 1e-12);
+    assert_eq!(
+        planned_exact.probability.to_bits(),
+        eager_exact.probability.to_bits()
+    );
+
+    // Hybrid: the exact value, bit for bit; Approximate: within its ε-band.
+    let hybrid = estimate_confidence(
+        &planned.answer_ws_set(),
+        db.world_table(),
+        &options,
+        &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+        None,
+    )
+    .unwrap();
+    assert_eq!(hybrid.path, ResolvedPath::Exact);
+    assert_eq!(
+        hybrid.probability.to_bits(),
+        planned_exact.probability.to_bits()
+    );
+    let epsilon = 0.05;
+    let approx = estimate_confidence(
+        &planned.answer_ws_set(),
+        db.world_table(),
+        &options,
+        &ConfidenceStrategy::approximate(epsilon, 0.05).with_seed(2008),
+        None,
+    )
+    .unwrap();
+    assert!((approx.probability - 0.7578).abs() <= epsilon * 0.7578 + 0.01);
+}
+
+#[test]
+fn example_5_1_through_a_query_plan_and_all_three_strategies() {
+    // The FD-violation self-join of Example 2.3 as a plan: its Boolean
+    // confidence is 0.56, so the FD of Example 5.1 holds with 1 − 0.56 =
+    // 0.44 — the same value `assert[SSN → NAME]` computes.
+    let (db, fd) = ssn_db();
+    let violation = Plan::scan("R")
+        .join_on(
+            Plan::scan("R").rename("R2"),
+            Predicate::cols_eq("SSN", "R2.SSN").and(Predicate::cmp(
+                Expr::col("NAME"),
+                Comparison::Ne,
+                Expr::col("R2.NAME"),
+            )),
+        )
+        .project(&[]);
+    let options = DecompositionOptions::indve_minlog();
+
+    let planned = db.query(&violation).unwrap();
+    let eager = db.query_eager(&violation).unwrap();
+    assert_eq!(planned.rows(), eager.rows(), "planned answer must match");
+
+    let exact = estimate_confidence(
+        &planned.answer_ws_set(),
+        db.world_table(),
+        &options,
+        &ConfidenceStrategy::Exact,
+        None,
+    )
+    .unwrap();
+    assert!((exact.probability - 0.56).abs() < 1e-12);
+    let conditioned =
+        assert_constraint_with_strategy(&db, &fd, &Default::default(), &ConfidenceStrategy::Exact)
+            .unwrap();
+    assert!((conditioned.confidence() - (1.0 - exact.probability)).abs() < 1e-12);
+    assert!((conditioned.confidence() - 0.44).abs() < 1e-12);
+
+    let hybrid = estimate_confidence(
+        &planned.answer_ws_set(),
+        db.world_table(),
+        &options,
+        &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+        None,
+    )
+    .unwrap();
+    assert_eq!(hybrid.probability.to_bits(), exact.probability.to_bits());
+    let epsilon = 0.1;
+    let approx = estimate_confidence(
+        &planned.answer_ws_set(),
+        db.world_table(),
+        &options,
+        &ConfidenceStrategy::approximate(epsilon, 0.05).with_seed(56),
+        None,
+    )
+    .unwrap();
+    assert!((approx.probability - 0.56).abs() <= epsilon * 0.56 + 0.02);
+
+    // Planned queries compose with conditioning: on the posterior database
+    // the certain NAME set is queried through a plan.
+    let Assertion::Materialized(posterior) = conditioned else {
+        unreachable!("exact assertion materializes")
+    };
+    let bills = posterior
+        .db
+        .query(
+            &Plan::scan("R")
+                .select(Predicate::col_eq("NAME", "Bill"))
+                .project(&["SSN"]),
+        )
+        .unwrap();
+    let answers = tuple_confidences(
+        &bills,
+        posterior.db.world_table(),
+        &DecompositionOptions::default(),
+    )
+    .unwrap();
+    let p4 = answers
+        .iter()
+        .find(|(t, _)| t.get(0) == Some(&Value::Int(4)))
+        .unwrap()
+        .1;
+    assert!((p4 - 0.3 / 0.44).abs() < 1e-9);
+}
+
+#[test]
+fn tpch_q1_through_a_query_plan_and_all_three_strategies() {
+    // Small instance: the eager reference materialises the unoptimized
+    // cross-product chain of the q1 plan.
+    let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.005).with_seed(7));
+    let world_table = data.db.world_table();
+    let options = DecompositionOptions::indve_minlog();
+
+    let planned = data.db.query(&q1_plan()).unwrap();
+    let eager = data.db.query_eager(&q1_plan()).unwrap();
+    assert!(!planned.is_empty(), "the instance has Q1 answers");
+    assert_eq!(planned.rows(), eager.rows(), "same rows, same order");
+
+    let planned_exact = answer_confidences_with_strategy(
+        &planned,
+        world_table,
+        &options,
+        &ConfidenceStrategy::Exact,
+        Some(1),
+    )
+    .unwrap();
+    let eager_exact = answer_confidences_with_strategy(
+        &eager,
+        world_table,
+        &options,
+        &ConfidenceStrategy::Exact,
+        Some(1),
+    )
+    .unwrap();
+    assert_eq!(planned_exact.tuples.len(), eager_exact.tuples.len());
+    for ((t1, r1), (t2, r2)) in planned_exact.tuples.iter().zip(&eager_exact.tuples) {
+        assert_eq!(t1, t2);
+        assert_eq!(
+            r1.probability.to_bits(),
+            r2.probability.to_bits(),
+            "tuple {t1:?}: planned exact conf must be bit-identical to eager"
+        );
+    }
+    assert_eq!(
+        planned_exact.boolean.probability.to_bits(),
+        eager_exact.boolean.probability.to_bits()
+    );
+
+    // Hybrid with an ample budget: bit-identical, no fallback.
+    let hybrid = planned_answer_confidences_with_strategy(
+        &data.db,
+        &q1_plan(),
+        &options,
+        &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+        Some(2),
+    )
+    .unwrap();
+    assert_eq!(hybrid.sampled_tuples(), 0);
+    for ((t1, r1), (t2, r2)) in planned_exact.tuples.iter().zip(&hybrid.tuples) {
+        assert_eq!(t1, t2);
+        assert_eq!(r1.probability.to_bits(), r2.probability.to_bits());
+    }
+
+    // Approximate: in-band per tuple (pinned seed).
+    let epsilon = 0.1;
+    let approx = planned_answer_confidences_with_strategy(
+        &data.db,
+        &q1_plan(),
+        &options,
+        &ConfidenceStrategy::approximate(epsilon, 0.05).with_seed(1995),
+        Some(2),
+    )
+    .unwrap();
+    assert_eq!(approx.sampled_tuples(), approx.tuples.len());
+    for ((t1, r1), (_, r2)) in planned_exact.tuples.iter().zip(&approx.tuples) {
         assert!(
             (r1.probability - r2.probability).abs() <= epsilon * r1.probability + 0.02,
             "tuple {t1:?}: exact {}, sampled {}",
