@@ -72,7 +72,10 @@ pub fn conditioned_monte_carlo(
         table,
         &sub.with_seed(options.stream_seed(CONDITION_STREAM)),
     )?;
-    if condition_run.estimate <= 0.0 {
+    // A NaN estimate is treated like zero: a condition whose sampled
+    // probability vanishes makes the posterior undefined — the typed
+    // error, never a NaN/Inf ratio.
+    if condition_run.estimate <= 0.0 || condition_run.estimate.is_nan() {
         return Err(ApproxError::ImpossibleCondition);
     }
     let joint_set = query.intersect(condition).normalized();

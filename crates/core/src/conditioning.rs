@@ -306,7 +306,9 @@ pub fn condition(
     }
 
     let (confidence, rewritten) = conditioner.cond(condition, tagged, 1)?;
-    if confidence <= 0.0 {
+    // A NaN confidence is treated like zero: a degenerate condition must
+    // surface as the typed error, never as a NaN/Inf posterior.
+    if confidence <= 0.0 || confidence.is_nan() {
         return Err(CoreError::EmptyCondition);
     }
     let new_variables = conditioner.sources.len();
@@ -342,6 +344,45 @@ pub fn condition(
         stats: conditioner.stats,
         new_variables,
     })
+}
+
+/// The intersection of several condition ws-sets (Section 3.2), normalised
+/// between folds: the world-set of the *conjunction*. The empty slice
+/// yields the universal set (the empty conjunction is true everywhere);
+/// a one-element slice yields a normalised copy of that set.
+pub fn intersect_conditions(conditions: &[WsSet]) -> WsSet {
+    let mut iter = conditions.iter();
+    let Some(first) = iter.next() else {
+        return WsSet::universal();
+    };
+    let mut combined = first.normalized();
+    for set in iter {
+        combined = combined.intersect(set);
+        combined.normalize();
+    }
+    combined
+}
+
+/// Conditions `db` on the **conjunction** of several conditions in a
+/// single pass: the condition ws-sets are intersected once
+/// ([`intersect_conditions`]) and the decomposition/renormalisation of
+/// [`condition`] runs exactly once over the combined set — instead of
+/// materialising an intermediate posterior database per condition, which
+/// re-translates every U-relation and re-runs the fresh-variable
+/// re-weighting at each step. Asserts compose (Theorem 5.5), so the
+/// result represents the same posterior as the sequential fold.
+///
+/// # Errors
+///
+/// Same as [`condition`]; in particular [`CoreError::EmptyCondition`] when
+/// the conjunction is empty or has probability zero (mutually
+/// contradictory conditions).
+pub fn condition_all(
+    db: &ProbDb,
+    conditions: &[WsSet],
+    options: &ConditioningOptions,
+) -> Result<Conditioned> {
+    condition(db, &intersect_conditions(conditions), options)
 }
 
 /// The three simplification optimisations of Section 5:
@@ -853,5 +894,52 @@ mod tests {
         }
         // The combined confidence is the product of the step confidences.
         assert!((step1.confidence * step2.confidence - mass).abs() < 1e-9);
+
+        // condition_all on [B1, B2] (both over the *prior* table) is the
+        // single-pass equivalent: same confidence as the product, same
+        // posterior instance distribution.
+        let b2 = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(db.world_table(), &[(y, 1)]).unwrap(),
+            WsDescriptor::from_pairs(db.world_table(), &[(y, 2)]).unwrap(),
+        ]);
+        let joint = condition_all(&db, &[b1.clone(), b2.clone()], &opts).unwrap();
+        assert!((joint.confidence - mass).abs() < 1e-12);
+        let joint_got = instance_distribution(&joint.db);
+        assert_eq!(expected.len(), joint_got.len());
+        for (key, p) in &expected {
+            assert!((p - joint_got[key]).abs() < 1e-9, "instance {key}");
+        }
+    }
+
+    #[test]
+    fn intersect_conditions_edge_cases() {
+        let (db, cond_set) = ssn_db_and_condition();
+        // Empty slice: the universal set (the empty conjunction).
+        assert!(intersect_conditions(&[]).contains_universal());
+        // Singleton: a normalised copy.
+        assert_eq!(
+            intersect_conditions(std::slice::from_ref(&cond_set)),
+            cond_set.normalized()
+        );
+        // Conjunction with the universal set is a no-op (modulo
+        // normalisation).
+        assert_eq!(
+            intersect_conditions(&[WsSet::universal(), cond_set.clone()]),
+            cond_set.normalized()
+        );
+        // Contradictory conditions intersect to the empty set, and
+        // condition_all reports the typed error.
+        let table = db.world_table();
+        let j = table.variable_by_name("j").unwrap();
+        let j1 = WsSet::from_descriptors(vec![WsDescriptor::from_pairs(table, &[(j, 1)]).unwrap()]);
+        let j7 = WsSet::from_descriptors(vec![WsDescriptor::from_pairs(table, &[(j, 7)]).unwrap()]);
+        assert!(intersect_conditions(&[j1.clone(), j7.clone()]).is_empty());
+        assert_eq!(
+            condition_all(&db, &[j1, j7], &ConditioningOptions::default()).unwrap_err(),
+            CoreError::EmptyCondition
+        );
+        // condition_all on no conditions is the identity.
+        let identity = condition_all(&db, &[], &ConditioningOptions::default()).unwrap();
+        assert!((identity.confidence - 1.0).abs() < 1e-12);
     }
 }

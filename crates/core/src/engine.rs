@@ -295,7 +295,9 @@ pub fn estimate_conditioned_confidence(
 ) -> Result<ConfidenceReport> {
     let exact_ratio = |options: &DecompositionOptions| -> Result<(f64, DecompositionStats)> {
         let condition_run = confidence_with_cache(condition, table, options, cache)?;
-        if condition_run.probability <= 0.0 {
+        // NaN is treated like zero: a zero-probability condition is the
+        // typed error, never a NaN/Inf posterior.
+        if condition_run.probability <= 0.0 || condition_run.probability.is_nan() {
             return Err(CoreError::EmptyCondition);
         }
         let joint_set = query.intersect(condition).normalized();
@@ -332,7 +334,7 @@ pub fn estimate_conditioned_confidence(
             let budgeted = decomposition.with_budget(*budget);
             let condition_run = match confidence_with_cache(condition, table, &budgeted, cache) {
                 Ok(run) => {
-                    if run.probability <= 0.0 {
+                    if run.probability <= 0.0 || run.probability.is_nan() {
                         return Err(CoreError::EmptyCondition);
                     }
                     Some(run)

@@ -66,7 +66,10 @@ pub mod stats;
 pub mod wstree;
 
 pub use cache::{CacheLookup, CacheStats, DecompositionCache, SharedDecompositionCache};
-pub use conditioning::{condition, Conditioned, ConditioningMethod, ConditioningOptions};
+pub use conditioning::{
+    condition, condition_all, intersect_conditions, Conditioned, ConditioningMethod,
+    ConditioningOptions,
+};
 pub use confidence::{confidence, confidence_brute_force, confidence_with_cache, tree_probability};
 pub use decompose::{build_tree, DecompositionMethod, DecompositionOptions};
 pub use elimination::{

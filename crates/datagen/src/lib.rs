@@ -18,7 +18,11 @@
 //!   confidence test harness;
 //! * [`random_plan`]: small random U-relational databases and random query
 //!   plans over them, feeding the differential plan-equivalence harness
-//!   (`tests/plan_equivalence.rs`).
+//!   (`tests/plan_equivalence.rs`);
+//! * [`random_constraints`]: random constraint workloads (with NULL
+//!   injections) for the sequential-vs-batch `assert` harness
+//!   (`tests/constraint_equivalence.rs`), plus the deterministic
+//!   FK/denial fixture behind the `constraint_pipeline` bench.
 //!
 //! The paper ran TPC-H's `dbgen` at scale factors 0.01–0.10 on a 2008-era
 //! machine; this crate substitutes an in-process, seeded generator that
@@ -32,12 +36,17 @@
 
 pub mod hard;
 pub mod random;
+pub mod random_constraints;
 pub mod random_plan;
 pub mod tpch;
 pub mod tpch_queries;
 
 pub use hard::{HardInstance, HardInstanceConfig};
 pub use random::{arb_small_recipe, random_small_instance, SmallInstance, SmallInstanceRecipe};
+pub use random_constraints::{
+    arb_constraint_case, ConstraintCaseRecipe, ConstraintRecipe, ConstraintWorkload,
+    ConstraintWorkloadConfig,
+};
 pub use random_plan::{
     arb_plan_case, arb_small_db_recipe, PlanCaseRecipe, PlanRecipe, PredicateRecipe,
     RelationRecipe, SmallDbRecipe,

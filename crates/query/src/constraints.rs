@@ -1,29 +1,66 @@
 //! Integrity constraints and the `assert[·]` operation.
 //!
 //! Conditioning is most naturally driven by constraints: "social security
-//! numbers are unique", "every reading lies in a valid range", etc. A
-//! [`Constraint`] is compiled into
+//! numbers are unique", "every order references an existing customer",
+//! "no two co-existing readings disagree", etc. A [`Constraint`] is
+//! compiled into
 //!
 //! 1. the ws-set of the worlds that *violate* it (a Boolean relational
-//!    algebra query, as in Example 2.3), and
+//!    query, as in Example 2.3), and
 //! 2. its complement — the ws-set of the worlds that *satisfy* it, obtained
 //!    with the ws-set difference operation of Section 3.2 —
 //!
 //! and [`assert_constraint`] conditions the database on the satisfying
 //! world-set using the algorithm of Section 5.
+//!
+//! ## The compilation pipeline
+//!
+//! Violation queries are built as logical [`Plan`]s
+//! (`uprob_urel::violations`) and executed through [`ProbDb::query`] — the
+//! rule-based optimizer plus the pipelined hash-join executor — so
+//! constraint checking inherits the hash-join speedup of the plan layer
+//! instead of running hand-rolled nested loops. The one exception is
+//! [`Constraint::InclusionDependency`]: "some child tuple has **no**
+//! matching parent" needs negation, which the positive algebra cannot
+//! express, so it is checked with the same hash-bucket technique directly
+//! (parent rows bucketed by key, one ws-set difference per child row).
+//!
+//! Constraint *sets* are asserted in a single pass: [`assert_all`] unions
+//! the violation ws-sets of all constraints, complements once (one
+//! difference against the universal set — by De Morgan this **is** the
+//! intersection of the per-constraint satisfying sets), and conditions /
+//! renormalises the ws-tree exactly once, instead of materialising an
+//! intermediate posterior database per constraint.
+//!
+//! ## NULL semantics
+//!
+//! All violation queries follow the SQL comparison rule (a comparison
+//! involving NULL is never satisfied). For functional dependencies and
+//! keys this means: tuples with a NULL determinant value never witness a
+//! violation (NULLs never match), while a dependent pair violates unless
+//! it is **provably equal** — a NULL dependent value cannot certify the
+//! FD, so it violates, including against a second occurrence of the same
+//! tuple. The eager reference compilation implements the identical rules
+//! tuple-by-tuple; see `uprob_urel::violations` and DESIGN.md.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use uprob_core::{
     condition, estimate_conditioned_confidence, estimate_confidence, Conditioned,
     ConditioningOptions, ConfidenceReport, ConfidenceStrategy, CoreError, DecompositionOptions,
     SharedDecompositionCache,
 };
-use uprob_urel::{Predicate, ProbDb, Tuple, URelation};
-use uprob_wsd::{WorldTable, WsSet};
+use uprob_urel::{
+    denial_constraint_plan, fd_violation_plan, row_filter_violation_plan, Plan, Predicate, ProbDb,
+    Schema, Tuple, URelation, UrelError, Value,
+};
+use uprob_wsd::{diff_descriptor_set, WorldTable, WsDescriptor, WsSet};
 
 use crate::error::QueryError;
 use crate::Result;
 
-/// An integrity constraint over one relation of a probabilistic database.
+/// An integrity constraint over a probabilistic database.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Constraint {
     /// A functional dependency `determinant → dependent`: no two co-existing
@@ -53,6 +90,45 @@ pub enum Constraint {
         /// The predicate every tuple must satisfy.
         predicate: Predicate,
     },
+    /// An inclusion dependency (foreign key):
+    /// `child[child_columns] ⊆ parent[parent_columns]` — in every world,
+    /// every child tuple's key must appear among the co-existing parent
+    /// tuples. A child key containing NULL satisfies the dependency
+    /// (SQL's `MATCH SIMPLE` rule), and parent keys containing NULL never
+    /// match anything.
+    InclusionDependency {
+        /// The referencing (child) relation.
+        child: String,
+        /// The referencing columns, in order.
+        child_columns: Vec<String>,
+        /// The referenced (parent) relation.
+        parent: String,
+        /// The referenced columns, in order (same arity and types as
+        /// `child_columns`).
+        parent_columns: Vec<String>,
+    },
+    /// A denial constraint: a cross-relation conjunctive query (atoms
+    /// joined by `condition`) whose non-emptiness marks a violating
+    /// world. Column references in `condition` follow the join
+    /// concatenation convention: unique columns keep their plain names,
+    /// clashing ones are `"<alias>.<column>"`.
+    DenialConstraint {
+        /// A short name used in error messages and reports.
+        name: String,
+        /// The atoms: `(relation, alias)`, scanned and renamed in order.
+        atoms: Vec<(String, String)>,
+        /// The violation condition over the concatenated schema.
+        condition: Predicate,
+    },
+    /// An arbitrary Boolean violation query: any plan projecting to the
+    /// nullary schema. A world violates the constraint iff the plan's
+    /// answer is non-empty there.
+    PlanConstraint {
+        /// A short name used in error messages and reports.
+        name: String,
+        /// The violation plan (must have arity 0).
+        plan: Plan,
+    },
 }
 
 impl Constraint {
@@ -81,6 +157,42 @@ impl Constraint {
         }
     }
 
+    /// Convenience constructor for an inclusion dependency (foreign key).
+    pub fn inclusion_dependency(
+        child: &str,
+        child_columns: &[&str],
+        parent: &str,
+        parent_columns: &[&str],
+    ) -> Self {
+        Constraint::InclusionDependency {
+            child: child.to_string(),
+            child_columns: child_columns.iter().map(|s| s.to_string()).collect(),
+            parent: parent.to_string(),
+            parent_columns: parent_columns.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Convenience constructor for a denial constraint.
+    pub fn denial(name: &str, atoms: &[(&str, &str)], condition: Predicate) -> Self {
+        Constraint::DenialConstraint {
+            name: name.to_string(),
+            atoms: atoms
+                .iter()
+                .map(|(r, a)| (r.to_string(), a.to_string()))
+                .collect(),
+            condition,
+        }
+    }
+
+    /// Convenience constructor for a plan-based constraint (the plan is
+    /// the *violation* query and must project to the nullary schema).
+    pub fn from_violation_plan(name: &str, plan: Plan) -> Self {
+        Constraint::PlanConstraint {
+            name: name.to_string(),
+            plan,
+        }
+    }
+
     /// A short human-readable description.
     pub fn describe(&self) -> String {
         match self {
@@ -102,31 +214,181 @@ impl Constraint {
             } => {
                 format!("{relation}: check({predicate})")
             }
+            Constraint::InclusionDependency {
+                child,
+                child_columns,
+                parent,
+                parent_columns,
+            } => format!(
+                "{child}({}) in {parent}({})",
+                child_columns.join(", "),
+                parent_columns.join(", ")
+            ),
+            Constraint::DenialConstraint { name, .. } => format!("denial({name})"),
+            Constraint::PlanConstraint { name, .. } => format!("plan({name})"),
         }
     }
 
-    /// The relation this constraint applies to.
-    pub fn relation(&self) -> &str {
+    /// The relations this constraint reads, in first-use order.
+    pub fn relations(&self) -> Vec<&str> {
         match self {
             Constraint::FunctionalDependency { relation, .. }
             | Constraint::Key { relation, .. }
-            | Constraint::RowFilter { relation, .. } => relation,
+            | Constraint::RowFilter { relation, .. } => vec![relation],
+            Constraint::InclusionDependency { child, parent, .. } => {
+                if child == parent {
+                    vec![child]
+                } else {
+                    vec![child, parent]
+                }
+            }
+            Constraint::DenialConstraint { atoms, .. } => {
+                let mut out: Vec<&str> = Vec::new();
+                for (relation, _) in atoms {
+                    if !out.contains(&relation.as_str()) {
+                        out.push(relation);
+                    }
+                }
+                out
+            }
+            Constraint::PlanConstraint { plan, .. } => plan.scanned_relations(),
         }
     }
 
-    /// The ws-set of the worlds that **violate** the constraint (the result
-    /// of the Boolean violation query, cf. Example 2.3).
+    /// Statically validates the constraint against `db`: referenced
+    /// relations and columns must exist, column lists must be non-empty
+    /// and duplicate-free, inclusion dependencies must pair columns of
+    /// equal arity and type, denial-constraint aliases must be unique and
+    /// their condition must type-check, and a plan constraint's violation
+    /// plan must be a Boolean (nullary-projection) query.
+    ///
+    /// Every assert entry point and every violation compilation runs this
+    /// first, so a malformed constraint fails here — with an error naming
+    /// the offending column — instead of deep inside plan execution.
     ///
     /// # Errors
     ///
-    /// Fails if the relation or a column does not exist.
-    pub fn violation_ws_set(&self, db: &ProbDb) -> Result<WsSet> {
+    /// [`QueryError::UnknownColumn`] for missing columns,
+    /// [`QueryError::InvalidConstraint`] for structural problems,
+    /// [`QueryError::Urel`] for unknown relations and predicate type
+    /// errors.
+    pub fn validate(&self, db: &ProbDb) -> Result<()> {
+        let invalid = |reason: String| QueryError::InvalidConstraint {
+            constraint: self.describe(),
+            reason,
+        };
         match self {
             Constraint::FunctionalDependency {
                 relation,
                 determinant,
                 dependent,
-            } => fd_violations(db, relation, determinant, dependent),
+            } => {
+                let schema = db.relation(relation)?.schema();
+                check_columns(self, relation, schema, determinant, "determinant")?;
+                check_columns(self, relation, schema, dependent, "dependent")?;
+                Ok(())
+            }
+            Constraint::Key { relation, columns } => {
+                let schema = db.relation(relation)?.schema();
+                check_columns(self, relation, schema, columns, "key")
+            }
+            Constraint::RowFilter {
+                relation,
+                predicate,
+            } => {
+                let schema = db.relation(relation)?.schema();
+                predicate
+                    .validate(schema)
+                    .map_err(|e| lift_column_error(e, relation))
+            }
+            Constraint::InclusionDependency {
+                child,
+                child_columns,
+                parent,
+                parent_columns,
+            } => {
+                let child_schema = db.relation(child)?.schema().clone();
+                let parent_schema = db.relation(parent)?.schema();
+                check_columns(self, child, &child_schema, child_columns, "child")?;
+                check_columns(self, parent, parent_schema, parent_columns, "parent")?;
+                if child_columns.len() != parent_columns.len() {
+                    return Err(invalid(format!(
+                        "column lists have different arity ({} vs {})",
+                        child_columns.len(),
+                        parent_columns.len()
+                    )));
+                }
+                for (c, p) in child_columns.iter().zip(parent_columns) {
+                    let ct = column_type(&child_schema, c);
+                    let pt = column_type(parent_schema, p);
+                    if ct != pt {
+                        return Err(invalid(format!(
+                            "column '{c}' has type {ct} but referenced column '{p}' has type {pt}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Constraint::DenialConstraint {
+                atoms, condition, ..
+            } => {
+                if atoms.is_empty() {
+                    return Err(invalid(
+                        "a denial constraint needs at least one atom".into(),
+                    ));
+                }
+                let mut seen: Vec<&str> = Vec::new();
+                for (relation, alias) in atoms {
+                    db.relation(relation)?;
+                    if alias.is_empty() {
+                        return Err(invalid(format!(
+                            "atom over '{relation}' has an empty alias"
+                        )));
+                    }
+                    if seen.contains(&alias.as_str()) {
+                        return Err(invalid(format!("duplicate atom alias '{alias}'")));
+                    }
+                    seen.push(alias);
+                }
+                // Type-check the condition against the concatenated schema
+                // the violation plan will produce.
+                let plan = denial_constraint_plan(atoms, condition);
+                plan.output_schema(db).map_err(QueryError::Urel)?;
+                Ok(())
+            }
+            Constraint::PlanConstraint { plan, .. } => {
+                let schema = plan.output_schema(db).map_err(QueryError::Urel)?;
+                if schema.arity() != 0 {
+                    return Err(invalid(format!(
+                        "violation plan must project to the nullary (Boolean) schema, \
+                         but has arity {}",
+                        schema.arity()
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The violation query as a logical [`Plan`], when the constraint is
+    /// expressible in the positive algebra: every variant except
+    /// [`Constraint::InclusionDependency`], whose "no matching parent
+    /// exists" needs negation and is checked with the hash-bucket
+    /// difference instead (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the constraint does not pass [`Constraint::validate`]
+    /// against `db` (the plan for a key constraint also needs the
+    /// relation's schema to enumerate the dependent columns).
+    pub fn violation_plan(&self, db: &ProbDb) -> Result<Option<Plan>> {
+        self.validate(db)?;
+        match self {
+            Constraint::FunctionalDependency {
+                relation,
+                determinant,
+                dependent,
+            } => Ok(Some(fd_violation_plan(relation, determinant, dependent))),
             Constraint::Key { relation, columns } => {
                 let rel = db.relation(relation)?;
                 let dependent: Vec<String> = rel
@@ -136,7 +398,81 @@ impl Constraint {
                     .map(|c| c.name.clone())
                     .filter(|name| !columns.contains(name))
                     .collect();
-                fd_violations(db, relation, columns, &dependent)
+                Ok(Some(fd_violation_plan(relation, columns, &dependent)))
+            }
+            Constraint::RowFilter {
+                relation,
+                predicate,
+            } => Ok(Some(row_filter_violation_plan(relation, predicate))),
+            Constraint::InclusionDependency { .. } => Ok(None),
+            Constraint::DenialConstraint {
+                atoms, condition, ..
+            } => Ok(Some(denial_constraint_plan(atoms, condition))),
+            Constraint::PlanConstraint { plan, .. } => Ok(Some(plan.clone())),
+        }
+    }
+
+    /// The ws-set of the worlds that **violate** the constraint (the result
+    /// of the Boolean violation query, cf. Example 2.3), normalised.
+    ///
+    /// Runs through [`ProbDb::query`] — rule-based optimization plus the
+    /// pipelined hash-join executor — except for inclusion dependencies
+    /// (hash-bucket difference; see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the constraint does not validate against `db`.
+    pub fn violation_ws_set(&self, db: &ProbDb) -> Result<WsSet> {
+        self.validate(db)?;
+        match self.violation_plan(db)? {
+            Some(plan) => {
+                let answer = db.query(&plan)?;
+                Ok(answer.answer_ws_set().normalized())
+            }
+            None => {
+                let Constraint::InclusionDependency {
+                    child,
+                    child_columns,
+                    parent,
+                    parent_columns,
+                } = self
+                else {
+                    unreachable!("only inclusion dependencies have no violation plan");
+                };
+                ind_violations(db, child, child_columns, parent, parent_columns, true)
+            }
+        }
+    }
+
+    /// The violation ws-set computed with the **eager reference**
+    /// compilation: hand-rolled tuple-pair loops for FDs/keys, the eager
+    /// materializing interpreter for planned constraints, and a nested
+    /// loop for inclusion dependencies. Semantically identical to
+    /// [`Constraint::violation_ws_set`] (the differential suite pins the
+    /// agreement, NULLs included) but asymptotically slower — it exists as
+    /// the oracle the optimized path is tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Constraint::violation_ws_set`].
+    pub fn violation_ws_set_eager(&self, db: &ProbDb) -> Result<WsSet> {
+        self.validate(db)?;
+        match self {
+            Constraint::FunctionalDependency {
+                relation,
+                determinant,
+                dependent,
+            } => fd_violations_eager(db, relation, determinant, dependent),
+            Constraint::Key { relation, columns } => {
+                let rel = db.relation(relation)?;
+                let dependent: Vec<String> = rel
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .filter(|name| !columns.contains(name))
+                    .collect();
+                fd_violations_eager(db, relation, columns, &dependent)
             }
             Constraint::RowFilter {
                 relation,
@@ -149,7 +485,21 @@ impl Constraint {
                         violations.push(descriptor.clone());
                     }
                 }
+                violations.normalize();
                 Ok(violations)
+            }
+            Constraint::InclusionDependency {
+                child,
+                child_columns,
+                parent,
+                parent_columns,
+            } => ind_violations(db, child, child_columns, parent, parent_columns, false),
+            Constraint::DenialConstraint { .. } | Constraint::PlanConstraint { .. } => {
+                let plan = self
+                    .violation_plan(db)?
+                    .expect("denial/plan constraints compile to plans");
+                let answer = db.query_eager(&plan)?;
+                Ok(answer.answer_ws_set().normalized())
             }
         }
     }
@@ -160,19 +510,104 @@ impl Constraint {
     ///
     /// # Errors
     ///
-    /// Fails if the relation or a column does not exist.
+    /// Fails if the constraint does not validate against `db`.
     pub fn satisfying_ws_set(&self, db: &ProbDb) -> Result<WsSet> {
         let violations = self.violation_ws_set(db)?;
-        let mut satisfying = WsSet::universal().difference(&violations, db.world_table());
-        satisfying.normalize();
-        Ok(satisfying)
+        Ok(complement(&violations, db.world_table()))
     }
 }
 
-/// Worlds in which two consistent tuples agree on `determinant` and differ
-/// on some `dependent` column: a self-join where the ws-descriptor
-/// consistency plays the role of the join condition ψ of Section 2.
-fn fd_violations(
+/// The complement `U − violations`, normalised (the satisfying world-set).
+fn complement(violations: &WsSet, table: &WorldTable) -> WsSet {
+    let mut satisfying = WsSet::universal().difference(violations, table);
+    satisfying.normalize();
+    satisfying
+}
+
+/// SQL-style equality: satisfied only when both values are non-NULL and
+/// equal (the tuple-level twin of the executor's comparison rule).
+fn sql_eq(a: &Value, b: &Value) -> bool {
+    !a.is_null() && !b.is_null() && a == b
+}
+
+fn column_type(schema: &Schema, column: &str) -> uprob_urel::ColumnType {
+    let idx = schema
+        .column_index(column)
+        .expect("column checked by validate");
+    schema.columns()[idx].column_type
+}
+
+/// Column-list validation shared by FD/Key/IND: non-empty, duplicate-free,
+/// every column present in the schema.
+fn check_columns(
+    constraint: &Constraint,
+    relation: &str,
+    schema: &Schema,
+    columns: &[String],
+    role: &str,
+) -> Result<()> {
+    if columns.is_empty() {
+        return Err(QueryError::InvalidConstraint {
+            constraint: constraint.describe(),
+            reason: format!("empty {role} column list"),
+        });
+    }
+    for (i, column) in columns.iter().enumerate() {
+        if columns[..i].contains(column) {
+            return Err(QueryError::InvalidConstraint {
+                constraint: constraint.describe(),
+                reason: format!("duplicate {role} column '{column}'"),
+            });
+        }
+        if schema.column_index(column).is_err() {
+            return Err(QueryError::UnknownColumn {
+                relation: relation.to_string(),
+                column: column.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Re-targets a predicate-validation error so missing columns surface as
+/// [`QueryError::UnknownColumn`] naming the constrained relation.
+fn lift_column_error(e: UrelError, relation: &str) -> QueryError {
+    match e {
+        UrelError::UnknownColumn { column, .. } => QueryError::UnknownColumn {
+            relation: relation.to_string(),
+            column,
+        },
+        other => QueryError::Urel(other),
+    }
+}
+
+/// Resolves a list of column names to positions.
+fn resolve_columns(schema: &Schema, columns: &[String]) -> Vec<usize> {
+    columns
+        .iter()
+        .map(|c| schema.column_index(c).expect("columns checked by validate"))
+        .collect()
+}
+
+/// The key values of `tuple` at `positions`; `None` if any is NULL.
+fn non_null_key(tuple: &Tuple, positions: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(positions.len());
+    for &p in positions {
+        let v = tuple.get(p).expect("validated column position");
+        if v.is_null() {
+            return None;
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+/// Worlds in which two consistent tuples agree on `determinant` and are
+/// not provably equal on some `dependent` column — the eager reference of
+/// the FD violation self-join, including the degenerate self-pair (a
+/// non-NULL determinant with a NULL dependent violates by itself). See the
+/// module docs for the NULL semantics.
+fn fd_violations_eager(
     db: &ProbDb,
     relation: &str,
     determinant: &[String],
@@ -180,38 +615,28 @@ fn fd_violations(
 ) -> Result<WsSet> {
     let rel = db.relation(relation)?;
     let schema = rel.schema();
-    let det_idx: Vec<usize> = determinant
-        .iter()
-        .map(|c| {
-            schema
-                .column_index(c)
-                .map_err(|_| QueryError::UnknownColumn {
-                    relation: relation.to_string(),
-                    column: c.clone(),
-                })
-        })
-        .collect::<Result<_>>()?;
-    let dep_idx: Vec<usize> = dependent
-        .iter()
-        .map(|c| {
-            schema
-                .column_index(c)
-                .map_err(|_| QueryError::UnknownColumn {
-                    relation: relation.to_string(),
-                    column: c.clone(),
-                })
-        })
-        .collect::<Result<_>>()?;
+    let det_idx = resolve_columns(schema, determinant);
+    let dep_idx = resolve_columns(schema, dependent);
     let rows = rel.rows();
     let mut violations = WsSet::empty();
     for (i, (t1, d1)) in rows.iter().enumerate() {
-        for (t2, d2) in rows.iter().skip(i + 1) {
-            let same_determinant = det_idx.iter().all(|&k| t1.get(k) == t2.get(k));
+        for (t2, d2) in rows.iter().skip(i) {
+            let same_determinant = det_idx.iter().all(|&k| {
+                sql_eq(
+                    t1.get(k).expect("validated column position"),
+                    t2.get(k).expect("validated column position"),
+                )
+            });
             if !same_determinant {
                 continue;
             }
-            let differs_on_dependent = dep_idx.iter().any(|&k| t1.get(k) != t2.get(k));
-            if !differs_on_dependent {
+            let disagrees = dep_idx.iter().any(|&k| {
+                !sql_eq(
+                    t1.get(k).expect("validated column position"),
+                    t2.get(k).expect("validated column position"),
+                )
+            });
+            if !disagrees {
                 continue;
             }
             if let Ok(both) = d1.union(d2) {
@@ -223,6 +648,112 @@ fn fd_violations(
     Ok(violations)
 }
 
+/// Worlds in which some child tuple co-exists with **no** matching parent
+/// tuple. `hashed` selects the optimized path (parent rows bucketed by
+/// key, as the pipelined hash join would) or the nested-loop reference;
+/// both probe parents in row order, so they produce identical ws-sets.
+fn ind_violations(
+    db: &ProbDb,
+    child: &str,
+    child_columns: &[String],
+    parent: &str,
+    parent_columns: &[String],
+    hashed: bool,
+) -> Result<WsSet> {
+    let child_rel = db.relation(child)?;
+    let parent_rel = db.relation(parent)?;
+    let c_idx = resolve_columns(child_rel.schema(), child_columns);
+    let p_idx = resolve_columns(parent_rel.schema(), parent_columns);
+    let table = db.world_table();
+
+    // Build side: parent descriptors bucketed by (fully non-NULL) key.
+    let mut buckets: HashMap<Vec<Value>, Vec<WsDescriptor>> = HashMap::new();
+    if hashed {
+        for (tuple, descriptor) in parent_rel.iter() {
+            if let Some(key) = non_null_key(tuple, &p_idx) {
+                buckets.entry(key).or_default().push(descriptor.clone());
+            }
+        }
+    }
+
+    let mut violations = WsSet::empty();
+    let no_parents: Vec<WsDescriptor> = Vec::new();
+    for (tuple, descriptor) in child_rel.iter() {
+        // SQL MATCH SIMPLE: a child key containing NULL satisfies the FK.
+        let Some(key) = non_null_key(tuple, &c_idx) else {
+            continue;
+        };
+        let matches: &[WsDescriptor];
+        let nested_matches: Vec<WsDescriptor>;
+        if hashed {
+            matches = buckets.get(&key).unwrap_or(&no_parents);
+        } else {
+            nested_matches = parent_rel
+                .iter()
+                .filter(|(p, _)| {
+                    p_idx
+                        .iter()
+                        .zip(&key)
+                        .all(|(&k, v)| sql_eq(p.get(k).expect("validated column position"), v))
+                })
+                .map(|(_, e)| e.clone())
+                .collect();
+            matches = &nested_matches;
+        }
+        // The worlds where the child exists and no matching parent does:
+        // ω({d}) − ω({e_1, …, e_k}) (Section 3.2).
+        for d in diff_descriptor_set(descriptor, matches, table) {
+            violations.push(d);
+        }
+    }
+    violations.normalize();
+    Ok(violations)
+}
+
+/// Validates every constraint, compiles every violation ws-set through the
+/// optimized path, unions them, and complements **once**: by De Morgan the
+/// result is the intersection of the per-constraint satisfying ws-sets —
+/// the world-set of the conjunction — at the cost of a single ws-set
+/// difference.
+fn combined_satisfying_ws_set(db: &ProbDb, constraints: &[Constraint]) -> Result<WsSet> {
+    let mut violations = WsSet::empty();
+    for constraint in constraints {
+        violations = violations.union(&constraint.violation_ws_set(db)?);
+    }
+    violations.normalize();
+    Ok(complement(&violations, db.world_table()))
+}
+
+/// One human-readable description for a constraint set.
+fn describe_all(constraints: &[Constraint]) -> String {
+    constraints
+        .iter()
+        .map(Constraint::describe)
+        .collect::<Vec<_>>()
+        .join(" AND ")
+}
+
+/// Conditions `db` on a precomputed satisfying world-set, mapping the
+/// empty / zero-probability cases to the typed unsatisfiable error.
+fn condition_on_satisfying(
+    db: &ProbDb,
+    satisfying: &WsSet,
+    options: &ConditioningOptions,
+    describe: impl Fn() -> String,
+) -> Result<Conditioned> {
+    if satisfying.is_empty() {
+        return Err(QueryError::UnsatisfiableConstraint {
+            constraint: describe(),
+        });
+    }
+    condition(db, satisfying, options).map_err(|e| match e {
+        CoreError::EmptyCondition => QueryError::UnsatisfiableConstraint {
+            constraint: describe(),
+        },
+        other => QueryError::Core(other),
+    })
+}
+
 /// `assert[constraint]`: conditions `db` on the worlds satisfying the
 /// constraint (Section 5) and returns the posterior database together with
 /// the prior confidence of the constraint.
@@ -230,7 +761,8 @@ fn fd_violations(
 /// # Errors
 ///
 /// * [`QueryError::UnsatisfiableConstraint`] if no world satisfies the
-///   constraint;
+///   constraint (including the zero-probability case);
+/// * validation errors of [`Constraint::validate`];
 /// * any error of the underlying conditioning algorithm.
 pub fn assert_constraint(
     db: &ProbDb,
@@ -238,17 +770,37 @@ pub fn assert_constraint(
     options: &ConditioningOptions,
 ) -> Result<Conditioned> {
     let satisfying = constraint.satisfying_ws_set(db)?;
-    if satisfying.is_empty() {
-        return Err(QueryError::UnsatisfiableConstraint {
-            constraint: constraint.describe(),
-        });
-    }
-    condition(db, &satisfying, options).map_err(|e| match e {
-        uprob_core::CoreError::EmptyCondition => QueryError::UnsatisfiableConstraint {
-            constraint: constraint.describe(),
-        },
-        other => QueryError::Core(other),
-    })
+    condition_on_satisfying(db, &satisfying, options, || constraint.describe())
+}
+
+/// `assert[c_1 ∧ … ∧ c_n]` in a **single pass**: every constraint's
+/// violation query is compiled through the optimized planned executor, the
+/// violation ws-sets are unioned and complemented once (the intersection
+/// of the satisfying ws-sets, by De Morgan), and the ws-tree is
+/// conditioned and renormalised exactly once. The returned confidence is
+/// the probability that *all* constraints hold in the prior database.
+///
+/// Asserts commute and compose (Theorem 5.5), so the posterior is the
+/// same distribution the sequential [`assert_constraint`] fold produces —
+/// without materialising an intermediate database per constraint. For a
+/// one-element slice this is *identical* (bit-for-bit) to
+/// [`assert_constraint`]; the empty slice conditions on the universal
+/// world-set (the identity).
+///
+/// # Errors
+///
+/// * [`QueryError::UnsatisfiableConstraint`] if the constraints are
+///   (mutually) unsatisfiable — no world, or a zero-probability world-set,
+///   satisfies them all;
+/// * validation errors of [`Constraint::validate`];
+/// * any error of the underlying conditioning algorithm.
+pub fn assert_all(
+    db: &ProbDb,
+    constraints: &[Constraint],
+    options: &ConditioningOptions,
+) -> Result<Conditioned> {
+    let satisfying = combined_satisfying_ws_set(db, constraints)?;
+    condition_on_satisfying(db, &satisfying, options, || describe_all(constraints))
 }
 
 /// The outcome of a strategy-driven `assert[·]`.
@@ -281,12 +833,16 @@ impl Assertion {
 }
 
 /// A *virtual* posterior: the satisfying world-set `C` of an asserted
-/// constraint over the prior database, with posterior confidences computed
-/// as conditioned confidences `P(Q ∧ C) / P(C)` through the hybrid engine
-/// instead of rewriting the database.
+/// constraint (or constraint set) over the prior database, with posterior
+/// confidences computed as conditioned confidences `P(Q ∧ C) / P(C)`
+/// through the hybrid engine instead of rewriting the database.
 ///
 /// Queries are run against the **prior** database (whose world table is
-/// unchanged); only the confidence aggregation differs.
+/// unchanged); only the confidence aggregation differs. One shared
+/// decomposition cache lives for the lifetime of the assertion: the exact
+/// folds of the assertion itself and of every posterior confidence query
+/// reuse each other's sub-decompositions — in particular the (common)
+/// condition denominator `P(C)` is solved once, ever.
 #[derive(Clone, Debug)]
 pub struct EstimatedAssertion {
     /// The ws-set of the worlds satisfying the constraint.
@@ -297,16 +853,19 @@ pub struct EstimatedAssertion {
     decomposition: DecompositionOptions,
     /// The strategy used for posterior confidence queries.
     strategy: ConfidenceStrategy,
+    /// The decomposition cache shared by the assertion and all posterior
+    /// confidence queries.
+    cache: Arc<SharedDecompositionCache>,
 }
 
 impl EstimatedAssertion {
     /// Posterior tuple confidences of a query answer over the prior
     /// database: for every distinct tuple `t` with ws-set `Q_t`, the
     /// conditioned confidence `P(Q_t | C)`, fanned out over scoped worker
-    /// threads with per-tuple deterministic seed streams. One decomposition
-    /// cache is shared across the batch, so the exact fold of the (shared)
-    /// condition denominator — and any recurring sub-set — is solved once,
-    /// not once per tuple.
+    /// threads with per-tuple deterministic seed streams. The assertion's
+    /// shared decomposition cache serves the whole batch, so the exact
+    /// fold of the (shared) condition denominator — and any recurring
+    /// sub-set — is solved once, not once per tuple.
     ///
     /// # Errors
     ///
@@ -318,7 +877,6 @@ impl EstimatedAssertion {
         table: &WorldTable,
         threads: Option<usize>,
     ) -> Result<Vec<(Tuple, ConfidenceReport)>> {
-        let cache = SharedDecompositionCache::new();
         let groups = answer.distinct_tuples();
         let reports = crate::confidence::fan_out_over_groups(&groups, threads, |index, ws_set| {
             estimate_conditioned_confidence(
@@ -327,7 +885,7 @@ impl EstimatedAssertion {
                 table,
                 &self.decomposition,
                 &self.strategy.for_stream(index as u64 + 1),
-                Some(&cache),
+                Some(&self.cache),
             )
         })?;
         Ok(groups
@@ -348,16 +906,76 @@ impl EstimatedAssertion {
         answer: &URelation,
         table: &WorldTable,
     ) -> Result<ConfidenceReport> {
-        let cache = SharedDecompositionCache::new();
         estimate_conditioned_confidence(
             &answer.answer_ws_set(),
             &self.condition,
             table,
             &self.decomposition,
             &self.strategy.for_stream(0),
-            Some(&cache),
+            Some(&self.cache),
         )
         .map_err(QueryError::Core)
+    }
+}
+
+/// The shared strategy-driven assert pipeline over a precomputed
+/// satisfying world-set.
+fn assert_satisfying_with_strategy(
+    db: &ProbDb,
+    satisfying: WsSet,
+    options: &ConditioningOptions,
+    strategy: &ConfidenceStrategy,
+    describe: impl Fn() -> String,
+) -> Result<Assertion> {
+    let unsatisfiable = || QueryError::UnsatisfiableConstraint {
+        constraint: describe(),
+    };
+    if satisfying.is_empty() {
+        return Err(unsatisfiable());
+    }
+    let decomposition = DecompositionOptions {
+        heuristic: options.heuristic,
+        node_budget: options.node_budget,
+        ..DecompositionOptions::default()
+    };
+    let cache = Arc::new(SharedDecompositionCache::new());
+    let estimated = |satisfying: WsSet| -> Result<Assertion> {
+        let confidence = estimate_confidence(
+            &satisfying,
+            db.world_table(),
+            &decomposition,
+            strategy,
+            Some(&cache),
+        )
+        .map_err(QueryError::Core)?;
+        if confidence.probability <= 0.0 || confidence.probability.is_nan() {
+            return Err(unsatisfiable());
+        }
+        Ok(Assertion::Estimated(EstimatedAssertion {
+            condition: satisfying,
+            confidence,
+            decomposition,
+            strategy: *strategy,
+            cache: Arc::clone(&cache),
+        }))
+    };
+    match strategy {
+        ConfidenceStrategy::Exact => {
+            condition_on_satisfying(db, &satisfying, options, describe).map(Assertion::Materialized)
+        }
+        ConfidenceStrategy::Approximate(_) => estimated(satisfying),
+        ConfidenceStrategy::Hybrid { budget, .. } => {
+            let budgeted = ConditioningOptions {
+                node_budget: Some(*budget),
+                ..*options
+            };
+            match condition(db, &satisfying, &budgeted) {
+                Ok(conditioned) => Ok(Assertion::Materialized(conditioned)),
+                Err(CoreError::BudgetExceeded { .. }) => estimated(satisfying),
+                Err(CoreError::EmptyCondition) => Err(unsatisfiable()),
+                Err(other) => Err(QueryError::Core(other)),
+            }
+        }
     }
 }
 
@@ -382,95 +1000,32 @@ pub fn assert_constraint_with_strategy(
     options: &ConditioningOptions,
     strategy: &ConfidenceStrategy,
 ) -> Result<Assertion> {
-    let unsatisfiable = || QueryError::UnsatisfiableConstraint {
-        constraint: constraint.describe(),
-    };
-    let decomposition = DecompositionOptions {
-        heuristic: options.heuristic,
-        node_budget: options.node_budget,
-        ..DecompositionOptions::default()
-    };
-    let estimated = |satisfying: WsSet| -> Result<Assertion> {
-        let confidence = estimate_confidence(
-            &satisfying,
-            db.world_table(),
-            &decomposition,
-            strategy,
-            None,
-        )
-        .map_err(QueryError::Core)?;
-        if confidence.probability <= 0.0 {
-            return Err(unsatisfiable());
-        }
-        Ok(Assertion::Estimated(EstimatedAssertion {
-            condition: satisfying,
-            confidence,
-            decomposition,
-            strategy: *strategy,
-        }))
-    };
-    match strategy {
-        ConfidenceStrategy::Exact => {
-            assert_constraint(db, constraint, options).map(Assertion::Materialized)
-        }
-        ConfidenceStrategy::Approximate(_) => {
-            let satisfying = constraint.satisfying_ws_set(db)?;
-            if satisfying.is_empty() {
-                return Err(unsatisfiable());
-            }
-            estimated(satisfying)
-        }
-        ConfidenceStrategy::Hybrid { budget, .. } => {
-            let satisfying = constraint.satisfying_ws_set(db)?;
-            if satisfying.is_empty() {
-                return Err(unsatisfiable());
-            }
-            let budgeted = ConditioningOptions {
-                node_budget: Some(*budget),
-                ..*options
-            };
-            match condition(db, &satisfying, &budgeted) {
-                Ok(conditioned) => Ok(Assertion::Materialized(conditioned)),
-                Err(CoreError::BudgetExceeded { .. }) => estimated(satisfying),
-                Err(CoreError::EmptyCondition) => Err(unsatisfiable()),
-                Err(other) => Err(QueryError::Core(other)),
-            }
-        }
-    }
+    let satisfying = constraint.satisfying_ws_set(db)?;
+    assert_satisfying_with_strategy(db, satisfying, options, strategy, || constraint.describe())
 }
 
-/// Asserts several constraints in sequence (asserts commute and compose,
-/// Theorem 5.5); the returned confidence is the probability that *all*
-/// constraints hold in the prior database.
+/// [`assert_all`] under an explicit [`ConfidenceStrategy`]: the single
+/// combined satisfying world-set (one union of violation ws-sets, one
+/// complement) drives one strategy-dispatched assertion — `Exact`
+/// materialises the posterior in a single conditioning pass, `Hybrid`
+/// falls back to a virtual posterior when the budget is exhausted, and
+/// `Approximate` samples `P(C_1 ∧ … ∧ C_n)` outright. The estimated paths
+/// share one decomposition cache between the assertion itself and every
+/// posterior confidence query.
 ///
 /// # Errors
 ///
-/// Same as [`assert_constraint`].
-pub fn assert_all(
+/// Same as [`assert_all`].
+pub fn assert_all_with_strategy(
     db: &ProbDb,
     constraints: &[Constraint],
     options: &ConditioningOptions,
-) -> Result<Conditioned> {
-    let mut current = db.clone();
-    let mut total_confidence = 1.0;
-    let mut last: Option<Conditioned> = None;
-    for constraint in constraints {
-        let step = assert_constraint(&current, constraint, options)?;
-        total_confidence *= step.confidence;
-        current = step.db.clone();
-        last = Some(step);
-    }
-    match last {
-        Some(mut result) => {
-            result.confidence = total_confidence;
-            result.db = current;
-            Ok(result)
-        }
-        None => {
-            // No constraints: conditioning on the universal world-set.
-            condition(db, &WsSet::universal(), options).map_err(QueryError::Core)
-        }
-    }
+    strategy: &ConfidenceStrategy,
+) -> Result<Assertion> {
+    let satisfying = combined_satisfying_ws_set(db, constraints)?;
+    assert_satisfying_with_strategy(db, satisfying, options, strategy, || {
+        describe_all(constraints)
+    })
 }
 
 #[cfg(test)]
@@ -537,6 +1092,50 @@ mod tests {
         db
     }
 
+    /// A two-relation parent/child database for FK constraints: parents
+    /// `P(K)` with keys 1, 2; children `C(FK)` referencing 1 (valid where
+    /// the parent exists), 9 (dangling) and NULL.
+    fn fk_db() -> ProbDb {
+        let mut db = ProbDb::new();
+        let p1 = db.world_table_mut().add_boolean("p1", 0.5).unwrap();
+        let p2 = db.world_table_mut().add_boolean("p2", 0.5).unwrap();
+        let c1 = db.world_table_mut().add_boolean("c1", 0.5).unwrap();
+        let c2 = db.world_table_mut().add_boolean("c2", 0.5).unwrap();
+        let c3 = db.world_table_mut().add_boolean("c3", 0.5).unwrap();
+        let mut parent = db
+            .create_relation(Schema::new("P", &[("K", ColumnType::Int)]))
+            .unwrap();
+        let mut child = db
+            .create_relation(Schema::new("C", &[("FK", ColumnType::Int)]))
+            .unwrap();
+        {
+            let w = db.world_table();
+            parent.push(
+                Tuple::new(vec![Value::Int(1)]),
+                WsDescriptor::from_pairs(w, &[(p1, 1)]).unwrap(),
+            );
+            parent.push(
+                Tuple::new(vec![Value::Int(2)]),
+                WsDescriptor::from_pairs(w, &[(p2, 1)]).unwrap(),
+            );
+            child.push(
+                Tuple::new(vec![Value::Int(1)]),
+                WsDescriptor::from_pairs(w, &[(c1, 1)]).unwrap(),
+            );
+            child.push(
+                Tuple::new(vec![Value::Int(9)]),
+                WsDescriptor::from_pairs(w, &[(c2, 1)]).unwrap(),
+            );
+            child.push(
+                Tuple::new(vec![Value::Null]),
+                WsDescriptor::from_pairs(w, &[(c3, 1)]).unwrap(),
+            );
+        }
+        db.insert_relation(parent).unwrap();
+        db.insert_relation(child).unwrap();
+        db
+    }
+
     #[test]
     fn fd_violation_and_satisfying_world_sets() {
         let db = ssn_db(false);
@@ -546,6 +1145,8 @@ mod tests {
         assert!((violations.probability_by_enumeration(db.world_table()) - 0.56).abs() < 1e-12);
         let satisfying = fd.satisfying_ws_set(&db).unwrap();
         assert!((satisfying.probability_by_enumeration(db.world_table()) - 0.44).abs() < 1e-12);
+        // The planned compilation and the eager reference agree exactly.
+        assert_eq!(violations, fd.violation_ws_set_eager(&db).unwrap());
     }
 
     #[test]
@@ -607,7 +1208,12 @@ mod tests {
         let b = fd.violation_ws_set(&db).unwrap();
         assert!(a.is_equivalent_by_enumeration(&b, db.world_table()));
         assert_eq!(key.describe(), "R: key(SSN)");
-        assert_eq!(key.relation(), "R");
+        assert_eq!(key.relations(), vec!["R"]);
+        // A key over every column has nothing left to determine: the
+        // violation query is trivially false.
+        let all = Constraint::key("R", &["SSN", "NAME"]);
+        assert!(all.violation_ws_set(&db).unwrap().is_empty());
+        assert!(all.violation_ws_set_eager(&db).unwrap().is_empty());
     }
 
     #[test]
@@ -650,6 +1256,354 @@ mod tests {
             fd.violation_ws_set(&db),
             Err(QueryError::UnknownColumn { .. })
         ));
+    }
+
+    #[test]
+    fn validation_catches_every_malformed_case() {
+        let db = fk_db();
+        let unknown_column = |c: &Constraint, column: &str| match c.validate(&db) {
+            Err(QueryError::UnknownColumn { column: got, .. }) => assert_eq!(got, column),
+            other => panic!("{}: expected UnknownColumn, got {other:?}", c.describe()),
+        };
+        let invalid = |c: &Constraint, needle: &str| match c.validate(&db) {
+            Err(QueryError::InvalidConstraint { reason, .. }) => assert!(
+                reason.contains(needle),
+                "{}: reason '{reason}' does not mention '{needle}'",
+                c.describe()
+            ),
+            other => panic!(
+                "{}: expected InvalidConstraint, got {other:?}",
+                c.describe()
+            ),
+        };
+
+        // FD/Key: empty, duplicate and missing column lists.
+        invalid(
+            &Constraint::functional_dependency("P", &[], &["K"]),
+            "empty",
+        );
+        invalid(
+            &Constraint::functional_dependency("P", &["K"], &[]),
+            "empty",
+        );
+        invalid(
+            &Constraint::functional_dependency("P", &["K", "K"], &["K"]),
+            "duplicate",
+        );
+        unknown_column(
+            &Constraint::functional_dependency("P", &["K"], &["MISSING"]),
+            "MISSING",
+        );
+        invalid(&Constraint::key("P", &[]), "empty");
+        invalid(&Constraint::key("P", &["K", "K"]), "duplicate");
+        unknown_column(&Constraint::key("P", &["NOPE"]), "NOPE");
+
+        // RowFilter referencing a missing column fails at validation time,
+        // naming the column — not deep inside execution.
+        unknown_column(
+            &Constraint::row_filter("P", Predicate::col_eq("GHOST", 1i64)),
+            "GHOST",
+        );
+
+        // Inclusion dependencies: arity and type mismatches, bad columns.
+        invalid(
+            &Constraint::inclusion_dependency("C", &["FK"], "P", &["K", "K"]),
+            "duplicate",
+        );
+        unknown_column(
+            &Constraint::inclusion_dependency("C", &["FK"], "P", &["NOPE"]),
+            "NOPE",
+        );
+        invalid(
+            &Constraint::InclusionDependency {
+                child: "C".into(),
+                child_columns: vec!["FK".into()],
+                parent: "P".into(),
+                parent_columns: vec![],
+            },
+            "empty",
+        );
+
+        // Denial constraints: no atoms, duplicate aliases.
+        invalid(
+            &Constraint::denial("empty", &[], Predicate::True),
+            "at least one atom",
+        );
+        invalid(
+            &Constraint::denial("dup", &[("P", "a"), ("C", "a")], Predicate::True),
+            "duplicate atom alias",
+        );
+
+        // Plan constraints must be Boolean queries.
+        invalid(
+            &Constraint::from_violation_plan("wide", Plan::scan("P")),
+            "nullary",
+        );
+
+        // Unknown relations surface as the urel error.
+        assert!(matches!(
+            Constraint::key("GONE", &["K"]).validate(&db),
+            Err(QueryError::Urel(UrelError::UnknownRelation { .. }))
+        ));
+
+        // violation_plan validates too: a malformed constraint is a typed
+        // error, never a panic (the empty-atom denial would otherwise
+        // reach the panicking plan builder).
+        assert!(matches!(
+            Constraint::denial("empty", &[], Predicate::True).violation_plan(&db),
+            Err(QueryError::InvalidConstraint { .. })
+        ));
+    }
+
+    #[test]
+    fn ind_arity_mismatch_is_invalid() {
+        let mut db = ProbDb::new();
+        db.world_table_mut().add_boolean("x", 0.5).unwrap();
+        let a = db
+            .create_relation(Schema::new(
+                "A",
+                &[("U", ColumnType::Int), ("V", ColumnType::Int)],
+            ))
+            .unwrap();
+        let b = db
+            .create_relation(Schema::new(
+                "B",
+                &[("U", ColumnType::Int), ("S", ColumnType::Str)],
+            ))
+            .unwrap();
+        db.insert_relation(a).unwrap();
+        db.insert_relation(b).unwrap();
+        let arity = Constraint::inclusion_dependency("A", &["U", "V"], "B", &["U"]);
+        assert!(matches!(
+            arity.validate(&db),
+            Err(QueryError::InvalidConstraint { ref reason, .. }) if reason.contains("arity")
+        ));
+        let types = Constraint::inclusion_dependency("A", &["U"], "B", &["S"]);
+        assert!(matches!(
+            types.validate(&db),
+            Err(QueryError::InvalidConstraint { ref reason, .. }) if reason.contains("type")
+        ));
+    }
+
+    #[test]
+    fn inclusion_dependency_violations_are_the_unmatched_child_worlds() {
+        let db = fk_db();
+        let fk = Constraint::inclusion_dependency("C", &["FK"], "P", &["K"]);
+        let violations = fk.violation_ws_set(&db).unwrap();
+        // Child 1 violates where c1 holds and p1 does not (P = .25);
+        // child 9 violates wherever c2 holds (P = .5); the NULL child
+        // never violates. Total by inclusion-exclusion: .25 + .5 - .125.
+        let expected = 0.25 + 0.5 - 0.125;
+        assert!((violations.probability_by_enumeration(db.world_table()) - expected).abs() < 1e-12);
+        // Hashed and nested-loop compilations agree bit for bit.
+        assert_eq!(violations, fk.violation_ws_set_eager(&db).unwrap());
+        // Asserting the FK conditions on the complement.
+        let conditioned = assert_constraint(&db, &fk, &ConditioningOptions::default()).unwrap();
+        assert!((conditioned.confidence - (1.0 - expected)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parent_null_keys_never_match() {
+        // A NULL parent key must not "satisfy" any child reference.
+        let mut db = ProbDb::new();
+        let c = db.world_table_mut().add_boolean("c", 0.5).unwrap();
+        let mut parent = db
+            .create_relation(Schema::new("P", &[("K", ColumnType::Int)]))
+            .unwrap();
+        let mut child = db
+            .create_relation(Schema::new("C", &[("FK", ColumnType::Int)]))
+            .unwrap();
+        {
+            let w = db.world_table();
+            parent.push(Tuple::new(vec![Value::Null]), WsDescriptor::empty());
+            child.push(
+                Tuple::new(vec![Value::Int(3)]),
+                WsDescriptor::from_pairs(w, &[(c, 1)]).unwrap(),
+            );
+        }
+        db.insert_relation(parent).unwrap();
+        db.insert_relation(child).unwrap();
+        let fk = Constraint::inclusion_dependency("C", &["FK"], "P", &["K"]);
+        let violations = fk.violation_ws_set(&db).unwrap();
+        assert!((violations.probability_by_enumeration(db.world_table()) - 0.5).abs() < 1e-12);
+        assert_eq!(violations, fk.violation_ws_set_eager(&db).unwrap());
+    }
+
+    #[test]
+    fn denial_constraint_generalises_the_fd() {
+        let db = ssn_db(false);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        // Same violation worlds, expressed as a two-atom denial constraint.
+        let denial = Constraint::denial(
+            "unique-ssn",
+            &[("R", "a"), ("R", "b")],
+            Predicate::cols_eq("SSN", "b.SSN").and(Predicate::cmp(
+                Expr::col("NAME"),
+                Comparison::Ne,
+                Expr::col("b.NAME"),
+            )),
+        );
+        let v1 = fd.violation_ws_set(&db).unwrap();
+        let v2 = denial.violation_ws_set(&db).unwrap();
+        assert!(v1.is_equivalent_by_enumeration(&v2, db.world_table()));
+        assert_eq!(v2, denial.violation_ws_set_eager(&db).unwrap());
+        assert_eq!(denial.relations(), vec!["R"]);
+        let conditioned = assert_constraint(&db, &denial, &ConditioningOptions::default()).unwrap();
+        assert!((conditioned.confidence - 0.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_relation_denial_constraint_runs_through_the_planned_executor() {
+        // "No child with FK = 9 co-exists with parent 2": a cross-relation
+        // denial constraint (arbitrary, but exercises two relations).
+        let db = fk_db();
+        let denial = Constraint::denial(
+            "no-nine-with-two",
+            &[("C", "c"), ("P", "p")],
+            Predicate::col_eq("FK", 9i64).and(Predicate::col_eq("K", 2i64)),
+        );
+        let violations = denial.violation_ws_set(&db).unwrap();
+        // c2 ∧ p2: probability .25.
+        assert!((violations.probability_by_enumeration(db.world_table()) - 0.25).abs() < 1e-12);
+        assert_eq!(violations, denial.violation_ws_set_eager(&db).unwrap());
+        assert_eq!(denial.relations(), vec!["C", "P"]);
+    }
+
+    #[test]
+    fn plan_constraints_accept_any_boolean_violation_query() {
+        let db = ssn_db(false);
+        // The FD violation self-join, hand-written as a plan.
+        let plan = Plan::scan("R")
+            .join_on(
+                Plan::scan("R").rename("R2"),
+                Predicate::cols_eq("SSN", "R2.SSN").and(Predicate::cmp(
+                    Expr::col("NAME"),
+                    Comparison::Ne,
+                    Expr::col("R2.NAME"),
+                )),
+            )
+            .project(&[]);
+        let constraint = Constraint::from_violation_plan("fd-by-plan", plan);
+        assert_eq!(constraint.describe(), "plan(fd-by-plan)");
+        assert_eq!(constraint.relations(), vec!["R"]);
+        let conditioned =
+            assert_constraint(&db, &constraint, &ConditioningOptions::default()).unwrap();
+        assert!((conditioned.confidence - 0.44).abs() < 1e-9);
+    }
+
+    /// The documented NULL semantics of FD/Key violation queries, pinned
+    /// on both compilation paths: NULL determinants never match; a
+    /// dependent pair violates unless provably equal.
+    #[test]
+    fn fd_null_semantics_agree_between_eager_and_planned() {
+        let mut db = ProbDb::new();
+        let vars: Vec<_> = (0..6)
+            .map(|i| {
+                db.world_table_mut()
+                    .add_boolean(&format!("t{i}"), 0.5)
+                    .unwrap()
+            })
+            .collect();
+        let schema = Schema::new("R", &[("K", ColumnType::Int), ("D", ColumnType::Int)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            let rows = vec![
+                // NULL determinant: never matches anything (not even
+                // another NULL determinant, not even itself).
+                vec![Value::Null, Value::Int(1)],
+                vec![Value::Null, Value::Int(2)],
+                // Agreeing non-NULL determinant, NULL vs value dependent:
+                // not provably equal — violates.
+                vec![Value::Int(5), Value::Null],
+                vec![Value::Int(5), Value::Int(3)],
+                // Agreeing determinant, equal non-NULL dependents: fine.
+                vec![Value::Int(7), Value::Int(4)],
+                vec![Value::Int(7), Value::Int(4)],
+            ];
+            for (i, values) in rows.into_iter().enumerate() {
+                r.push(
+                    Tuple::new(values),
+                    WsDescriptor::from_pairs(w, &[(vars[i], 1)]).unwrap(),
+                );
+            }
+        }
+        db.insert_relation(r).unwrap();
+        let fd = Constraint::functional_dependency("R", &["K"], &["D"]);
+        let planned = fd.violation_ws_set(&db).unwrap();
+        let eager = fd.violation_ws_set_eager(&db).unwrap();
+        assert_eq!(planned, eager, "the two compilation paths must agree");
+        // The violations: row 2 with itself (NULL dependent cannot be
+        // certified) and the pair (2, 3). Worlds: t2 ∨ (t2 ∧ t3) = t2.
+        assert!((planned.probability_by_enumeration(db.world_table()) - 0.5).abs() < 1e-12);
+        // A key constraint over K treats D as dependent the same way.
+        let key = Constraint::key("R", &["K"]);
+        assert_eq!(
+            key.violation_ws_set(&db).unwrap(),
+            key.violation_ws_set_eager(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn null_dependent_against_null_dependent_still_violates() {
+        // Two distinct tuples agreeing on the determinant with NULL
+        // dependents on both sides: neither can be certified equal, so the
+        // pair violates — and so does each tuple on its own.
+        let mut db = ProbDb::new();
+        let a = db.world_table_mut().add_boolean("a", 0.5).unwrap();
+        let b = db.world_table_mut().add_boolean("b", 0.5).unwrap();
+        let schema = Schema::new(
+            "R",
+            &[
+                ("K", ColumnType::Int),
+                ("D", ColumnType::Int),
+                ("X", ColumnType::Int),
+            ],
+        );
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Int(1), Value::Null, Value::Int(10)]),
+                WsDescriptor::from_pairs(w, &[(a, 1)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(1), Value::Null, Value::Int(20)]),
+                WsDescriptor::from_pairs(w, &[(b, 1)]).unwrap(),
+            );
+        }
+        db.insert_relation(r).unwrap();
+        let fd = Constraint::functional_dependency("R", &["K"], &["D"]);
+        let planned = fd.violation_ws_set(&db).unwrap();
+        assert_eq!(planned, fd.violation_ws_set_eager(&db).unwrap());
+        // Each row violates by itself: worlds a ∨ b, probability .75.
+        assert!((planned.probability_by_enumeration(db.world_table()) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_filter_with_null_values_violates() {
+        // A NULL value makes the filter predicate unknown — the row cannot
+        // be certified, so it violates; identical on both paths.
+        let mut db = ProbDb::new();
+        let x = db.world_table_mut().add_boolean("x", 0.5).unwrap();
+        let schema = Schema::new("R", &[("V", ColumnType::Int)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Null]),
+                WsDescriptor::from_pairs(w, &[(x, 1)]).unwrap(),
+            );
+            r.push(Tuple::new(vec![Value::Int(1)]), WsDescriptor::empty());
+        }
+        db.insert_relation(r).unwrap();
+        let check = Constraint::row_filter(
+            "R",
+            Predicate::cmp(Expr::col("V"), Comparison::Lt, Expr::val(5i64)),
+        );
+        let planned = check.violation_ws_set(&db).unwrap();
+        assert_eq!(planned, check.violation_ws_set_eager(&db).unwrap());
+        assert!((planned.probability_by_enumeration(db.world_table()) - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -701,19 +1655,12 @@ mod tests {
             }
         }
         db.insert_relation(rel).unwrap();
-        // Constraint: ID < 100 holds everywhere except... nothing — use a
-        // row filter that *every* world violates through one bad pair: the
-        // constraint "ID < 8" always holds, so craft the condition through
-        // the FD instead. Simplest budget-hostile condition: a RowFilter
-        // whose violating rows are the x tuples, so the satisfying set is
-        // the conjunction of all ¬x_i — its difference-based complement is
-        // descriptor-rich.
+        // All rows violate the filter, so the satisfying worlds are those
+        // where no row co-exists: every x_i must be false; P = 0.5^8.
         let check = Constraint::row_filter(
             "T",
             uprob_urel::Predicate::cmp(Expr::col("ID"), Comparison::Lt, Expr::val(0i64)),
         );
-        // All rows violate the filter, so the satisfying worlds are those
-        // where no row co-exists: every x_i must be false; P = 0.5^8.
         let strategy = ConfidenceStrategy::Hybrid {
             budget: 4,
             approx: uprob_core::ApproximationOptions::default()
@@ -804,5 +1751,176 @@ mod tests {
         // Asserting no constraints at all is the identity.
         let identity = assert_all(&db, &[], &ConditioningOptions::default()).unwrap();
         assert!((identity.confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assert_all_on_a_singleton_is_bit_identical_to_assert_constraint() {
+        let db = ssn_db(true);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let options = ConditioningOptions::default();
+        let single = assert_constraint(&db, &fd, &options).unwrap();
+        let batch = assert_all(&db, std::slice::from_ref(&fd), &options).unwrap();
+        assert_eq!(single.confidence.to_bits(), batch.confidence.to_bits());
+        let r1 = single.db.relation("R").unwrap();
+        let r2 = batch.db.relation("R").unwrap();
+        assert_eq!(r1.rows(), r2.rows());
+        // Posterior tuple confidences are bit-identical too.
+        let opts = DecompositionOptions::default();
+        let a = tuple_confidences(r1, single.db.world_table(), &opts).unwrap();
+        let b = tuple_confidences(r2, batch.db.world_table(), &opts).unwrap();
+        assert_eq!(a.len(), b.len());
+        for ((t1, p1), (t2, p2)) in a.iter().zip(&b) {
+            assert_eq!(t1, t2);
+            assert_eq!(p1.to_bits(), p2.to_bits());
+        }
+    }
+
+    #[test]
+    fn assert_all_rejects_mutually_contradictory_constraints() {
+        let db = ssn_db(false);
+        // SSN < 5 and SSN > 5 leave no world in which both filters can be
+        // certified for every tuple (John is 1-or-7, Bill 4-or-7).
+        let contradictory = vec![
+            Constraint::row_filter(
+                "R",
+                Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(5i64)),
+            ),
+            Constraint::row_filter(
+                "R",
+                Predicate::cmp(Expr::col("SSN"), Comparison::Gt, Expr::val(5i64)),
+            ),
+        ];
+        let err = assert_all(&db, &contradictory, &ConditioningOptions::default()).unwrap_err();
+        assert!(matches!(err, QueryError::UnsatisfiableConstraint { .. }));
+        for strategy in [
+            ConfidenceStrategy::Exact,
+            ConfidenceStrategy::approximate(0.1, 0.05),
+            ConfidenceStrategy::hybrid(10, 0.1, 0.05),
+        ] {
+            let err = assert_all_with_strategy(
+                &db,
+                &contradictory,
+                &ConditioningOptions::default(),
+                &strategy,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, QueryError::UnsatisfiableConstraint { .. }),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_satisfying_sets_are_typed_errors() {
+        // The satisfying world-set is non-empty as a *set* but has
+        // probability zero: variable z has value 0 with probability 0, and
+        // the only world satisfying "V = 0" is {z -> 0}.
+        let mut db = ProbDb::new();
+        let z = db
+            .world_table_mut()
+            .add_variable("z", &[(0, 0.0), (1, 1.0)])
+            .unwrap();
+        let schema = Schema::new("R", &[("V", ColumnType::Int)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Int(0)]),
+                WsDescriptor::from_pairs(w, &[(z, 0)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(1)]),
+                WsDescriptor::from_pairs(w, &[(z, 1)]).unwrap(),
+            );
+        }
+        db.insert_relation(r).unwrap();
+        let check = Constraint::row_filter("R", Predicate::col_eq("V", 0i64));
+        let satisfying = check.satisfying_ws_set(&db).unwrap();
+        assert!(!satisfying.is_empty(), "the set itself is non-empty");
+        assert!(
+            satisfying.probability_by_enumeration(db.world_table()) <= 0.0,
+            "…but it has probability zero"
+        );
+        // Exact assert, strategy asserts and the batch pipeline all report
+        // the typed unsatisfiable error — no NaN/Inf posterior, no panic.
+        let err = assert_constraint(&db, &check, &ConditioningOptions::default()).unwrap_err();
+        assert!(matches!(err, QueryError::UnsatisfiableConstraint { .. }));
+        let err = assert_all(
+            &db,
+            std::slice::from_ref(&check),
+            &ConditioningOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryError::UnsatisfiableConstraint { .. }));
+        for strategy in [
+            ConfidenceStrategy::Exact,
+            ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.05),
+        ] {
+            let err = assert_constraint_with_strategy(
+                &db,
+                &check,
+                &ConditioningOptions::default(),
+                &strategy,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, QueryError::UnsatisfiableConstraint { .. }),
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn assert_all_with_strategy_covers_all_three_paths() {
+        let db = fk_db();
+        let constraints = vec![
+            Constraint::inclusion_dependency("C", &["FK"], "P", &["K"]),
+            Constraint::denial(
+                "no-nine-with-two",
+                &[("C", "c"), ("P", "p")],
+                Predicate::col_eq("FK", 9i64).and(Predicate::col_eq("K", 2i64)),
+            ),
+        ];
+        let options = ConditioningOptions::default();
+        let exact =
+            assert_all_with_strategy(&db, &constraints, &options, &ConfidenceStrategy::Exact)
+                .unwrap();
+        assert!(exact.is_materialized());
+        let batch = assert_all(&db, &constraints, &options).unwrap();
+        assert_eq!(exact.confidence().to_bits(), batch.confidence.to_bits());
+
+        // A generous hybrid budget materialises with the exact confidence.
+        let hybrid = assert_all_with_strategy(
+            &db,
+            &constraints,
+            &options,
+            &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+        )
+        .unwrap();
+        assert!(hybrid.is_materialized());
+        assert_eq!(hybrid.confidence().to_bits(), batch.confidence.to_bits());
+
+        // The approximate strategy returns a virtual posterior whose
+        // confidence estimate lands within the (ε, δ) band.
+        let approx = assert_all_with_strategy(
+            &db,
+            &constraints,
+            &options,
+            &ConfidenceStrategy::Approximate(
+                uprob_core::ApproximationOptions::default()
+                    .with_epsilon(0.05)
+                    .with_delta(0.05)
+                    .with_seed(41),
+            ),
+        )
+        .unwrap();
+        let Assertion::Estimated(virtual_posterior) = approx else {
+            panic!("the approximate strategy never materialises");
+        };
+        assert!(
+            (virtual_posterior.confidence.probability - batch.confidence).abs()
+                <= 0.05 * batch.confidence + 0.01
+        );
     }
 }

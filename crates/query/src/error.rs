@@ -17,6 +17,14 @@ pub enum QueryError {
         /// The missing column.
         column: String,
     },
+    /// A constraint is structurally malformed (empty or duplicate column
+    /// lists, arity or type mismatches, a non-Boolean violation plan, …).
+    InvalidConstraint {
+        /// Human-readable description of the constraint.
+        constraint: String,
+        /// What is wrong with it.
+        reason: String,
+    },
     /// Asserting the constraint would leave no possible world.
     UnsatisfiableConstraint {
         /// Human-readable description of the constraint.
@@ -38,6 +46,9 @@ impl fmt::Display for QueryError {
                     f,
                     "constraint refers to unknown column '{column}' of '{relation}'"
                 )
+            }
+            QueryError::InvalidConstraint { constraint, reason } => {
+                write!(f, "constraint '{constraint}' is invalid: {reason}")
             }
             QueryError::UnsatisfiableConstraint { constraint } => {
                 write!(f, "constraint '{constraint}' holds in no possible world")

@@ -6,9 +6,13 @@
 //! * [`confidence`]: the `conf()` aggregate — per-tuple confidence values of
 //!   a query result, and the confidence of Boolean queries;
 //! * [`constraints`]: integrity constraints (functional dependencies, keys,
-//!   row-level predicates) compiled into the ws-set of the worlds that
-//!   *satisfy* them, and the `assert[·]` operation that conditions a
-//!   database on a constraint (Section 5);
+//!   row-level predicates, inclusion dependencies / foreign keys,
+//!   cross-relation denial constraints and arbitrary Boolean violation
+//!   plans), validated up front and compiled — through the optimized
+//!   pipelined executor — into the ws-set of the worlds that *satisfy*
+//!   them; the `assert[·]` operation that conditions a database on a
+//!   constraint (Section 5); and the single-pass `assert_all` that
+//!   conditions on a whole constraint set at once;
 //! * the confidence comparison predicates that motivate exact computation
 //!   in the paper (e.g. `conf(t) = 1`, "certain answers");
 //! * [`planned`]: the same `conf()` aggregates over logical query plans —
@@ -73,7 +77,8 @@ pub use confidence::{
     tuple_confidences_sequential, AnswerConfidences, StrategyAnswerConfidences,
 };
 pub use constraints::{
-    assert_constraint, assert_constraint_with_strategy, Assertion, Constraint, EstimatedAssertion,
+    assert_all, assert_all_with_strategy, assert_constraint, assert_constraint_with_strategy,
+    Assertion, Constraint, EstimatedAssertion,
 };
 pub use error::QueryError;
 pub use planned::{

@@ -16,7 +16,10 @@
 //!   rule-based [`optimize_plan`] rewriter (predicate/projection pushdown,
 //!   select-product → join recognition, trivial-predicate and
 //!   empty-relation pruning) and the pipelined [`execute_plan`] executor
-//!   with hash equi-joins — run end-to-end via [`ProbDb::query`].
+//!   with hash equi-joins — run end-to-end via [`ProbDb::query`],
+//! * the constraint **violation-plan builders** ([`violations`]): FD/key
+//!   self-joins, row-filter complements and denial-constraint
+//!   conjunctive queries as plans.
 //!
 //! The query/constraint layer (`uprob-query`) and the confidence /
 //! conditioning algorithms (`uprob-core`) are built on top of this crate.
@@ -65,6 +68,7 @@ pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
+pub mod violations;
 
 pub use database::ProbDb;
 pub use error::UrelError;
@@ -76,6 +80,9 @@ pub use relation::URelation;
 pub use schema::{Column, ColumnType, Schema};
 pub use tuple::Tuple;
 pub use value::Value;
+pub use violations::{
+    denial_constraint_plan, fd_violation_plan, row_filter_violation_plan, FD_SELF_JOIN_ALIAS,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, UrelError>;

@@ -237,6 +237,34 @@ impl Plan {
         }
     }
 
+    /// The names of the stored relations this plan scans, de-duplicated,
+    /// in first-use order (left to right, bottom up).
+    pub fn scanned_relations(&self) -> Vec<&str> {
+        fn walk<'a>(plan: &'a Plan, out: &mut Vec<&'a str>) {
+            match plan {
+                Plan::Scan { relation } => {
+                    if !out.contains(&relation.as_str()) {
+                        out.push(relation);
+                    }
+                }
+                Plan::Empty { .. } => {}
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Rename { input, .. }
+                | Plan::Distinct { input } => walk(input, out),
+                Plan::Join { left, right, .. }
+                | Plan::Product { left, right }
+                | Plan::Union { left, right } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// Number of nodes in the plan tree.
     pub fn node_count(&self) -> usize {
         1 + match self {

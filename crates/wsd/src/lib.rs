@@ -57,7 +57,7 @@ pub use intern::{CanonicalSetKey, DescriptorId, DescriptorInterner};
 pub use numeric::NeumaierSum;
 pub use value::{DomainValue, ValueIndex, VarId};
 pub use world_table::{VariableInfo, WorldTable};
-pub use ws_set::WsSet;
+pub use ws_set::{diff_descriptor_set, diff_single, try_diff_descriptor_set, WsSet};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, WsdError>;

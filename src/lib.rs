@@ -67,19 +67,21 @@ pub mod prelude {
         optimal_monte_carlo_prepared, ApproximationOptions, KarpLuby,
     };
     pub use uprob_core::{
-        build_tree, condition, confidence, confidence_brute_force, confidence_by_elimination,
-        confidence_by_elimination_with, confidence_with_cache, estimate_conditioned_confidence,
-        estimate_confidence, CacheStats, ConditioningMethod, ConditioningOptions, ConfidenceReport,
-        ConfidenceStrategy, DecompositionMethod, DecompositionOptions, ResolvedPath, SamplingStats,
+        build_tree, condition, condition_all, confidence, confidence_brute_force,
+        confidence_by_elimination, confidence_by_elimination_with, confidence_with_cache,
+        estimate_conditioned_confidence, estimate_confidence, intersect_conditions, CacheStats,
+        ConditioningMethod, ConditioningOptions, ConfidenceReport, ConfidenceStrategy,
+        DecompositionMethod, DecompositionOptions, ResolvedPath, SamplingStats,
         SharedDecompositionCache, VariableHeuristic, WsTree,
     };
     pub use uprob_query::{
         answer_confidences, answer_confidences_with_cache, answer_confidences_with_strategy,
-        assert_constraint, assert_constraint_with_strategy, boolean_confidence, certain_tuples,
-        planned_answer_confidences, planned_answer_confidences_with_cache,
-        planned_answer_confidences_with_strategy, planned_boolean_confidence, possible_tuples,
-        tuple_confidences, tuple_confidences_sequential, AnswerConfidences, Assertion, Constraint,
-        EstimatedAssertion, StrategyAnswerConfidences,
+        assert_all, assert_all_with_strategy, assert_constraint, assert_constraint_with_strategy,
+        boolean_confidence, certain_tuples, planned_answer_confidences,
+        planned_answer_confidences_with_cache, planned_answer_confidences_with_strategy,
+        planned_boolean_confidence, possible_tuples, tuple_confidences,
+        tuple_confidences_sequential, AnswerConfidences, Assertion, Constraint, EstimatedAssertion,
+        StrategyAnswerConfidences,
     };
     pub use uprob_urel::{
         algebra, execute_plan, execute_plan_eager, optimize_plan, ColumnType, Comparison, Expr,

@@ -589,3 +589,214 @@ fn hybrid_fallback_lands_within_epsilon_on_the_downscaled_twin() {
         hybrid.boolean.probability
     );
 }
+
+#[test]
+fn assert_all_on_example_5_1_is_bit_identical_to_sequential_asserts() {
+    // The 0.44 golden example as a constraint *set*: the FD of Example 5.1
+    // plus a universally satisfied row filter. The single-pass batch must
+    // reproduce the sequential fold bit for bit — and condition the
+    // ws-tree exactly once.
+    let (db, fd) = ssn_db();
+    let range = Constraint::row_filter(
+        "R",
+        Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(9i64)),
+    );
+    let constraints = vec![fd.clone(), range.clone()];
+    let options = ConditioningOptions::default();
+
+    let batch = assert_all(&db, &constraints, &options).unwrap();
+    assert!((batch.confidence - 0.44).abs() < 1e-12);
+
+    // Sequential fold: assert the FD, then the (trivial) filter.
+    let step1 = assert_constraint(&db, &fd, &options).unwrap();
+    let step2 = assert_constraint(&step1.db, &range, &options).unwrap();
+    let sequential_confidence = step1.confidence * step2.confidence;
+    assert_eq!(batch.confidence.to_bits(), sequential_confidence.to_bits());
+    assert_eq!(
+        batch.db.relation("R").unwrap().rows(),
+        step2.db.relation("R").unwrap().rows(),
+        "posterior U-relations must be identical"
+    );
+    // Posterior tuple confidences, bit for bit.
+    let opts = DecompositionOptions::default();
+    let a = tuple_confidences(
+        batch.db.relation("R").unwrap(),
+        batch.db.world_table(),
+        &opts,
+    )
+    .unwrap();
+    let b = tuple_confidences(
+        step2.db.relation("R").unwrap(),
+        step2.db.world_table(),
+        &opts,
+    )
+    .unwrap();
+    for ((t1, p1), (t2, p2)) in a.iter().zip(&b) {
+        assert_eq!(t1, t2);
+        assert_eq!(p1.to_bits(), p2.to_bits());
+    }
+    // The batch conditions exactly once: its decomposition counters equal
+    // those of the single FD assert (the combined satisfying set *is* the
+    // FD's), while the sequential fold pays a second conditioning pass.
+    assert_eq!(batch.stats, step1.stats);
+    assert!(
+        step1.stats.total_nodes() + step2.stats.total_nodes() > batch.stats.total_nodes(),
+        "sequential: {} + {} nodes, batch: {}",
+        step1.stats.total_nodes(),
+        step2.stats.total_nodes(),
+        batch.stats.total_nodes()
+    );
+}
+
+#[test]
+fn assert_all_on_figure3_is_bit_identical_to_the_singleton_assert() {
+    // The 0.7578 golden example as a plan constraint: the Boolean query
+    // over the Figure 3 relation is the violation, so the satisfying set
+    // is its complement (P = 1 − 0.7578).
+    let (w, s) = figure3();
+    let mut db = ProbDb::with_world_table(w);
+    let mut f = db
+        .create_relation(Schema::new("F", &[("ID", ColumnType::Int)]))
+        .unwrap();
+    for (i, d) in s.iter().enumerate() {
+        f.push(Tuple::new(vec![Value::Int(i as i64)]), d.clone());
+    }
+    db.insert_relation(f).unwrap();
+    let constraint = Constraint::from_violation_plan("fig3", Plan::scan("F").project(&[]));
+    let options = ConditioningOptions::default();
+
+    let single = assert_constraint(&db, &constraint, &options).unwrap();
+    let batch = assert_all(&db, std::slice::from_ref(&constraint), &options).unwrap();
+    assert!((single.confidence - (1.0 - 0.7578)).abs() < 1e-9);
+    assert_eq!(single.confidence.to_bits(), batch.confidence.to_bits());
+    assert_eq!(
+        single.db.relation("F").unwrap().rows(),
+        batch.db.relation("F").unwrap().rows()
+    );
+    assert_eq!(
+        single.stats, batch.stats,
+        "identical single conditioning pass"
+    );
+}
+
+#[test]
+fn assert_all_on_the_fig10_tpch_fixture_is_bit_identical_to_sequential() {
+    // The fig10 workload as a constraint set: "Q1 has no answers"
+    // (violation = the Q1 plan projected to the Boolean schema, running
+    // through the optimized pipelined executor) plus a universally
+    // satisfied row filter on lineitem. The row scale keeps the Q1 answer
+    // at ~17 descriptors over ~23 variables — conditioning on a larger Q1
+    // complement grows exponentially (that infeasibility is the paper's
+    // point, and the hybrid fallback's job; here the *exact* batch is the
+    // golden value).
+    let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.002).with_seed(7));
+    let q1_boolean = Constraint::from_violation_plan("q1-nonempty", q1_plan().project(&[]));
+    let quantity_range =
+        Constraint::row_filter("lineitem", Predicate::between("quantity", 0i64, 50i64));
+    let constraints = vec![q1_boolean.clone(), quantity_range.clone()];
+    let options = ConditioningOptions::default();
+
+    let batch = assert_all(&data.db, &constraints, &options).unwrap();
+    let step1 = assert_constraint(&data.db, &q1_boolean, &options).unwrap();
+    let step2 = assert_constraint(&step1.db, &quantity_range, &options).unwrap();
+    assert_eq!(
+        batch.confidence.to_bits(),
+        (step1.confidence * step2.confidence).to_bits()
+    );
+    for name in ["customer", "orders", "lineitem"] {
+        assert_eq!(
+            batch.db.relation(name).unwrap().rows(),
+            step2.db.relation(name).unwrap().rows(),
+            "posterior {name} must be identical"
+        );
+    }
+    // Cross-check the confidence against the planned Boolean query:
+    // P(all constraints) = 1 − P(Q1 non-empty).
+    let p_q1 = planned_boolean_confidence(
+        &data.db,
+        &q1_plan().project(&[]),
+        &DecompositionOptions::default(),
+    )
+    .unwrap();
+    assert!((batch.confidence - (1.0 - p_q1)).abs() < 1e-9);
+}
+
+#[test]
+fn fk_and_denial_workload_through_all_three_strategies() {
+    // An InclusionDependency + DenialConstraint workload end-to-end: the
+    // violation queries run through the optimized planned executor (denial
+    // constraints) and the hash-bucket difference (the FK), under every
+    // strategy variant.
+    let workload =
+        uprob::datagen::ConstraintWorkload::generate(uprob::datagen::ConstraintWorkloadConfig {
+            departments: 5,
+            people: 40,
+            conflicts: 2,
+            dangling: 2,
+            out_of_range: 2,
+            seed: 2008,
+        });
+    let options = ConditioningOptions::default();
+    let exact = assert_all_with_strategy(
+        &workload.db,
+        &workload.constraints,
+        &options,
+        &ConfidenceStrategy::Exact,
+    )
+    .unwrap();
+    assert!(exact.is_materialized());
+    assert!(exact.confidence() > 0.0 && exact.confidence() < 1.0);
+
+    // Hybrid with an ample budget: bit-identical materialisation.
+    let hybrid = assert_all_with_strategy(
+        &workload.db,
+        &workload.constraints,
+        &options,
+        &ConfidenceStrategy::hybrid(10_000_000, 0.1, 0.01),
+    )
+    .unwrap();
+    assert!(hybrid.is_materialized());
+    assert_eq!(hybrid.confidence().to_bits(), exact.confidence().to_bits());
+
+    // Hybrid with a starvation budget: the virtual posterior answers
+    // posterior queries through conditioned estimation.
+    let starved = assert_all_with_strategy(
+        &workload.db,
+        &workload.constraints,
+        &options,
+        &ConfidenceStrategy::Hybrid {
+            budget: 2,
+            approx: ApproximationOptions::default()
+                .with_epsilon(0.1)
+                .with_delta(0.05)
+                .with_seed(2008),
+        },
+    )
+    .unwrap();
+    let Assertion::Estimated(virtual_posterior) = starved else {
+        panic!("a budget of 2 must force the estimated path");
+    };
+    assert!(
+        (virtual_posterior.confidence.probability - exact.confidence()).abs()
+            <= 0.1 * exact.confidence() + 0.02,
+        "estimated P(C) {} vs exact {}",
+        virtual_posterior.confidence.probability,
+        exact.confidence()
+    );
+
+    // Approximate: in-band estimate of the conjunction (pinned seed).
+    let approx = assert_all_with_strategy(
+        &workload.db,
+        &workload.constraints,
+        &options,
+        &ConfidenceStrategy::approximate(0.1, 0.05).with_seed(1010),
+    )
+    .unwrap();
+    assert!(!approx.is_materialized());
+    assert!(
+        (approx.confidence() - exact.confidence()).abs() <= 0.1 * exact.confidence() + 0.02,
+        "approximate P(C) {} vs exact {}",
+        approx.confidence(),
+        exact.confidence()
+    );
+}
