@@ -42,6 +42,7 @@ pub mod error;
 pub mod karp_luby;
 pub mod naive;
 pub mod parallel;
+pub mod pool;
 pub mod sampler;
 
 pub use conditioned::{conditioned_monte_carlo, ConditionedEstimate};
@@ -49,6 +50,7 @@ pub use dagum::{optimal_monte_carlo, optimal_monte_carlo_prepared, StoppingRuleR
 pub use error::ApproxError;
 pub use karp_luby::{karp_luby_epsilon_delta, KarpLuby};
 pub use naive::naive_monte_carlo;
+pub use pool::fan_out_indexed;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

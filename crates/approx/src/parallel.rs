@@ -12,10 +12,10 @@
 //! the result is a pure function of `(options.seed, total iterations)` —
 //! one worker or sixty-four, laptop or CI runner.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use rand::rngs::StdRng;
 use uprob_wsd::NeumaierSum;
+
+use crate::pool::fan_out_indexed;
 
 /// Iterations per stream. Small enough that short runs still fan out over a
 /// few workers, large enough that the per-stream overhead (RNG construction,
@@ -48,43 +48,13 @@ where
         let mut rng = rng_for_stream(stream);
         sample_stream(&mut rng, iterations_of(stream))
     };
-    let workers = workers.clamp(1, usize::try_from(num_streams).unwrap_or(usize::MAX));
-    let mut partials = vec![0.0f64; num_streams as usize];
-    if workers <= 1 {
-        for (stream, slot) in partials.iter_mut().enumerate() {
-            *slot = run_stream(stream as u64);
-        }
-    } else {
-        // Work-stealing by atomic counter, mirroring the batch-confidence
-        // workers of `uprob-query`: streams are uniform in size, but stealing
-        // keeps the code identical to the proven pattern and tolerates
-        // scheduling noise.
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let stream = next.fetch_add(1, Ordering::Relaxed);
-                            if stream as u64 >= num_streams {
-                                break;
-                            }
-                            local.push((stream, run_stream(stream as u64)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (stream, partial) in handle.join().expect("sampling worker panicked") {
-                    partials[stream] = partial;
-                }
-            }
-        });
-    }
-    // Combine in stream order so the floating-point result is independent of
-    // which worker computed which stream.
+    // Workers steal whole streams off the shared pool; the partials come
+    // back in stream order and are combined with compensated summation, so
+    // the floating-point result is independent of which worker computed
+    // which stream.
+    let partials = fan_out_indexed(num_streams as usize, workers, |stream| {
+        run_stream(stream as u64)
+    });
     partials.into_iter().collect::<NeumaierSum>().value()
 }
 

@@ -5,7 +5,8 @@
 //! ```
 //!
 //! `NAME` is one of `fig10`, `fig11a`, `fig11b`, `fig12`, `fig13`,
-//! `ablation`, `conditioning` or `all` (default). `--paper` switches from
+//! `ablation`, `conditioning`, `planned`, `parallel` or `all` (default).
+//! `--paper` switches from
 //! the quick instance sizes to sizes close to the paper's (slower). `--csv`
 //! additionally prints each table as CSV for post-processing.
 
@@ -15,7 +16,7 @@ use std::process::ExitCode;
 use uprob_bench::runner::with_large_stack;
 use uprob_bench::{
     ablation_conditioning, ablation_decomposition, fig10, fig11a, fig11b, fig12, fig13,
-    planned_vs_eager, ExperimentScale, ResultTable,
+    parallel_scaling, planned_vs_eager, ExperimentScale, ResultTable,
 };
 
 fn main() -> ExitCode {
@@ -36,7 +37,7 @@ fn main() -> ExitCode {
             "--csv" => csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|planned|all] [--paper] [--csv]"
+                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|planned|parallel|all] [--paper] [--csv]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -57,6 +58,7 @@ fn main() -> ExitCode {
             "ablation",
             "conditioning",
             "planned",
+            "parallel",
         ]
     } else {
         vec![experiment.as_str()]
@@ -73,6 +75,7 @@ fn main() -> ExitCode {
             "ablation" => with_large_stack(move || ablation_decomposition(scale)),
             "conditioning" => with_large_stack(move || ablation_conditioning(scale)),
             "planned" => with_large_stack(move || planned_vs_eager(scale)),
+            "parallel" => with_large_stack(move || parallel_scaling(scale)),
             other => {
                 eprintln!("unknown experiment: {other}");
                 return ExitCode::from(2);

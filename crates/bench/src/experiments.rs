@@ -13,7 +13,10 @@
 
 use std::time::Instant;
 
-use uprob_core::{ConditioningOptions, DecompositionOptions, VariableHeuristic};
+use uprob_core::{
+    confidence_parallel, ConditioningOptions, DecompositionOptions, ParallelOptions,
+    VariableHeuristic,
+};
 use uprob_datagen::{
     q1_answer, q1_answer_relation, q1_plan, q2_answer, q2_answer_relation, HardInstance,
     HardInstanceConfig, TpchConfig, TpchDatabase,
@@ -24,6 +27,7 @@ use uprob_query::{
 };
 use uprob_urel::{optimize_plan, Plan, Predicate};
 
+use crate::parallel::{available_cores, ParallelWorkload, ParallelWorkloadConfig};
 use crate::runner::{run_algorithm, Algorithm, RunOutcome};
 use crate::table::ResultTable;
 
@@ -565,6 +569,86 @@ pub fn ablation_conditioning(scale: ExperimentScale) -> ResultTable {
     table
 }
 
+/// Parallel scaling: wall-clock of the work-stealing exact fold versus
+/// worker count, on the block-parallel hard workload (variable-disjoint
+/// Figure-12-shaped blocks, so the root ⊗-partition fans out across
+/// workers) and on the TPC-H Q1 boolean answer of Figure 10. Every row
+/// also re-checks the bit-identity contract against the sequential fold;
+/// speedups above 1x require the cores to actually exist, so the table
+/// records how many the host exposes.
+pub fn parallel_scaling(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        &format!(
+            "Parallel scaling: work-stealing exact fold ({} cores detected)",
+            available_cores()
+        ),
+        &[
+            "instance",
+            "ws_set_size",
+            "workers",
+            "time_s",
+            "speedup",
+            "bit_identical",
+        ],
+    );
+    let options = DecompositionOptions::indve_minlog();
+    let workload = ParallelWorkload::generate(if scale.is_quick() {
+        ParallelWorkloadConfig {
+            blocks: 6,
+            vars_per_block: 18,
+            descriptors_per_block: 18,
+            ..Default::default()
+        }
+    } else {
+        ParallelWorkloadConfig {
+            blocks: 16,
+            vars_per_block: 26,
+            descriptors_per_block: 26,
+            ..Default::default()
+        }
+    });
+    let tpch_row_scale = if scale.is_quick() { 0.05 } else { 0.1 };
+    let data = TpchDatabase::generate(
+        TpchConfig::scale(0.01)
+            .with_row_scale(tpch_row_scale)
+            .with_seed(2008),
+    );
+    let q1_boolean = q1_answer_relation(&data).answer_ws_set();
+    let instances = [
+        ("hard_blocks", &workload.world_table, &workload.ws_set),
+        ("tpch_q1_boolean", data.db.world_table(), &q1_boolean),
+    ];
+    for (name, world_table, ws_set) in instances {
+        let sequential = confidence_parallel(
+            ws_set,
+            world_table,
+            &options,
+            &ParallelOptions::sequential(),
+            None,
+        )
+        .expect("the scaling instances run without a budget");
+        let mut baseline: Option<f64> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let parallel = ParallelOptions::new(workers);
+            let start = Instant::now();
+            let report = confidence_parallel(ws_set, world_table, &options, &parallel, None)
+                .expect("the scaling instances run without a budget");
+            let elapsed = start.elapsed().as_secs_f64();
+            let baseline_s = *baseline.get_or_insert(elapsed);
+            let identical = report.probability.to_bits() == sequential.probability.to_bits();
+            table.push_row(vec![
+                name.to_string(),
+                ws_set.len().to_string(),
+                workers.to_string(),
+                format!("{elapsed:.4}"),
+                format!("{:.2}", baseline_s / elapsed.max(1e-9)),
+                if identical { "yes" } else { "DIVERGED" }.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,6 +714,21 @@ mod tests {
         for row in table.rows() {
             assert!(row[2].parse::<f64>().unwrap() >= 0.0);
             assert!(row[3].parse::<f64>().unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_scaling_quick_stays_bit_identical_at_every_worker_count() {
+        let table = parallel_scaling(ExperimentScale::Quick);
+        // Two instances x four worker counts.
+        assert_eq!(table.len(), 8);
+        for row in table.rows() {
+            assert!(row[1].parse::<usize>().unwrap() > 0);
+            assert!(row[3].parse::<f64>().unwrap() >= 0.0);
+            assert_eq!(
+                row[5], "yes",
+                "the bit-identity contract must hold in the scaling sweep: {row:?}"
+            );
         }
     }
 }

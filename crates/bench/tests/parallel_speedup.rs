@@ -1,0 +1,84 @@
+//! Acceptance test for the work-stealing parallel decomposition: on the
+//! block-parallel hard workload (variable-disjoint Figure-12-shaped
+//! blocks, so the root ⊗-partition hands every worker a coarse,
+//! equally-hard task), the parallel fold at 4 workers must beat the
+//! sequential fold by at least 2x wall-clock.
+//!
+//! The bit-identity contract is asserted unconditionally first — it holds
+//! on any host. The wall-clock bar, by contrast, needs the cores to
+//! physically exist, so it is gated on `available_parallelism() >= 4` and
+//! prints an explicit `skipped: N cores` message otherwise (the CI
+//! `parallel-determinism` matrix greps for it; the multicore benches job
+//! runs the bar for real).
+
+use std::time::{Duration, Instant};
+
+use uprob_bench::{multicore_gate, ParallelWorkload, ParallelWorkloadConfig};
+use uprob_core::{confidence, confidence_parallel, DecompositionOptions, ParallelOptions};
+
+/// Wall-clock of the fastest of `runs` executions of `f`.
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .min()
+        .expect("at least one run")
+}
+
+#[test]
+fn parallel_fold_beats_sequential_by_2x_at_4_workers() {
+    // 8 equally-hard independent blocks: at 4 workers each worker solves
+    // ~2 blocks, so the ideal speedup is ~4x and the 2x bar absorbs
+    // scheduling overhead, machine noise and debug builds alike.
+    let workload = ParallelWorkload::generate(ParallelWorkloadConfig::default());
+    let options = DecompositionOptions::indve_minlog();
+    let four_workers = ParallelOptions::new(4);
+
+    // Correctness before timing, on every host: bit-identical probability
+    // and an identical decomposition-tree walk (stats) at 4 workers.
+    let sequential = confidence(&workload.ws_set, &workload.world_table, &options).unwrap();
+    let parallel = confidence_parallel(
+        &workload.ws_set,
+        &workload.world_table,
+        &options,
+        &four_workers,
+        None,
+    )
+    .unwrap();
+    assert_eq!(
+        parallel.probability.to_bits(),
+        sequential.probability.to_bits(),
+        "parallel fold {} vs sequential {}",
+        parallel.probability,
+        sequential.probability
+    );
+    assert_eq!(parallel.stats, sequential.stats);
+
+    // The wall-clock bar needs >= 4 physical workers.
+    if !multicore_gate("parallel_speedup", 4) {
+        return;
+    }
+
+    let sequential_time = best_of(3, || {
+        confidence(&workload.ws_set, &workload.world_table, &options).unwrap()
+    });
+    let parallel_time = best_of(3, || {
+        confidence_parallel(
+            &workload.ws_set,
+            &workload.world_table,
+            &options,
+            &four_workers,
+            None,
+        )
+        .unwrap()
+    });
+    let speedup = sequential_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "parallel fold speedup at 4 workers is only {speedup:.1}x \
+         (sequential {sequential_time:?}, parallel {parallel_time:?})"
+    );
+}

@@ -3,11 +3,13 @@
 //! at least 5x (the expected gap is well above 20x — the nested loop
 //! touches |orders'| × |lineitem| pairs, the hash join |orders'| +
 //! |lineitem| + output — so the margin absorbs machine noise and debug
-//! builds alike).
+//! builds alike). Both sides of this bar are single-threaded, so unlike
+//! the multicore `parallel_speedup` bar it is *not* core-gated; the
+//! detected core count is still reported on failure for diagnosis.
 
 use std::time::{Duration, Instant};
 
-use uprob_bench::orders_lineitem_join_plan;
+use uprob_bench::{available_cores, orders_lineitem_join_plan};
 use uprob_datagen::{TpchConfig, TpchDatabase};
 
 /// Wall-clock of the fastest of `runs` executions of `f`.
@@ -45,6 +47,7 @@ fn hash_join_beats_nested_loop_by_5x() {
     assert!(
         speedup >= 5.0,
         "hash join speedup over the nested loop is only {speedup:.1}x \
-         (eager {eager:?}, hash {hashed:?})"
+         (eager {eager:?}, hash {hashed:?}, {} cores)",
+        available_cores()
     );
 }

@@ -71,7 +71,7 @@ pub fn confidence_with_cache(
     })
 }
 
-fn confidence_rec(
+pub(crate) fn confidence_rec(
     set: &WsSet,
     decomposer: &mut Decomposer<'_>,
     depth: u64,

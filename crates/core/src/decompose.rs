@@ -18,6 +18,8 @@
 //! database rewriting over the decomposition, which is exactly the
 //! `ComputeTree ∘ P` composition described in Section 4.3.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use uprob_wsd::{ValueIndex, VarId, WorldTable, WsSet};
 
 use crate::error::CoreError;
@@ -119,11 +121,17 @@ pub enum DecompositionStep {
 }
 
 /// Shared state of one decomposition run (node budget and statistics).
+///
+/// The node counter is either run-local (the sequential fold) or a shared
+/// atomic that several workers of one parallel run charge together, so a
+/// node budget bounds the run's **total** work no matter how many workers
+/// split it (see [`crate::parallel`]).
 pub(crate) struct Decomposer<'a> {
     table: &'a WorldTable,
     options: DecompositionOptions,
     pub(crate) stats: DecompositionStats,
     nodes: u64,
+    shared_nodes: Option<&'a AtomicU64>,
 }
 
 impl<'a> Decomposer<'a> {
@@ -133,6 +141,20 @@ impl<'a> Decomposer<'a> {
             options,
             stats: DecompositionStats::default(),
             nodes: 0,
+            shared_nodes: None,
+        }
+    }
+
+    /// A decomposer charging decomposition nodes against `shared_nodes`,
+    /// the counter all workers of one parallel run have in common.
+    pub(crate) fn with_shared_nodes(
+        table: &'a WorldTable,
+        options: DecompositionOptions,
+        shared_nodes: &'a AtomicU64,
+    ) -> Self {
+        Decomposer {
+            shared_nodes: Some(shared_nodes),
+            ..Decomposer::new(table, options)
         }
     }
 
@@ -141,9 +163,15 @@ impl<'a> Decomposer<'a> {
     }
 
     fn charge_node(&mut self) -> Result<()> {
-        self.nodes += 1;
+        let total = match self.shared_nodes {
+            Some(shared) => shared.fetch_add(1, Ordering::Relaxed).saturating_add(1),
+            None => {
+                self.nodes += 1;
+                self.nodes
+            }
+        };
         if let Some(budget) = self.options.node_budget {
-            if self.nodes > budget {
+            if total > budget {
                 return Err(CoreError::BudgetExceeded { budget });
             }
         }

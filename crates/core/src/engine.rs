@@ -30,9 +30,9 @@ use uprob_approx::{conditioned_monte_carlo, optimal_monte_carlo, ApproximationOp
 use uprob_wsd::{WorldTable, WsSet};
 
 use crate::cache::SharedDecompositionCache;
-use crate::confidence::confidence_with_cache;
 use crate::decompose::DecompositionOptions;
 use crate::error::CoreError;
+use crate::parallel::{confidence_parallel, ParallelOptions};
 use crate::stats::DecompositionStats;
 use crate::Result;
 
@@ -230,9 +230,42 @@ pub fn estimate_confidence(
     strategy: &ConfidenceStrategy,
     cache: Option<&SharedDecompositionCache>,
 ) -> Result<ConfidenceReport> {
+    estimate_confidence_with_options(
+        set,
+        table,
+        decomposition,
+        strategy,
+        cache,
+        &ParallelOptions::sequential(),
+    )
+}
+
+/// [`estimate_confidence`] with the exact path running on
+/// `parallel.workers()` work-stealing worker threads
+/// ([`confidence_parallel`]).
+///
+/// The parallel exact fold is bit-identical to the sequential one, so the
+/// strategy semantics are unchanged; under `Hybrid`, the node budget is
+/// charged against one counter shared by all workers, so the
+/// fallback-vs-exact choice triggers at the same **total** work for every
+/// worker count (exactly so without a cache; with a shared cache, hit
+/// timing can shift where the charges fall, just as sequential warm runs
+/// differ from cold ones).
+///
+/// # Errors
+///
+/// As [`estimate_confidence`].
+pub fn estimate_confidence_with_options(
+    set: &WsSet,
+    table: &WorldTable,
+    decomposition: &DecompositionOptions,
+    strategy: &ConfidenceStrategy,
+    cache: Option<&SharedDecompositionCache>,
+    parallel: &ParallelOptions,
+) -> Result<ConfidenceReport> {
     match strategy {
         ConfidenceStrategy::Exact => {
-            let run = confidence_with_cache(set, table, decomposition, cache)?;
+            let run = confidence_parallel(set, table, decomposition, parallel, cache)?;
             Ok(ConfidenceReport::exact(strategy, run))
         }
         ConfidenceStrategy::Approximate(approx) => {
@@ -247,7 +280,7 @@ pub fn estimate_confidence(
         }
         ConfidenceStrategy::Hybrid { budget, approx } => {
             let budgeted = decomposition.with_budget(*budget);
-            match confidence_with_cache(set, table, &budgeted, cache) {
+            match confidence_parallel(set, table, &budgeted, parallel, cache) {
                 Ok(run) => Ok(ConfidenceReport::exact(strategy, run)),
                 Err(CoreError::BudgetExceeded { .. }) => {
                     let run = optimal_monte_carlo(set, table, approx)?;
@@ -293,15 +326,44 @@ pub fn estimate_conditioned_confidence(
     strategy: &ConfidenceStrategy,
     cache: Option<&SharedDecompositionCache>,
 ) -> Result<ConfidenceReport> {
+    estimate_conditioned_confidence_with_options(
+        query,
+        condition,
+        table,
+        decomposition,
+        strategy,
+        cache,
+        &ParallelOptions::sequential(),
+    )
+}
+
+/// [`estimate_conditioned_confidence`] with both exact folds of the ratio
+/// running on `parallel.workers()` work-stealing worker threads; the
+/// strategy and fallback semantics are unchanged (the parallel folds are
+/// bit-identical to the sequential ones; see
+/// [`estimate_confidence_with_options`] for the budget accounting).
+///
+/// # Errors
+///
+/// As [`estimate_conditioned_confidence`].
+pub fn estimate_conditioned_confidence_with_options(
+    query: &WsSet,
+    condition: &WsSet,
+    table: &WorldTable,
+    decomposition: &DecompositionOptions,
+    strategy: &ConfidenceStrategy,
+    cache: Option<&SharedDecompositionCache>,
+    parallel: &ParallelOptions,
+) -> Result<ConfidenceReport> {
     let exact_ratio = |options: &DecompositionOptions| -> Result<(f64, DecompositionStats)> {
-        let condition_run = confidence_with_cache(condition, table, options, cache)?;
+        let condition_run = confidence_parallel(condition, table, options, parallel, cache)?;
         // NaN is treated like zero: a zero-probability condition is the
         // typed error, never a NaN/Inf posterior.
         if condition_run.probability <= 0.0 || condition_run.probability.is_nan() {
             return Err(CoreError::EmptyCondition);
         }
         let joint_set = query.intersect(condition).normalized();
-        let joint_run = confidence_with_cache(&joint_set, table, options, cache)?;
+        let joint_run = confidence_parallel(&joint_set, table, options, parallel, cache)?;
         let mut stats = condition_run.stats;
         stats.absorb(&joint_run.stats);
         Ok((
@@ -332,16 +394,17 @@ pub fn estimate_conditioned_confidence(
         }
         ConfidenceStrategy::Hybrid { budget, approx } => {
             let budgeted = decomposition.with_budget(*budget);
-            let condition_run = match confidence_with_cache(condition, table, &budgeted, cache) {
-                Ok(run) => {
-                    if run.probability <= 0.0 || run.probability.is_nan() {
-                        return Err(CoreError::EmptyCondition);
+            let condition_run =
+                match confidence_parallel(condition, table, &budgeted, parallel, cache) {
+                    Ok(run) => {
+                        if run.probability <= 0.0 || run.probability.is_nan() {
+                            return Err(CoreError::EmptyCondition);
+                        }
+                        Some(run)
                     }
-                    Some(run)
-                }
-                Err(CoreError::BudgetExceeded { .. }) => None,
-                Err(other) => return Err(other),
-            };
+                    Err(CoreError::BudgetExceeded { .. }) => None,
+                    Err(other) => return Err(other),
+                };
             let Some(condition_run) = condition_run else {
                 // The condition itself is past the wall: sample the whole
                 // ratio.
@@ -355,7 +418,7 @@ pub fn estimate_conditioned_confidence(
                 ));
             };
             let joint_set = query.intersect(condition).normalized();
-            match confidence_with_cache(&joint_set, table, &budgeted, cache) {
+            match confidence_parallel(&joint_set, table, &budgeted, parallel, cache) {
                 Ok(joint_run) => {
                     let mut stats = condition_run.stats;
                     stats.absorb(&joint_run.stats);
@@ -634,6 +697,128 @@ mod tests {
         );
         assert!(ResolvedPath::Sampled { fell_back: true }.is_sampled());
         assert!(!ResolvedPath::Exact.is_sampled());
+    }
+
+    #[test]
+    fn hybrid_fallback_choice_is_pinned_across_worker_counts() {
+        // Regression for the budget accounting: `BudgetExceeded` must
+        // trigger at the same total work regardless of the worker count
+        // (one shared atomic counter, not per-worker budgets). Without a
+        // cache the decomposition tree is a pure function of the instance,
+        // so for every worker count the same instance must land on the
+        // same side of the budget wall — and the exact-side probability
+        // must be bit-identical.
+        let (w, s) = independent_pairs(10);
+        let exact_cost = estimate_confidence(
+            &s,
+            &w,
+            &DecompositionOptions::ve_minlog(),
+            &ConfidenceStrategy::Exact,
+            None,
+        )
+        .unwrap()
+        .stats
+        .total_nodes();
+        // One budget comfortably above the full cost, one comfortably below.
+        let ample = ConfidenceStrategy::Hybrid {
+            budget: exact_cost * 4,
+            approx: ApproximationOptions::default().with_seed(41),
+        };
+        let tight = ConfidenceStrategy::Hybrid {
+            budget: exact_cost / 4,
+            approx: ApproximationOptions::default().with_seed(41),
+        };
+        let reference = estimate_confidence_with_options(
+            &s,
+            &w,
+            &DecompositionOptions::ve_minlog(),
+            &ample,
+            None,
+            &ParallelOptions::sequential(),
+        )
+        .unwrap();
+        assert_eq!(reference.path, ResolvedPath::Exact);
+        for workers in [1, 2, 4, 8] {
+            let parallel = ParallelOptions::new(workers).with_grain(2);
+            let exact_side = estimate_confidence_with_options(
+                &s,
+                &w,
+                &DecompositionOptions::ve_minlog(),
+                &ample,
+                None,
+                &parallel,
+            )
+            .unwrap();
+            assert_eq!(
+                exact_side.path,
+                ResolvedPath::Exact,
+                "{workers} workers: ample budget must stay exact"
+            );
+            assert_eq!(
+                exact_side.probability.to_bits(),
+                reference.probability.to_bits(),
+                "{workers} workers: exact-side probability must be bit-identical"
+            );
+            let fallback_side = estimate_confidence_with_options(
+                &s,
+                &w,
+                &DecompositionOptions::ve_minlog(),
+                &tight,
+                None,
+                &parallel,
+            )
+            .unwrap();
+            assert_eq!(
+                fallback_side.path,
+                ResolvedPath::Sampled { fell_back: true },
+                "{workers} workers: tight budget must fall back"
+            );
+            assert_eq!(
+                fallback_side.probability.to_bits(),
+                estimate_confidence_with_options(
+                    &s,
+                    &w,
+                    &DecompositionOptions::ve_minlog(),
+                    &tight,
+                    None,
+                    &ParallelOptions::sequential(),
+                )
+                .unwrap()
+                .probability
+                .to_bits(),
+                "{workers} workers: the seeded sampling fallback is deterministic too"
+            );
+        }
+    }
+
+    #[test]
+    fn conditioned_confidence_with_options_is_bit_identical_across_workers() {
+        let (w, s) = figure3();
+        let u = w.variable_by_name("u").unwrap();
+        let c = WsSet::from_descriptors(vec![WsDescriptor::from_pairs(&w, &[(u, 1)]).unwrap()]);
+        let options = DecompositionOptions::indve_minlog();
+        let reference =
+            estimate_conditioned_confidence(&s, &c, &w, &options, &ConfidenceStrategy::Exact, None)
+                .unwrap();
+        for workers in [2, 4, 8] {
+            let parallel = ParallelOptions::new(workers).with_grain(2);
+            let got = estimate_conditioned_confidence_with_options(
+                &s,
+                &c,
+                &w,
+                &options,
+                &ConfidenceStrategy::Exact,
+                None,
+                &parallel,
+            )
+            .unwrap();
+            assert_eq!(
+                got.probability.to_bits(),
+                reference.probability.to_bits(),
+                "{workers} workers"
+            );
+            assert_eq!(got.stats, reference.stats);
+        }
     }
 
     #[test]

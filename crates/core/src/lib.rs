@@ -21,6 +21,10 @@
 //! * [`cache`]: the shared decomposition cache — hash-consed canonical
 //!   ws-set keys memoizing sub-set probabilities, shared across the
 //!   confidence fold, WE and the batch query layer (see `DESIGN.md`);
+//! * [`parallel`]: work-stealing parallel exact confidence — scoped worker
+//!   threads expanding independent partitions and ⊕-split siblings
+//!   concurrently, combined in canonical child order so results are
+//!   **bit-identical** to the sequential fold for every worker count;
 //! * [`engine`]: the unified confidence engine — an explicit
 //!   [`ConfidenceStrategy`] (`Exact` / `Approximate(ε, δ)` /
 //!   `Hybrid { budget, ε, δ }`) that runs the cached exact decomposition
@@ -62,6 +66,7 @@ pub mod elimination;
 pub mod engine;
 pub mod error;
 pub mod heuristics;
+pub mod parallel;
 pub mod stats;
 pub mod wstree;
 
@@ -73,16 +78,19 @@ pub use conditioning::{
 pub use confidence::{confidence, confidence_brute_force, confidence_with_cache, tree_probability};
 pub use decompose::{build_tree, DecompositionMethod, DecompositionOptions};
 pub use elimination::{
-    confidence_by_elimination, confidence_by_elimination_with, mutex_equivalent,
+    confidence_by_elimination, confidence_by_elimination_parallel, confidence_by_elimination_with,
+    mutex_equivalent,
 };
 pub use engine::{
-    estimate_conditioned_confidence, estimate_confidence, ConfidenceReport, ConfidenceStrategy,
+    estimate_conditioned_confidence, estimate_conditioned_confidence_with_options,
+    estimate_confidence, estimate_confidence_with_options, ConfidenceReport, ConfidenceStrategy,
     ResolvedPath, SamplingStats,
 };
 pub use error::CoreError;
 pub use heuristics::VariableHeuristic;
+pub use parallel::{available_workers, confidence_parallel, ParallelOptions};
 pub use stats::{Confidence, DecompositionStats};
-pub use uprob_approx::ApproximationOptions;
+pub use uprob_approx::{fan_out_indexed, ApproximationOptions};
 pub use wstree::WsTree;
 
 /// Result alias used throughout the crate.

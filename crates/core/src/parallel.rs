@@ -1,0 +1,805 @@
+//! Work-stealing parallel exact confidence computation.
+//!
+//! The ws-tree decomposition is naturally parallel: the parts of an
+//! independent partition (⊗) and the sibling subtrees of a ⊕-split are
+//! disjoint subproblems. [`confidence_parallel`] expands them on scoped
+//! worker threads — one lock-protected deque per worker, owners popping
+//! newest-first and thieves stealing oldest-first so the largest pending
+//! subtrees migrate — while an arena of *combine nodes* reassembles the
+//! partial results strictly in canonical child order with the same
+//! compensated (Neumaier) arithmetic as the sequential fold of
+//! [`crate::confidence`].
+//!
+//! # Determinism contract
+//!
+//! The returned probability is **bit-identical** to
+//! [`confidence_with_cache`] for every worker count. The argument: the
+//! probability of every sub-ws-set is a pure function of the sub-set and
+//! the world table, so it does not matter *which* worker computes it or
+//! *when*; and partial results are never folded in completion order —
+//! each combine node keeps one slot per child and evaluates, only once
+//! all slots are filled, exactly the sequential expression (`1 − Π (1 −
+//! pᵢ)` in part order for ⊗, a Neumaier sum of `wᵢ · pᵢ` in branch order
+//! with the missing-value tail last for ⊕). A shared-cache hit returns a
+//! probability that is itself bit-identical to recomputation, so the
+//! contract holds with or without a [`SharedDecompositionCache`]. The
+//! differential and golden suites pin this under a `UPROB_WORKERS`
+//! matrix in CI.
+//!
+//! # Budget accounting
+//!
+//! All workers of one run charge decomposition nodes against a single
+//! shared atomic counter, so a [`DecompositionOptions::node_budget`]
+//! bounds the run's **total** work: `BudgetExceeded` triggers at the
+//! same amount of work regardless of the worker count (without a cache
+//! the decomposition tree — and hence the abort-or-finish outcome — is
+//! exactly the sequential one; cache hits can shift where the charges
+//! fall, just as they do sequentially).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use uprob_wsd::{NeumaierSum, WorldTable, WsSet};
+
+use crate::cache::{CacheLookup, PendingEntry, SharedDecompositionCache};
+use crate::confidence::{confidence_rec, confidence_with_cache};
+use crate::decompose::{Decomposer, DecompositionOptions, DecompositionStep};
+use crate::error::CoreError;
+use crate::stats::{Confidence, DecompositionStats};
+use crate::Result;
+
+/// Default grain: ws-sets with fewer descriptors are solved inline by the
+/// sequential fold instead of being scheduled, so the per-task overhead is
+/// only paid where a subtree is plausibly worth stealing.
+const DEFAULT_GRAIN: usize = 16;
+
+/// Worker-count and granularity policy for the parallel exact paths
+/// ([`confidence_parallel`] and the `_with_options` engine/query surface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelOptions {
+    workers: usize,
+    grain: usize,
+}
+
+impl Default for ParallelOptions {
+    /// The sequential policy: parallelism is opt-in.
+    fn default() -> Self {
+        ParallelOptions::sequential()
+    }
+}
+
+impl ParallelOptions {
+    /// A policy running `workers` worker threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ParallelOptions {
+            workers: workers.max(1),
+            grain: DEFAULT_GRAIN,
+        }
+    }
+
+    /// The sequential policy (one worker): every entry point degenerates
+    /// to the plain sequential fold with zero scheduling overhead.
+    pub fn sequential() -> Self {
+        ParallelOptions::new(1)
+    }
+
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`], 1 if unknown).
+    pub fn auto() -> Self {
+        ParallelOptions::new(available_workers())
+    }
+
+    /// Reads the worker count from the `UPROB_WORKERS` environment
+    /// variable (the knob the CI determinism matrix turns); unset or
+    /// unparsable values fall back to [`ParallelOptions::auto`].
+    pub fn from_env() -> Self {
+        ParallelOptions::new(workers_from_spec(
+            std::env::var("UPROB_WORKERS").ok().as_deref(),
+        ))
+    }
+
+    /// Returns a copy with the given scheduling grain: ws-sets with fewer
+    /// than `grain` descriptors are solved inline rather than scheduled.
+    /// Tests over small random instances lower this so the scheduler is
+    /// actually exercised; production callers keep the default.
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain;
+        self
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The scheduling grain (minimum descriptor count for a scheduled task).
+    pub fn grain(&self) -> usize {
+        self.grain
+    }
+
+    /// Whether this policy runs on a single worker.
+    pub fn is_sequential(&self) -> bool {
+        self.workers <= 1
+    }
+}
+
+/// The number of available hardware threads, 1 if it cannot be queried.
+pub fn available_workers() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses a `UPROB_WORKERS`-style spec; `None`, empty or unparsable specs
+/// fall back to [`available_workers`].
+fn workers_from_spec(spec: Option<&str>) -> usize {
+    spec.and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|workers| *workers >= 1)
+        .unwrap_or_else(available_workers)
+}
+
+/// Sentinel parent index for the root task.
+const ROOT: usize = usize::MAX;
+
+/// One unit of schedulable work: compute the probability of `set` and
+/// deliver it to slot `slot` of combine node `parent`.
+struct Task {
+    set: WsSet,
+    depth: u64,
+    parent: usize,
+    slot: usize,
+}
+
+/// How a combine node folds its children — mirroring, slot for slot, the
+/// arithmetic of the sequential `confidence_rec`.
+enum CombineKind {
+    /// ⊗: `1 − Π (1 − pᵢ)`, factors multiplied in part order.
+    Product {
+        /// One slot per part, filled as children resolve.
+        factors: Vec<Option<f64>>,
+    },
+    /// ⊕: Neumaier sum of `wᵢ · pᵢ` in branch order. Zero-weight branches
+    /// are never scheduled (the sequential fold skips them before
+    /// recursing); when the eliminated variable has missing values and a
+    /// non-empty tail, the tail is the last term with the summed missing
+    /// weight.
+    Sum {
+        /// Branch weights, in canonical branch order.
+        weights: Vec<f64>,
+        /// One slot per branch, filled as children resolve.
+        terms: Vec<Option<f64>>,
+    },
+}
+
+impl CombineKind {
+    fn set(&mut self, slot: usize, value: f64) {
+        let slots = match self {
+            CombineKind::Product { factors } => factors,
+            CombineKind::Sum { terms, .. } => terms,
+        };
+        debug_assert!(slots[slot].is_none(), "combine slot delivered twice");
+        slots[slot] = Some(value);
+    }
+
+    /// Folds the filled slots exactly as the sequential fold would.
+    fn combine(&self) -> f64 {
+        match self {
+            CombineKind::Product { factors } => {
+                let mut complement = 1.0;
+                for factor in factors {
+                    complement *= 1.0 - factor.expect("combine node resolved unfilled");
+                }
+                1.0 - complement
+            }
+            CombineKind::Sum { weights, terms } => {
+                let mut total = NeumaierSum::new();
+                for (weight, term) in weights.iter().zip(terms) {
+                    total.add(weight * term.expect("combine node resolved unfilled"));
+                }
+                total.value()
+            }
+        }
+    }
+}
+
+/// An unresolved inner node of the (virtual) ws-tree: where its own value
+/// goes, how many children are still outstanding, and the pending cache
+/// entry to fill once resolved.
+struct CombineNode {
+    parent: usize,
+    slot: usize,
+    remaining: usize,
+    kind: CombineKind,
+    cache_entry: Option<PendingEntry>,
+}
+
+/// Slab of combine nodes with a free-list: resolved nodes are recycled,
+/// bounding the arena to the active frontier of the decomposition rather
+/// than its full node count.
+#[derive(Default)]
+struct Arena {
+    nodes: Vec<Option<CombineNode>>,
+    free: Vec<usize>,
+}
+
+impl Arena {
+    fn alloc(&mut self, node: CombineNode) -> usize {
+        match self.free.pop() {
+            Some(index) => {
+                self.nodes[index] = Some(node);
+                index
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    fn take(&mut self, index: usize) -> CombineNode {
+        let node = self.nodes[index].take().expect("live combine node");
+        self.free.push(index);
+        node
+    }
+}
+
+/// State shared by all workers of one parallel run.
+struct Shared<'a> {
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    arena: Mutex<Arena>,
+    root: Mutex<Option<f64>>,
+    done: AtomicBool,
+    error: Mutex<Option<CoreError>>,
+    cache: Option<&'a SharedDecompositionCache>,
+    grain: usize,
+}
+
+impl Shared<'_> {
+    fn record_error(&self, error: CoreError) {
+        let mut slot = self.error.lock().expect("error lock poisoned");
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Delivers `value` into `(parent, slot)` and walks resolutions up the
+/// arena: whichever worker fills a node's last slot folds it (in canonical
+/// order), publishes the pending cache entry and continues with the
+/// parent. The walk is iterative, so deep ws-trees never deepen the stack.
+fn resolve(shared: &Shared<'_>, mut parent: usize, mut slot: usize, mut value: f64) {
+    loop {
+        if parent == ROOT {
+            *shared.root.lock().expect("root lock poisoned") = Some(value);
+            shared.done.store(true, Ordering::Release);
+            return;
+        }
+        let finished = {
+            let mut arena = shared.arena.lock().expect("arena lock poisoned");
+            let node = arena.nodes[parent].as_mut().expect("live combine node");
+            node.kind.set(slot, value);
+            node.remaining -= 1;
+            if node.remaining > 0 {
+                return;
+            }
+            arena.take(parent)
+        };
+        value = finished.kind.combine();
+        if let (Some(cache), Some(entry)) = (shared.cache, finished.cache_entry) {
+            cache.insert(entry, value);
+        }
+        parent = finished.parent;
+        slot = finished.slot;
+    }
+}
+
+/// Resolves a task that needed no children, publishing its cache entry.
+fn finish_leaf(
+    shared: &Shared<'_>,
+    parent: usize,
+    slot: usize,
+    value: f64,
+    pending: Option<PendingEntry>,
+) {
+    if let (Some(cache), Some(entry)) = (shared.cache, pending) {
+        cache.insert(entry, value);
+    }
+    resolve(shared, parent, slot, value);
+}
+
+/// Allocates the combine node for an expanded task and pushes its child
+/// tasks onto the expanding worker's own deque — in reverse slot order, so
+/// LIFO pops visit the children in the same depth-first canonical order as
+/// the sequential recursion (thieves take from the other end: the oldest,
+/// largest subtrees).
+fn spawn_children(
+    shared: &Shared<'_>,
+    worker: usize,
+    node: CombineNode,
+    children: Vec<WsSet>,
+    depth: u64,
+) {
+    debug_assert_eq!(node.remaining, children.len());
+    let index = shared
+        .arena
+        .lock()
+        .expect("arena lock poisoned")
+        .alloc(node);
+    let mut queue = shared.queues[worker].lock().expect("queue lock poisoned");
+    for (child_slot, set) in children.into_iter().enumerate().rev() {
+        queue.push_front(Task {
+            set,
+            depth: depth + 1,
+            parent: index,
+            slot: child_slot,
+        });
+    }
+}
+
+/// Executes one task: small sets are solved inline by the sequential fold
+/// (same cache interaction, same arithmetic); larger sets take one
+/// decomposition step, with the resulting subtrees scheduled as child
+/// tasks behind a combine node. The cache-band check runs *before* the
+/// step, exactly as in `confidence_rec`.
+fn run_task(
+    task: Task,
+    worker: usize,
+    shared: &Shared<'_>,
+    decomposer: &mut Decomposer<'_>,
+) -> Result<()> {
+    let Task {
+        set,
+        depth,
+        parent,
+        slot,
+    } = task;
+    if set.len() < shared.grain {
+        let probability = confidence_rec(&set, decomposer, depth, shared.cache)?;
+        resolve(shared, parent, slot, probability);
+        return Ok(());
+    }
+    let pending = match shared.cache {
+        Some(cache) if SharedDecompositionCache::is_cacheable(&set) => match cache.lookup(&set) {
+            CacheLookup::Hit(probability) => {
+                decomposer.stats.cache_hits += 1;
+                resolve(shared, parent, slot, probability);
+                return Ok(());
+            }
+            CacheLookup::Miss(key) => {
+                decomposer.stats.cache_misses += 1;
+                Some(key)
+            }
+        },
+        _ => None,
+    };
+    match decomposer.step(&set, depth)? {
+        DecompositionStep::Empty => finish_leaf(shared, parent, slot, 0.0, pending),
+        DecompositionStep::Universal => finish_leaf(shared, parent, slot, 1.0, pending),
+        DecompositionStep::Partition(parts) => {
+            let node = CombineNode {
+                parent,
+                slot,
+                remaining: parts.len(),
+                kind: CombineKind::Product {
+                    factors: vec![None; parts.len()],
+                },
+                cache_entry: pending,
+            };
+            spawn_children(shared, worker, node, parts, depth);
+        }
+        DecompositionStep::Eliminate {
+            var,
+            branches,
+            missing_values,
+            tail,
+        } => {
+            let table = decomposer.table();
+            let mut weights = Vec::with_capacity(branches.len() + 1);
+            let mut children = Vec::with_capacity(branches.len() + 1);
+            for (value, child) in branches {
+                let weight = table.probability(var, value)?;
+                if weight == 0.0 {
+                    continue;
+                }
+                weights.push(weight);
+                children.push(child);
+            }
+            if !missing_values.is_empty() && !tail.is_empty() {
+                let mut missing_weight = NeumaierSum::new();
+                for value in &missing_values {
+                    missing_weight.add(table.probability(var, *value)?);
+                }
+                let missing_weight = missing_weight.value();
+                if missing_weight > 0.0 {
+                    weights.push(missing_weight);
+                    children.push(tail);
+                }
+            }
+            if children.is_empty() {
+                // Every branch had zero weight: the sequential fold returns
+                // the empty Neumaier sum.
+                finish_leaf(shared, parent, slot, 0.0, pending);
+            } else {
+                let node = CombineNode {
+                    parent,
+                    slot,
+                    remaining: children.len(),
+                    kind: CombineKind::Sum {
+                        weights,
+                        terms: vec![None; children.len()],
+                    },
+                    cache_entry: pending,
+                };
+                spawn_children(shared, worker, node, children, depth);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pops the worker's own newest task, or steals the oldest task of another
+/// worker's deque.
+fn next_task(shared: &Shared<'_>, worker: usize) -> Option<Task> {
+    if let Some(task) = shared.queues[worker]
+        .lock()
+        .expect("queue lock poisoned")
+        .pop_front()
+    {
+        return Some(task);
+    }
+    let queues = shared.queues.len();
+    for offset in 1..queues {
+        let victim = (worker + offset) % queues;
+        if let Some(task) = shared.queues[victim]
+            .lock()
+            .expect("queue lock poisoned")
+            .pop_back()
+        {
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// The worker main loop: drain tasks until the root resolves or a worker
+/// reports an error; idle workers yield between steal attempts.
+fn worker_loop(
+    worker: usize,
+    shared: &Shared<'_>,
+    table: &WorldTable,
+    options: DecompositionOptions,
+    nodes: &AtomicU64,
+) -> DecompositionStats {
+    let mut decomposer = Decomposer::with_shared_nodes(table, options, nodes);
+    while !shared.done.load(Ordering::Acquire) {
+        match next_task(shared, worker) {
+            Some(task) => {
+                if let Err(error) = run_task(task, worker, shared, &mut decomposer) {
+                    shared.record_error(error);
+                }
+            }
+            None => thread::yield_now(),
+        }
+    }
+    decomposer.stats
+}
+
+/// Computes the exact probability of `set` on `parallel.workers()` work-
+/// stealing worker threads, bit-identical to [`confidence_with_cache`]
+/// for every worker count (see the module documentation for the contract
+/// and the budget semantics). With one worker — or a set below the
+/// scheduling grain — this *is* the sequential fold.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetExceeded`] if `options.node_budget` is set
+/// and the run's total (cross-worker) node count exhausts it, and
+/// [`CoreError::CacheTableMismatch`] if `cache` was first used with a
+/// different world table.
+pub fn confidence_parallel(
+    set: &WsSet,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+    parallel: &ParallelOptions,
+    cache: Option<&SharedDecompositionCache>,
+) -> Result<Confidence> {
+    if parallel.is_sequential() || set.len() < parallel.grain {
+        return confidence_with_cache(set, table, options, cache);
+    }
+    if let Some(shared_cache) = cache {
+        shared_cache.bind_table(table)?;
+    }
+    let workers = parallel.workers();
+    let nodes = AtomicU64::new(0);
+    let shared = Shared {
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        arena: Mutex::new(Arena::default()),
+        root: Mutex::new(None),
+        done: AtomicBool::new(false),
+        error: Mutex::new(None),
+        cache,
+        grain: parallel.grain,
+    };
+    shared.queues[0]
+        .lock()
+        .expect("queue lock poisoned")
+        .push_front(Task {
+            set: set.clone(),
+            depth: 1,
+            parent: ROOT,
+            slot: 0,
+        });
+    let mut stats = DecompositionStats::default();
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let shared = &shared;
+                let nodes = &nodes;
+                scope.spawn(move || worker_loop(worker, shared, table, *options, nodes))
+            })
+            .collect();
+        for handle in handles {
+            stats.absorb(&handle.join().expect("worker thread must not panic"));
+        }
+    });
+    if let Some(error) = shared.error.lock().expect("error lock poisoned").take() {
+        return Err(error);
+    }
+    let probability = shared
+        .root
+        .lock()
+        .expect("root lock poisoned")
+        .take()
+        .expect("finished parallel run must resolve the root");
+    Ok(Confidence { probability, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use uprob_wsd::{ValueIndex, VarId, WsDescriptor};
+
+    /// The world table and ws-set S of Figure 3 (P(S) = 0.7578).
+    fn figure3() -> (WorldTable, WsSet) {
+        let mut w = WorldTable::new();
+        let x = w
+            .add_variable("x", &[(1, 0.1), (2, 0.4), (3, 0.5)])
+            .unwrap();
+        let y = w.add_variable("y", &[(1, 0.2), (2, 0.8)]).unwrap();
+        let z = w.add_variable("z", &[(1, 0.4), (2, 0.6)]).unwrap();
+        let u = w.add_variable("u", &[(1, 0.7), (2, 0.3)]).unwrap();
+        let v = w.add_variable("v", &[(1, 0.5), (2, 0.5)]).unwrap();
+        let s = WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(&w, &[(x, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (y, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(x, 2), (z, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 1), (v, 1)]).unwrap(),
+            WsDescriptor::from_pairs(&w, &[(u, 2)]).unwrap(),
+        ]);
+        (w, s)
+    }
+
+    /// A seeded random instance large enough to exercise the scheduler.
+    fn random_instance(seed: u64) -> (WorldTable, WsSet) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = WorldTable::new();
+        let num_vars = rng.random_range(6..=10usize);
+        let vars: Vec<VarId> = (0..num_vars)
+            .map(|i| {
+                let domain = rng.random_range(2..=4usize);
+                w.add_uniform(&format!("v{i}"), domain).unwrap()
+            })
+            .collect();
+        let mut set = WsSet::empty();
+        for _ in 0..rng.random_range(6..=14usize) {
+            let mut d = WsDescriptor::empty();
+            for _ in 0..rng.random_range(1..=3usize) {
+                let var = vars[rng.random_range(0..num_vars)];
+                let domain = w.domain_size(var).unwrap();
+                let _ = d.assign(var, ValueIndex(rng.random_range(0..domain) as u16));
+            }
+            set.push(d);
+        }
+        (w, set)
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential_on_figure3() {
+        let (w, s) = figure3();
+        for options in [
+            DecompositionOptions::indve_minlog(),
+            DecompositionOptions::indve_minmax(),
+            DecompositionOptions::ve_minlog(),
+        ] {
+            let sequential = confidence_with_cache(&s, &w, &options, None).unwrap();
+            for workers in [2, 3, 8] {
+                let parallel = ParallelOptions::new(workers).with_grain(2);
+                let got = confidence_parallel(&s, &w, &options, &parallel, None).unwrap();
+                assert_eq!(
+                    got.probability.to_bits(),
+                    sequential.probability.to_bits(),
+                    "{options:?} with {workers} workers: {} vs {}",
+                    got.probability,
+                    sequential.probability
+                );
+                // Without a cache the decomposition tree is the sequential
+                // one, so the merged counters match exactly.
+                assert_eq!(got.stats, sequential.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential_on_random_sets() {
+        for seed in 0..16u64 {
+            let (w, s) = random_instance(seed);
+            for options in [
+                DecompositionOptions::indve_minlog(),
+                DecompositionOptions::ve_minlog(),
+            ] {
+                let sequential = confidence_with_cache(&s, &w, &options, None).unwrap();
+                for workers in [2, 4, 8] {
+                    let parallel = ParallelOptions::new(workers).with_grain(2);
+                    let got = confidence_parallel(&s, &w, &options, &parallel, None).unwrap();
+                    assert_eq!(
+                        got.probability.to_bits(),
+                        sequential.probability.to_bits(),
+                        "seed {seed}, {options:?}, {workers} workers"
+                    );
+                    assert_eq!(got.stats, sequential.stats, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_choice_fold_survives_many_branch_drift() {
+        // The ⊕-combine must keep the compensated branch-order sum: one
+        // 0.5 head, 29998 half-ulp alternatives and a balancing tail; the
+        // singleton cover has probability exactly 1.0.
+        let tiny = 2f64.powi(-54);
+        let tiny_count = 29_998usize;
+        let mut alternatives: Vec<(i64, f64)> = vec![(0, 0.5)];
+        alternatives.extend((0..tiny_count).map(|i| (1 + i as i64, tiny)));
+        alternatives.push((1 + tiny_count as i64, 0.5 - tiny_count as f64 * tiny));
+        let mut w = WorldTable::new();
+        let x = w.add_variable("x", &alternatives).unwrap();
+        let set: WsSet = (0..alternatives.len())
+            .map(|v| {
+                WsDescriptor::from_assignments([uprob_wsd::value::Assignment::new(
+                    x,
+                    ValueIndex(v as u16),
+                )])
+                .unwrap()
+            })
+            .collect();
+        let options = DecompositionOptions::ve_minlog();
+        let sequential = confidence_with_cache(&set, &w, &options, None).unwrap();
+        let parallel = ParallelOptions::new(4).with_grain(2);
+        let got = confidence_parallel(&set, &w, &options, &parallel, None).unwrap();
+        assert_eq!(got.probability.to_bits(), sequential.probability.to_bits());
+        assert!(
+            (got.probability - 1.0).abs() < 1e-13,
+            "parallel ⊕-fold drifted: {:e}",
+            (got.probability - 1.0).abs()
+        );
+    }
+
+    #[test]
+    fn parallel_budget_aborts_like_sequential_and_ample_budget_matches() {
+        let (w, s) = figure3();
+        let tight = DecompositionOptions::indve_minlog().with_budget(2);
+        for workers in [2, 4] {
+            let parallel = ParallelOptions::new(workers).with_grain(2);
+            let err = confidence_parallel(&s, &w, &tight, &parallel, None).unwrap_err();
+            assert!(matches!(err, CoreError::BudgetExceeded { budget: 2 }));
+        }
+        let ample = DecompositionOptions::indve_minlog().with_budget(1_000_000);
+        let sequential = confidence_with_cache(&s, &w, &ample, None).unwrap();
+        for workers in [2, 4] {
+            let parallel = ParallelOptions::new(workers).with_grain(2);
+            let got = confidence_parallel(&s, &w, &ample, &parallel, None).unwrap();
+            assert_eq!(got.probability.to_bits(), sequential.probability.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_populates_the_shared_cache_for_sequential_reuse() {
+        let (w, s) = figure3();
+        let options = DecompositionOptions::indve_minlog();
+        let cache = SharedDecompositionCache::new();
+        let parallel = ParallelOptions::new(4).with_grain(2);
+        let cold = confidence_parallel(&s, &w, &options, &parallel, Some(&cache)).unwrap();
+        let plain = confidence_with_cache(&s, &w, &options, None).unwrap();
+        assert_eq!(cold.probability.to_bits(), plain.probability.to_bits());
+        assert!(cold.stats.cache_misses > 0);
+        // A warm sequential run over the same set answers from the cache.
+        let warm = confidence_with_cache(&s, &w, &options, Some(&cache)).unwrap();
+        assert_eq!(warm.probability.to_bits(), cold.probability.to_bits());
+        assert_eq!(warm.stats.cache_hits, 1);
+        assert_eq!(warm.stats.total_nodes(), 0);
+        // And a warm parallel run hits it too.
+        let warm_parallel = confidence_parallel(&s, &w, &options, &parallel, Some(&cache)).unwrap();
+        assert_eq!(
+            warm_parallel.probability.to_bits(),
+            cold.probability.to_bits()
+        );
+        assert!(warm_parallel.stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn parallel_with_cache_is_bit_identical_on_random_sets() {
+        for seed in 16..28u64 {
+            let (w, s) = random_instance(seed);
+            let options = DecompositionOptions::indve_minlog();
+            let sequential = confidence_with_cache(&s, &w, &options, None).unwrap();
+            for workers in [2, 8] {
+                let cache = SharedDecompositionCache::new();
+                let parallel = ParallelOptions::new(workers).with_grain(2);
+                let got = confidence_parallel(&s, &w, &options, &parallel, Some(&cache)).unwrap();
+                assert_eq!(
+                    got.probability.to_bits(),
+                    sequential.probability.to_bits(),
+                    "seed {seed}, {workers} workers (cached)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_sets_and_single_worker_degenerate_to_sequential() {
+        let (w, s) = figure3();
+        let options = DecompositionOptions::indve_minlog();
+        let sequential = confidence_with_cache(&s, &w, &options, None).unwrap();
+        // One worker: the scheduler is bypassed entirely.
+        let one =
+            confidence_parallel(&s, &w, &options, &ParallelOptions::sequential(), None).unwrap();
+        assert_eq!(one.probability.to_bits(), sequential.probability.to_bits());
+        // A set below the grain: likewise.
+        let coarse = ParallelOptions::new(4); // default grain 16 > |S| = 5
+        let small = confidence_parallel(&s, &w, &options, &coarse, None).unwrap();
+        assert_eq!(
+            small.probability.to_bits(),
+            sequential.probability.to_bits()
+        );
+        // Empty and universal sets under the scheduler-less path.
+        let parallel = ParallelOptions::new(4).with_grain(0);
+        assert_eq!(
+            confidence_parallel(&WsSet::empty(), &w, &options, &parallel, None)
+                .unwrap()
+                .probability,
+            0.0
+        );
+        assert_eq!(
+            confidence_parallel(&WsSet::universal(), &w, &options, &parallel, None)
+                .unwrap()
+                .probability,
+            1.0
+        );
+    }
+
+    #[test]
+    fn parallel_options_policies() {
+        assert!(ParallelOptions::default().is_sequential());
+        assert_eq!(ParallelOptions::new(0).workers(), 1);
+        assert_eq!(ParallelOptions::new(4).workers(), 4);
+        assert!(!ParallelOptions::new(4).is_sequential());
+        assert_eq!(ParallelOptions::new(4).grain(), DEFAULT_GRAIN);
+        assert_eq!(ParallelOptions::new(4).with_grain(2).grain(), 2);
+        assert!(ParallelOptions::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn workers_spec_parsing() {
+        assert_eq!(workers_from_spec(Some("4")), 4);
+        assert_eq!(workers_from_spec(Some(" 2 ")), 2);
+        let auto = available_workers();
+        assert_eq!(workers_from_spec(None), auto);
+        assert_eq!(workers_from_spec(Some("")), auto);
+        assert_eq!(workers_from_spec(Some("0")), auto);
+        assert_eq!(workers_from_spec(Some("many")), auto);
+    }
+}

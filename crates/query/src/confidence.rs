@@ -14,12 +14,11 @@
 //! threads. See `DESIGN.md` for the cache architecture and the
 //! thread-safety contract.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use uprob_core::stats::{Confidence, DecompositionStats};
 use uprob_core::{
-    confidence as exact_confidence, confidence_with_cache, estimate_confidence, ConfidenceReport,
-    ConfidenceStrategy, DecompositionOptions, SharedDecompositionCache,
+    confidence as exact_confidence, confidence_parallel, confidence_with_cache,
+    estimate_confidence, estimate_confidence_with_options, fan_out_indexed, ConfidenceReport,
+    ConfidenceStrategy, DecompositionOptions, ParallelOptions, SharedDecompositionCache,
 };
 use uprob_urel::{Tuple, URelation};
 use uprob_wsd::{WorldTable, WsSet};
@@ -93,6 +92,57 @@ pub fn answer_confidences_with_cache(
     let mut stats = DecompositionStats::default();
     let tuples = batch_over_groups(groups, table, options, threads, cache, &mut stats)?;
     let boolean_run = confidence_with_cache(&answer.answer_ws_set(), table, options, Some(cache))?;
+    stats.absorb(&boolean_run.stats);
+    Ok(AnswerConfidences {
+        tuples,
+        boolean: boolean_run.probability,
+        stats,
+    })
+}
+
+/// [`answer_confidences_with_cache`] with explicit [`ParallelOptions`]: the
+/// one knob that places the workers. Wide answers (at least two tuples per
+/// worker) fan the *tuples* out over the workers, each tuple decomposed
+/// sequentially — per-tuple parallelism would only add scheduling overhead
+/// when the batch already saturates the pool. Narrow answers instead run
+/// the tuples in order and parallelize *inside* each decomposition with
+/// [`confidence_parallel`], so a handful of hard tuples still uses every
+/// core. Per-tuple probabilities are **bit-identical** under both régimes
+/// (and to the sequential path) by the parallel-decomposition contract;
+/// only the aggregated cache hit/miss counters may differ, since scheduling
+/// decides which run warms the cache for which.
+///
+/// # Errors
+///
+/// Propagates decomposition errors (e.g. an exhausted node budget).
+pub fn answer_confidences_with_options(
+    answer: &URelation,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+    parallel: &ParallelOptions,
+    cache: &SharedDecompositionCache,
+) -> Result<AnswerConfidences> {
+    let groups = answer.distinct_tuples();
+    let mut stats = DecompositionStats::default();
+    let workers = parallel.workers();
+    let tuples = if groups.len() >= workers * 2 {
+        batch_over_groups(groups, table, options, Some(workers), cache, &mut stats)?
+    } else {
+        let mut out = Vec::with_capacity(groups.len());
+        for (tuple, ws_set) in groups {
+            let run = confidence_parallel(&ws_set, table, options, parallel, Some(cache))?;
+            stats.absorb(&run.stats);
+            out.push((tuple, run.probability));
+        }
+        out
+    };
+    let boolean_run = confidence_parallel(
+        &answer.answer_ws_set(),
+        table,
+        options,
+        parallel,
+        Some(cache),
+    )?;
     stats.absorb(&boolean_run.stats);
     Ok(AnswerConfidences {
         tuples,
@@ -196,6 +246,72 @@ pub fn answer_confidences_with_strategy(
     })
 }
 
+/// [`answer_confidences_with_strategy`] with explicit [`ParallelOptions`],
+/// placing the workers like [`answer_confidences_with_options`]: wide
+/// answers fan the tuples out (sequential engine per tuple), narrow answers
+/// run the tuples in order with the parallel decomposition inside the
+/// engine's exact attempts. The per-tuple seed streams are unchanged
+/// (`index + 1`, stream 0 for the Boolean run), so sampled estimates are
+/// bit-identical to [`answer_confidences_with_strategy`]; exact values are
+/// bit-identical by the parallel-decomposition contract. The `Hybrid`
+/// cache-warmth caveat of [`answer_confidences_with_strategy`] applies
+/// unchanged.
+///
+/// # Errors
+///
+/// Propagates exact-path errors (for `Exact`, including the exhausted
+/// budget) and sampling errors (invalid ε/δ, unknown variables).
+pub fn answer_confidences_with_strategy_options(
+    answer: &URelation,
+    table: &WorldTable,
+    options: &DecompositionOptions,
+    strategy: &ConfidenceStrategy,
+    parallel: &ParallelOptions,
+) -> Result<StrategyAnswerConfidences> {
+    let cache = SharedDecompositionCache::new();
+    let groups = answer.distinct_tuples();
+    let workers = parallel.workers();
+    let reports = if groups.len() >= workers * 2 {
+        fan_out_over_groups(&groups, Some(workers), |index, ws_set| {
+            let tuple_strategy = strategy.for_stream(index as u64 + 1);
+            estimate_confidence(ws_set, table, options, &tuple_strategy, Some(&cache))
+        })?
+    } else {
+        let mut out = Vec::with_capacity(groups.len());
+        for (index, (_, ws_set)) in groups.iter().enumerate() {
+            let tuple_strategy = strategy.for_stream(index as u64 + 1);
+            out.push(estimate_confidence_with_options(
+                ws_set,
+                table,
+                options,
+                &tuple_strategy,
+                Some(&cache),
+                parallel,
+            )?);
+        }
+        out
+    };
+    let boolean = estimate_confidence_with_options(
+        &answer.answer_ws_set(),
+        table,
+        options,
+        &strategy.for_stream(0),
+        Some(&cache),
+        parallel,
+    )?;
+    let mut stats = boolean.stats.clone();
+    let mut tuples = Vec::with_capacity(groups.len());
+    for ((tuple, _), report) in groups.into_iter().zip(reports) {
+        stats.absorb(&report.stats);
+        tuples.push((tuple, report));
+    }
+    Ok(StrategyAnswerConfidences {
+        tuples,
+        boolean,
+        stats,
+    })
+}
+
 /// Fans an arbitrary per-group computation out over scoped worker threads
 /// (work-stealing by atomic counter: groups vary wildly in cost, so a
 /// static partition would leave workers idle behind one hard group),
@@ -225,42 +341,9 @@ where
             }
         })
         .clamp(1, groups.len().max(1));
-    let mut slots: Vec<Option<uprob_core::Result<T>>> = (0..groups.len()).map(|_| None).collect();
-    if workers <= 1 || groups.len() <= 1 {
-        for (index, (slot, (_, ws_set))) in slots.iter_mut().zip(groups).enumerate() {
-            *slot = Some(run(index, ws_set));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let index = next.fetch_add(1, Ordering::Relaxed);
-                            let Some((_, ws_set)) = groups.get(index) else {
-                                break;
-                            };
-                            local.push((index, run(index, ws_set)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (index, result) in handle.join().expect("confidence worker panicked") {
-                    slots[index] = Some(result);
-                }
-            }
-        });
-    }
-    slots
+    fan_out_indexed(groups.len(), workers, |index| run(index, &groups[index].1))
         .into_iter()
-        .map(|slot| {
-            slot.expect("every group is assigned to exactly one worker")
-                .map_err(crate::QueryError::Core)
-        })
+        .map(|result| result.map_err(crate::QueryError::Core))
         .collect()
 }
 
@@ -662,6 +745,96 @@ mod tests {
                     r1.probability.to_bits(),
                     r2.probability.to_bits(),
                     "threads {threads:?}, tuple {t1:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_with_options_is_bit_identical_across_worker_counts() {
+        let db = ssn_db();
+        let options = DecompositionOptions::default();
+        for projection in [&["SSN"][..], &["NAME"][..], &["SSN", "NAME"][..]] {
+            let answer = algebra::project(db.relation("R").unwrap(), projection, "Q").unwrap();
+            let reference = answer_confidences_with_cache(
+                &answer,
+                db.world_table(),
+                &options,
+                Some(1),
+                &SharedDecompositionCache::new(),
+            )
+            .unwrap();
+            // A tiny grain forces the scheduler onto these small sets; both
+            // the wide (tuple fan-out) and narrow (parallel decomposition)
+            // régimes must reproduce the reference bits.
+            for workers in [1, 2, 4, 8] {
+                let parallel = ParallelOptions::new(workers).with_grain(2);
+                let got = answer_confidences_with_options(
+                    &answer,
+                    db.world_table(),
+                    &options,
+                    &parallel,
+                    &SharedDecompositionCache::new(),
+                )
+                .unwrap();
+                assert_eq!(reference.tuples.len(), got.tuples.len());
+                for ((t1, p1), (t2, p2)) in reference.tuples.iter().zip(&got.tuples) {
+                    assert_eq!(t1, t2, "workers {workers}");
+                    assert_eq!(
+                        p1.to_bits(),
+                        p2.to_bits(),
+                        "workers {workers}, tuple {t1:?}"
+                    );
+                }
+                assert_eq!(
+                    reference.boolean.to_bits(),
+                    got.boolean.to_bits(),
+                    "workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_batch_with_options_is_bit_identical_across_worker_counts() {
+        let db = ssn_db();
+        let options = DecompositionOptions::default();
+        let ssns = algebra::project(db.relation("R").unwrap(), &["SSN"], "S").unwrap();
+        for strategy in [
+            ConfidenceStrategy::Exact,
+            ConfidenceStrategy::approximate(0.1, 0.05).with_seed(23),
+            ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01).with_seed(23),
+        ] {
+            let reference = answer_confidences_with_strategy(
+                &ssns,
+                db.world_table(),
+                &options,
+                &strategy,
+                Some(1),
+            )
+            .unwrap();
+            for workers in [1, 2, 8] {
+                let parallel = ParallelOptions::new(workers).with_grain(2);
+                let got = answer_confidences_with_strategy_options(
+                    &ssns,
+                    db.world_table(),
+                    &options,
+                    &strategy,
+                    &parallel,
+                )
+                .unwrap();
+                for ((t1, r1), (t2, r2)) in reference.tuples.iter().zip(&got.tuples) {
+                    assert_eq!(t1, t2);
+                    assert_eq!(
+                        r1.probability.to_bits(),
+                        r2.probability.to_bits(),
+                        "workers {workers}, tuple {t1:?}"
+                    );
+                }
+                assert_eq!(
+                    reference.boolean.probability.to_bits(),
+                    got.boolean.probability.to_bits(),
+                    "workers {workers}"
                 );
             }
         }

@@ -47,9 +47,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use uprob_core::{
-    condition, estimate_conditioned_confidence, estimate_confidence, Conditioned,
+    condition, estimate_conditioned_confidence, estimate_confidence, fan_out_indexed, Conditioned,
     ConditioningOptions, ConfidenceReport, ConfidenceStrategy, CoreError, DecompositionOptions,
-    SharedDecompositionCache,
+    ParallelOptions, SharedDecompositionCache,
 };
 use uprob_urel::{
     denial_constraint_plan, fd_violation_plan, row_filter_violation_plan, Plan, Predicate, ProbDb,
@@ -800,6 +800,39 @@ pub fn assert_all(
     options: &ConditioningOptions,
 ) -> Result<Conditioned> {
     let satisfying = combined_satisfying_ws_set(db, constraints)?;
+    condition_on_satisfying(db, &satisfying, options, || describe_all(constraints))
+}
+
+/// [`assert_all`] with explicit [`ParallelOptions`]: the per-constraint
+/// violation queries — each a full plan compilation and execution — are
+/// fanned out over the workers, and the resulting ws-sets are unioned in
+/// constraint order, so the combined satisfying world-set (and therefore
+/// the posterior database and confidence) is **bit-identical** to
+/// [`assert_all`] for every worker count. The conditioning pass itself is
+/// the sequential ws-tree rewrite.
+///
+/// # Errors
+///
+/// Same as [`assert_all`].
+pub fn assert_all_with_options(
+    db: &ProbDb,
+    constraints: &[Constraint],
+    options: &ConditioningOptions,
+    parallel: &ParallelOptions,
+) -> Result<Conditioned> {
+    let satisfying = if parallel.is_sequential() || constraints.len() < 2 {
+        combined_satisfying_ws_set(db, constraints)?
+    } else {
+        let compiled = fan_out_indexed(constraints.len(), parallel.workers(), |index| {
+            constraints[index].violation_ws_set(db)
+        });
+        let mut violations = WsSet::empty();
+        for per_constraint in compiled {
+            violations = violations.union(&per_constraint?);
+        }
+        violations.normalize();
+        complement(&violations, db.world_table())
+    };
     condition_on_satisfying(db, &satisfying, options, || describe_all(constraints))
 }
 
@@ -1773,6 +1806,49 @@ mod tests {
             assert_eq!(t1, t2);
             assert_eq!(p1.to_bits(), p2.to_bits());
         }
+    }
+
+    #[test]
+    fn assert_all_with_options_is_bit_identical_across_worker_counts() {
+        let db = ssn_db(true);
+        let constraints = vec![
+            Constraint::functional_dependency("R", &["SSN"], &["NAME"]),
+            Constraint::row_filter(
+                "R",
+                uprob_urel::Predicate::cmp(Expr::col("SSN"), Comparison::Lt, Expr::val(9i64)),
+            ),
+            Constraint::key("R", &["SSN"]),
+        ];
+        let options = ConditioningOptions::default();
+        let reference = assert_all(&db, &constraints, &options).unwrap();
+        let opts = DecompositionOptions::default();
+        let reference_tuples = tuple_confidences(
+            reference.db.relation("R").unwrap(),
+            reference.db.world_table(),
+            &opts,
+        )
+        .unwrap();
+        for workers in [1, 2, 4, 8] {
+            let parallel = ParallelOptions::new(workers).with_grain(2);
+            let got = assert_all_with_options(&db, &constraints, &options, &parallel).unwrap();
+            assert_eq!(
+                reference.confidence.to_bits(),
+                got.confidence.to_bits(),
+                "workers {workers}"
+            );
+            let got_tuples =
+                tuple_confidences(got.db.relation("R").unwrap(), got.db.world_table(), &opts)
+                    .unwrap();
+            assert_eq!(reference_tuples.len(), got_tuples.len());
+            for ((t1, p1), (t2, p2)) in reference_tuples.iter().zip(&got_tuples) {
+                assert_eq!(t1, t2, "workers {workers}");
+                assert_eq!(p1.to_bits(), p2.to_bits(), "workers {workers}");
+            }
+        }
+        // The empty constraint set is the identity on both paths.
+        let identity =
+            assert_all_with_options(&db, &[], &options, &ParallelOptions::new(4)).unwrap();
+        assert!((identity.confidence - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! planned answer are **bit-identical** to the eager path (the golden
 //! strategy tests pin this).
 
-use uprob_core::{ConfidenceStrategy, DecompositionOptions, SharedDecompositionCache};
+use uprob_core::{
+    ConfidenceStrategy, DecompositionOptions, ParallelOptions, SharedDecompositionCache,
+};
 use uprob_urel::{Plan, ProbDb};
 
 use crate::confidence::{
-    answer_confidences_with_cache, answer_confidences_with_strategy, boolean_confidence,
+    answer_confidences_with_cache, answer_confidences_with_options,
+    answer_confidences_with_strategy, answer_confidences_with_strategy_options, boolean_confidence,
     AnswerConfidences, StrategyAnswerConfidences,
 };
 use crate::Result;
@@ -80,6 +83,45 @@ pub fn planned_answer_confidences_with_strategy(
 ) -> Result<StrategyAnswerConfidences> {
     let answer = db.query(plan)?;
     answer_confidences_with_strategy(&answer, db.world_table(), options, strategy, threads)
+}
+
+/// [`planned_answer_confidences_with_cache`] with explicit
+/// [`ParallelOptions`]: the batch places the workers as
+/// [`crate::confidence::answer_confidences_with_options`] does — wide
+/// answers fan the tuples out, narrow answers parallelize inside each
+/// decomposition — with bit-identical probabilities either way.
+///
+/// # Errors
+///
+/// Propagates plan-validation errors and decomposition errors.
+pub fn planned_answer_confidences_with_options(
+    db: &ProbDb,
+    plan: &Plan,
+    options: &DecompositionOptions,
+    parallel: &ParallelOptions,
+    cache: &SharedDecompositionCache,
+) -> Result<AnswerConfidences> {
+    let answer = db.query(plan)?;
+    answer_confidences_with_options(&answer, db.world_table(), options, parallel, cache)
+}
+
+/// [`planned_answer_confidences_with_strategy`] with explicit
+/// [`ParallelOptions`] (see
+/// [`crate::confidence::answer_confidences_with_strategy_options`]).
+///
+/// # Errors
+///
+/// Propagates plan-validation errors, exact-path errors and sampling
+/// errors.
+pub fn planned_answer_confidences_with_strategy_options(
+    db: &ProbDb,
+    plan: &Plan,
+    options: &DecompositionOptions,
+    strategy: &ConfidenceStrategy,
+    parallel: &ParallelOptions,
+) -> Result<StrategyAnswerConfidences> {
+    let answer = db.query(plan)?;
+    answer_confidences_with_strategy_options(&answer, db.world_table(), options, strategy, parallel)
 }
 
 /// `select conf() from <plan>`: the Boolean confidence of a planned query

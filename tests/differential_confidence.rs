@@ -3,7 +3,9 @@
 //! algorithm must agree with the brute-force world-enumeration oracle —
 //! the (cached and uncached) decomposition fold under all heuristics,
 //! ws-descriptor elimination (WE), and the Karp–Luby estimator within its
-//! sampling tolerance. Conditioned confidence `P(Q | C)` is cross-checked
+//! sampling tolerance — with the work-stealing parallel fold and parallel
+//! WE additionally pinned **bit-identical** to their sequential forms
+//! under the worker count the CI matrix routes through `UPROB_WORKERS`. Conditioned confidence `P(Q | C)` is cross-checked
 //! the same way between the exact ratio, the engine strategies and the
 //! Monte-Carlo conditioned estimator.
 //!
@@ -69,13 +71,55 @@ proptest! {
             );
         }
 
-        // Ws-descriptor elimination.
+        // The work-stealing parallel fold under the worker count the CI
+        // determinism matrix routes through `UPROB_WORKERS` (the available
+        // parallelism when unset): **bit-identical** to the sequential
+        // fold, not merely within tolerance. The tiny grain forces the
+        // scheduler onto these small instances.
+        let parallel = ParallelOptions::from_env().with_grain(2);
+        let sequential = confidence(
+            &instance.query,
+            &instance.table,
+            &DecompositionOptions::indve_minlog(),
+        )
+        .unwrap()
+        .probability;
+        let fold = confidence_parallel(
+            &instance.query,
+            &instance.table,
+            &DecompositionOptions::indve_minlog(),
+            &parallel,
+            None,
+        )
+        .unwrap()
+        .probability;
+        prop_assert!(
+            fold.to_bits() == sequential.to_bits(),
+            "parallel fold {} vs sequential {} at {} workers",
+            fold,
+            sequential,
+            parallel.workers()
+        );
+
+        // Ws-descriptor elimination, sequential and parallel (also
+        // bit-identical between themselves).
         let we = confidence_by_elimination(&instance.query, &instance.table)
             .unwrap()
             .probability;
         prop_assert!(
             (we - expected).abs() < 1e-9,
             "WE {we} vs brute force {expected}"
+        );
+        let we_parallel =
+            confidence_by_elimination_parallel(&instance.query, &instance.table, None, None, &parallel)
+                .unwrap()
+                .probability;
+        prop_assert!(
+            we_parallel.to_bits() == we.to_bits(),
+            "parallel WE {} vs sequential WE {} at {} workers",
+            we_parallel,
+            we,
+            parallel.workers()
         );
 
         // Karp–Luby with fixed iterations over parallel deterministic
@@ -140,6 +184,27 @@ proptest! {
         .unwrap();
         prop_assert!(hybrid.probability.to_bits() == exact.probability.to_bits());
         prop_assert!(hybrid.path == ResolvedPath::Exact);
+
+        // The engine's parallel conditioned path under the CI matrix worker
+        // count (`UPROB_WORKERS`): the exact bits again.
+        let parallel = ParallelOptions::from_env().with_grain(2);
+        let parallel_exact = estimate_conditioned_confidence_with_options(
+            &instance.query,
+            &instance.condition,
+            &instance.table,
+            &DecompositionOptions::indve_minlog(),
+            &ConfidenceStrategy::Exact,
+            None,
+            &parallel,
+        )
+        .unwrap();
+        prop_assert!(
+            parallel_exact.probability.to_bits() == exact.probability.to_bits(),
+            "parallel conditioned {} vs sequential {} at {} workers",
+            parallel_exact.probability,
+            exact.probability,
+            parallel.workers()
+        );
 
         // The Monte-Carlo conditioned estimator within its (ε, δ) band
         // (plus a small absolute floor for near-zero posteriors).

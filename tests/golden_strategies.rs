@@ -123,6 +123,92 @@ fn figure3_through_all_three_strategies() {
 }
 
 #[test]
+fn golden_values_are_bit_identical_under_the_ci_worker_matrix() {
+    // The worker count the CI `parallel-determinism` matrix routes through
+    // `UPROB_WORKERS` (the available parallelism when unset), with a tiny
+    // grain so the scheduler is exercised on these small fixtures.
+    let parallel = ParallelOptions::from_env().with_grain(2);
+    let options = DecompositionOptions::indve_minlog();
+
+    // Figure 3's 0.7578 through the parallel fold, WE and the engine.
+    let (w, s) = figure3();
+    let sequential = confidence(&s, &w, &options).unwrap();
+    assert!((sequential.probability - 0.7578).abs() < 1e-12);
+    let fold = confidence_parallel(&s, &w, &options, &parallel, None).unwrap();
+    assert_eq!(
+        fold.probability.to_bits(),
+        sequential.probability.to_bits(),
+        "parallel fold at {} workers",
+        parallel.workers()
+    );
+    assert_eq!(fold.stats, sequential.stats, "same virtual tree");
+    let we = confidence_by_elimination(&s, &w).unwrap();
+    let we_parallel = confidence_by_elimination_parallel(&s, &w, None, None, &parallel).unwrap();
+    assert_eq!(we_parallel.probability.to_bits(), we.probability.to_bits());
+    let engine = estimate_confidence_with_options(
+        &s,
+        &w,
+        &options,
+        &ConfidenceStrategy::hybrid(1_000_000, 0.1, 0.01),
+        None,
+        &parallel,
+    )
+    .unwrap();
+    assert_eq!(engine.path, ResolvedPath::Exact);
+    assert_eq!(
+        engine.probability.to_bits(),
+        sequential.probability.to_bits()
+    );
+
+    // Example 5.1's 0.44 through the parallel single-pass assert.
+    let (db, fd) = ssn_db();
+    let conditioning = ConditioningOptions::default();
+    let batch = assert_all(&db, std::slice::from_ref(&fd), &conditioning).unwrap();
+    let batch_parallel =
+        assert_all_with_options(&db, std::slice::from_ref(&fd), &conditioning, &parallel).unwrap();
+    assert!((batch_parallel.confidence - 0.44).abs() < 1e-12);
+    assert_eq!(
+        batch_parallel.confidence.to_bits(),
+        batch.confidence.to_bits()
+    );
+    assert_eq!(
+        batch_parallel.db.relation("R").unwrap().rows(),
+        batch.db.relation("R").unwrap().rows()
+    );
+
+    // The fig10 TPC-H fixture through the parallel batch path.
+    let data = TpchDatabase::generate(TpchConfig::scale(0.01).with_row_scale(0.05).with_seed(2008));
+    let relation = q1_answer_relation(&data);
+    let reference = answer_confidences_with_cache(
+        &relation,
+        data.db.world_table(),
+        &options,
+        Some(1),
+        &SharedDecompositionCache::new(),
+    )
+    .unwrap();
+    let batched = answer_confidences_with_options(
+        &relation,
+        data.db.world_table(),
+        &options,
+        &parallel,
+        &SharedDecompositionCache::new(),
+    )
+    .unwrap();
+    assert_eq!(reference.tuples.len(), batched.tuples.len());
+    for ((t1, p1), (t2, p2)) in reference.tuples.iter().zip(&batched.tuples) {
+        assert_eq!(t1, t2);
+        assert_eq!(
+            p1.to_bits(),
+            p2.to_bits(),
+            "tuple {t1:?} at {} workers",
+            parallel.workers()
+        );
+    }
+    assert_eq!(reference.boolean.to_bits(), batched.boolean.to_bits());
+}
+
+#[test]
 fn example_5_1_constraint_through_all_three_strategies() {
     let (db, fd) = ssn_db();
     let options = ConditioningOptions::default();

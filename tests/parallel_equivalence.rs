@@ -1,0 +1,246 @@
+//! Parallel-equivalence harness: the **bit-identity contract** of the
+//! work-stealing parallel decomposition, property-tested over the same
+//! random instance recipes as the differential suites.
+//!
+//! For every generated instance and every worker count, the parallel paths
+//! must reproduce the sequential results **bit for bit** — not merely
+//! within a tolerance:
+//!
+//! 1. `confidence_parallel` vs the sequential fold (with and without a
+//!    shared cache, and stats-identical without one);
+//! 2. parallel ws-descriptor elimination vs sequential WE;
+//! 3. conditioned confidence through the engine's `_with_options` path;
+//! 4. the single-pass `assert_all_with_options` vs `assert_all`
+//!    (confidence and full posterior database).
+//!
+//! All randomness is driven by the (deterministic, pinned-seed) vendored
+//! proptest runner; a failing case prints the full recipe **and** the
+//! worker count, which reproduce the instance exactly. The CI
+//! `parallel-determinism` matrix additionally routes `UPROB_WORKERS`
+//! through [`ParallelOptions::from_env`], so every matrix leg re-checks
+//! its own worker count here.
+
+use proptest::prelude::*;
+use uprob::datagen::{arb_constraint_case, arb_small_recipe};
+use uprob::prelude::*;
+use uprob::query::QueryError;
+
+/// Worker counts exercised per case: fixed fan-outs plus whatever
+/// `UPROB_WORKERS` requests (the CI matrix routes 1/2/4/8 through the
+/// env var, so each leg re-checks its own count).
+fn worker_counts() -> Vec<usize> {
+    let mut counts = vec![2, 3, 8];
+    let env = ParallelOptions::from_env().workers();
+    if env > 1 && !counts.contains(&env) {
+        counts.push(env);
+    }
+    counts
+}
+
+/// A tiny grain forces the scheduler onto these deliberately small
+/// instances instead of the sequential small-set shortcut.
+fn parallel_options(workers: usize) -> ParallelOptions {
+    ParallelOptions::new(workers).with_grain(2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The parallel fold is bit-identical to the sequential fold — and,
+    /// without a cache, walks the identical virtual tree (same stats).
+    #[test]
+    fn parallel_confidence_is_bit_identical(recipe in arb_small_recipe()) {
+        let instance = recipe.build();
+        for options in [
+            DecompositionOptions::indve_minlog(),
+            DecompositionOptions::indve_minmax(),
+            DecompositionOptions::ve_minlog(),
+        ] {
+            let sequential = confidence(&instance.query, &instance.table, &options).unwrap();
+            for workers in worker_counts() {
+                let parallel = parallel_options(workers);
+                let got = confidence_parallel(
+                    &instance.query,
+                    &instance.table,
+                    &options,
+                    &parallel,
+                    None,
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    got.probability.to_bits(),
+                    sequential.probability.to_bits(),
+                    "{:?}, workers {}: parallel {} vs sequential {} on {:?}",
+                    &options,
+                    workers,
+                    got.probability,
+                    sequential.probability,
+                    &recipe
+                );
+                prop_assert_eq!(&got.stats, &sequential.stats);
+
+                let cache = SharedDecompositionCache::new();
+                let cached = confidence_parallel(
+                    &instance.query,
+                    &instance.table,
+                    &options,
+                    &parallel,
+                    Some(&cache),
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    cached.probability.to_bits(),
+                    sequential.probability.to_bits(),
+                    "{:?}, workers {} (cached): on {:?}",
+                    &options,
+                    workers,
+                    &recipe
+                );
+                // The cache the parallel run populated serves a sequential
+                // rerun the same bits.
+                let warm = confidence_with_cache(
+                    &instance.query,
+                    &instance.table,
+                    &options,
+                    Some(&cache),
+                )
+                .unwrap();
+                prop_assert_eq!(warm.probability.to_bits(), sequential.probability.to_bits());
+            }
+        }
+    }
+
+    /// Parallel ws-descriptor elimination is bit-identical to sequential
+    /// WE, stats included.
+    #[test]
+    fn parallel_elimination_is_bit_identical(recipe in arb_small_recipe()) {
+        let instance = recipe.build();
+        let sequential =
+            confidence_by_elimination(&instance.query, &instance.table).unwrap();
+        for workers in worker_counts() {
+            let parallel = parallel_options(workers);
+            let got = confidence_by_elimination_parallel(
+                &instance.query,
+                &instance.table,
+                None,
+                None,
+                &parallel,
+            )
+            .unwrap();
+            prop_assert_eq!(
+                got.probability.to_bits(),
+                sequential.probability.to_bits(),
+                "WE, workers {}: parallel {} vs sequential {} on {:?}",
+                workers,
+                got.probability,
+                sequential.probability,
+                &recipe
+            );
+            prop_assert_eq!(&got.stats, &sequential.stats);
+        }
+    }
+
+    /// Conditioned confidence through the engine's `_with_options` path is
+    /// bit-identical to the sequential engine under the `Exact` strategy.
+    #[test]
+    fn parallel_conditioned_confidence_is_bit_identical(recipe in arb_small_recipe()) {
+        let instance = recipe.build();
+        let decomposition = DecompositionOptions::indve_minlog();
+        let sequential = estimate_conditioned_confidence(
+            &instance.query,
+            &instance.condition,
+            &instance.table,
+            &decomposition,
+            &ConfidenceStrategy::Exact,
+            None,
+        );
+        for workers in worker_counts() {
+            let parallel = parallel_options(workers);
+            let got = estimate_conditioned_confidence_with_options(
+                &instance.query,
+                &instance.condition,
+                &instance.table,
+                &decomposition,
+                &ConfidenceStrategy::Exact,
+                None,
+                &parallel,
+            );
+            match (&sequential, &got) {
+                (Ok(expected), Ok(report)) => {
+                    prop_assert_eq!(
+                        report.probability.to_bits(),
+                        expected.probability.to_bits(),
+                        "conditioned, workers {}: parallel {} vs sequential {} on {:?}",
+                        workers,
+                        report.probability,
+                        expected.probability,
+                        &recipe
+                    );
+                }
+                (Err(_), Err(_)) => {} // Same rejection (e.g. empty condition).
+                (expected, report) => {
+                    return Err(TestCaseError::fail(format!(
+                        "workers {workers}: sequential {expected:?} vs parallel \
+                         {report:?} on {recipe:?}"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `assert_all_with_options` produces the same verdict, the same
+    /// confidence bits and the same posterior database as `assert_all`,
+    /// for every worker count.
+    #[test]
+    fn parallel_assert_all_is_bit_identical(case in arb_constraint_case()) {
+        let db = case.build_db();
+        let constraints = case.build_constraints(&db);
+        let options = ConditioningOptions::default();
+        let sequential = assert_all(&db, &constraints, &options);
+        for workers in worker_counts() {
+            let parallel = parallel_options(workers);
+            let got = assert_all_with_options(&db, &constraints, &options, &parallel);
+            match (&sequential, &got) {
+                (
+                    Err(QueryError::UnsatisfiableConstraint { .. }),
+                    Err(QueryError::UnsatisfiableConstraint { .. }),
+                ) => {}
+                (Ok(expected), Ok(conditioned)) => {
+                    prop_assert_eq!(
+                        conditioned.confidence.to_bits(),
+                        expected.confidence.to_bits(),
+                        "assert_all, workers {}: parallel {} vs sequential {} on {:?}",
+                        workers,
+                        conditioned.confidence,
+                        expected.confidence,
+                        &case
+                    );
+                    // The posterior databases are identical, relation by
+                    // relation.
+                    let names = expected.db.relation_names();
+                    prop_assert_eq!(&conditioned.db.relation_names(), &names);
+                    for name in &names {
+                        prop_assert_eq!(
+                            conditioned.db.relation(name).unwrap().rows(),
+                            expected.db.relation(name).unwrap().rows(),
+                            "posterior relation {} diverges at workers {} on {:?}",
+                            name,
+                            workers,
+                            &case
+                        );
+                    }
+                }
+                (expected, got) => {
+                    return Err(TestCaseError::fail(format!(
+                        "workers {workers}: verdicts diverge, sequential \
+                         {expected:?} vs parallel {got:?} on {case:?}"
+                    )));
+                }
+            }
+        }
+    }
+}
