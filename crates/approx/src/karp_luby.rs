@@ -82,6 +82,7 @@ impl<'a> KarpLuby<'a> {
         let mut world = self.sampler.scratch();
         let mut sum = 0.0;
         for _ in 0..iterations {
+            // uprob-lint: allow(num-raw-accum) -- estimator tally of 0/1-bounded terms: bits are pinned by the seeded statistical suites; Monte-Carlo error dominates rounding
             sum += self.sample(rng, &mut world);
         }
         (self.total_weight() * sum / iterations as f64).min(1.0)

@@ -7,7 +7,9 @@
 //! in the ws-set matter for those checks, so worlds are sampled over that
 //! restricted variable set.
 
-use std::collections::HashMap;
+// uprob-lint: allow-file(panic-index) -- documented caller contract: `world` buffers are sized by `scratch()` to `variables.len()`, descriptor indices come from `sample_descriptor`, and compiled positions were resolved against `variables` at construction
+
+use uprob_wsd::FxHashMap;
 
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -22,7 +24,7 @@ pub struct SetSampler<'a> {
     /// The variables occurring in the set, in a fixed order.
     variables: Vec<VarId>,
     /// Position of each variable in `variables`.
-    positions: HashMap<VarId, usize>,
+    positions: FxHashMap<VarId, usize>,
     /// Cumulative probabilities per variable, for inverse-CDF sampling.
     cumulative: Vec<Vec<f64>>,
     /// Each descriptor as `(position, value)` pairs.
@@ -44,7 +46,7 @@ impl<'a> SetSampler<'a> {
     /// Fails if a descriptor refers to a variable unknown to the table.
     pub fn new(set: &WsSet, table: &'a WorldTable) -> Result<Self> {
         let variables: Vec<VarId> = set.variables().into_iter().collect();
-        let positions: HashMap<VarId, usize> =
+        let positions: FxHashMap<VarId, usize> =
             variables.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut cumulative = Vec::with_capacity(variables.len());
         for &var in &variables {
@@ -54,6 +56,7 @@ impl<'a> SetSampler<'a> {
                 .probabilities
                 .iter()
                 .map(|p| {
+                    // uprob-lint: allow(num-raw-accum) -- CDF prefix sums: bits are pinned by the seeded statistical suites, and per-variable domains are tiny
                     acc += p;
                     acc
                 })
@@ -70,6 +73,7 @@ impl<'a> SetSampler<'a> {
             let p = descriptor_probability(d, table)?;
             descriptors.push(compiled);
             descriptor_probabilities.push(p);
+            // uprob-lint: allow(num-raw-accum) -- proposal-weight tally: bits are pinned by the seeded statistical suites; Monte-Carlo error dominates rounding
             total_weight += p;
             descriptor_cumulative.push(total_weight);
         }
@@ -121,6 +125,7 @@ impl<'a> SetSampler<'a> {
         let target = rng.random_range(0.0..self.total_weight.max(f64::MIN_POSITIVE));
         match self.descriptor_cumulative.binary_search_by(|acc| {
             acc.partial_cmp(&target)
+                // uprob-lint: allow(panic-expect) -- cumulative weights are finite sums of table probabilities; the rng target is finite too
                 .expect("cumulative weights are finite")
         }) {
             Ok(i) | Err(i) => i.min(self.descriptors.len() - 1),

@@ -234,8 +234,10 @@ impl SharedDecompositionCache {
     /// Looks up the probability of `set`, counting the hit or miss.
     pub fn lookup(&self, set: &WsSet) -> CacheLookup {
         let shard = self.shard_of(set);
+        // uprob-lint: allow(panic-index) -- shard_of masks into 0..SHARDS
         match self.shards[shard]
             .lock()
+            // uprob-lint: allow(panic-expect) -- poisoning propagation: a panicked worker must not leave a half-written cache in use
             .expect("cache lock poisoned")
             .lookup(set)
         {
@@ -246,8 +248,10 @@ impl SharedDecompositionCache {
 
     /// Memoizes the probability of the set behind `pending`.
     pub fn insert(&self, pending: PendingEntry, probability: f64) {
+        // uprob-lint: allow(panic-index) -- pending.shard was produced by shard_of
         self.shards[pending.shard]
             .lock()
+            // uprob-lint: allow(panic-expect) -- poisoning propagation, as in lookup
             .expect("cache lock poisoned")
             .insert(pending.key, probability);
     }
@@ -257,6 +261,7 @@ impl SharedDecompositionCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
+            // uprob-lint: allow(panic-expect) -- poisoning propagation, as in lookup
             let stats = shard.lock().expect("cache lock poisoned").stats();
             total.hits += stats.hits;
             total.misses += stats.misses;

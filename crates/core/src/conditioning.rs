@@ -30,10 +30,12 @@
 //! allocates fresh variables, so its sub-results are not pure functions
 //! of the sub-ws-set (DESIGN.md, "What is not cached").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+use uprob_wsd::FxHashMap;
 
 use uprob_urel::{ProbDb, URelation};
-use uprob_wsd::{DomainValue, ValueIndex, VarId, WorldTable, WsDescriptor, WsSet};
+use uprob_wsd::{DomainValue, NeumaierSum, ValueIndex, VarId, WorldTable, WsDescriptor, WsSet};
 
 use crate::decompose::eliminate_variable;
 use crate::error::CoreError;
@@ -175,6 +177,7 @@ impl<'a> Conditioner<'a> {
             }
         }
         let var = choose_variable(set, self.table, self.options.heuristic)
+            // uprob-lint: allow(panic-expect) -- the empty and universal cases return earlier in this function
             .expect("a non-empty, non-universal ws-set mentions at least one variable");
         self.stats.choice_nodes += 1;
         self.stats.variable_eliminations += 1;
@@ -197,10 +200,12 @@ impl<'a> Conditioner<'a> {
         // Child condition per domain value (None = impossible branch).
         let mut child_sets: Vec<Option<&WsSet>> = vec![None; domain_size];
         for (value, child) in &branches {
+            // uprob-lint: allow(panic-index) -- child_sets has domain_size slots; values index the same domain
             child_sets[value.index()] = Some(child);
         }
         let tail_if_nonempty = if tail.is_empty() { None } else { Some(&tail) };
         for value in &missing_values {
+            // uprob-lint: allow(panic-index) -- same domain bound as above
             child_sets[value.index()] = tail_if_nonempty;
         }
 
@@ -211,7 +216,7 @@ impl<'a> Conditioner<'a> {
             rewritten: TaggedSet,
         }
         let mut results: Vec<Branch> = Vec::new();
-        let mut total = 0.0;
+        let mut total = NeumaierSum::new();
         for (index, slot) in child_sets.iter().enumerate() {
             let value = ValueIndex(index as u16);
             let weight = self.table.probability(var, value)?;
@@ -227,7 +232,7 @@ impl<'a> Conditioner<'a> {
             let child_set = child_set.clone();
             let (ci, rewritten) = self.cond(&child_set, u_i, depth + 1)?;
             if ci > 0.0 && weight > 0.0 {
-                total += weight * ci;
+                total.add(weight * ci);
                 results.push(Branch {
                     value,
                     weight,
@@ -236,6 +241,7 @@ impl<'a> Conditioner<'a> {
                 });
             }
         }
+        let total = total.value();
         if total <= 0.0 {
             return Ok((0.0, Vec::new()));
         }
@@ -246,6 +252,7 @@ impl<'a> Conditioner<'a> {
         let alternatives: Vec<(DomainValue, f64)> = results
             .iter()
             .map(|b| {
+                // uprob-lint: allow(panic-index) -- surviving branch values come from this variable's domain
                 let label = source_info.values[b.value.index()];
                 (label, b.weight * b.confidence / total)
             })
@@ -262,6 +269,7 @@ impl<'a> Conditioner<'a> {
                 descriptor.remove(var);
                 descriptor
                     .assign(fresh, ValueIndex(new_index as u16))
+                    // uprob-lint: allow(panic-expect) -- `fresh` was just created; no input descriptor mentions it
                     .expect("fresh variable cannot already occur in the descriptor");
                 merged.push((row, descriptor));
             }
@@ -314,7 +322,7 @@ pub fn condition(
     let new_variables = conditioner.sources.len();
 
     // Group the rewritten descriptors by row.
-    let mut per_row: HashMap<RowId, Vec<WsDescriptor>> = HashMap::new();
+    let mut per_row: FxHashMap<RowId, Vec<WsDescriptor>> = FxHashMap::default();
     for (row, descriptor) in rewritten {
         per_row.entry(row).or_default().push(descriptor);
     }
@@ -324,6 +332,7 @@ pub fn condition(
     for (rel_index, name) in relation_names.iter().enumerate() {
         let schema = db.relation(name)?.schema().clone();
         let mut relation = URelation::new(schema);
+        // uprob-lint: allow(panic-index) -- rel_index enumerates relation_names, which built `tuples` in the same order
         for (row_index, tuple) in tuples[rel_index].iter().enumerate() {
             if let Some(descriptors) = per_row.get(&(rel_index, row_index)) {
                 for descriptor in descriptors {
@@ -402,7 +411,9 @@ pub fn simplify(db: &mut ProbDb, sources: &[(VarId, VarId)]) {
 fn merge_equivalent_variables(db: &mut ProbDb, sources: &[(VarId, VarId)]) {
     const EPSILON: f64 = 1e-12;
     let table = db.world_table().clone();
-    let mut canonical: HashMap<VarId, VarId> = HashMap::new();
+    // BTreeMap, not a hash map: the rename loop below iterates this map
+    // per descriptor, and renames must apply in a reproducible order.
+    let mut canonical: BTreeMap<VarId, VarId> = BTreeMap::new();
     let mut representatives: Vec<(VarId, VarId)> = Vec::new(); // (source, representative)
     for &(fresh, source) in sources {
         let Ok(info) = table.variable(fresh) else {
@@ -415,6 +426,7 @@ fn merge_equivalent_variables(db: &mut ProbDb, sources: &[(VarId, VarId)]) {
             }
             let rep_info = table
                 .variable(representative)
+                // uprob-lint: allow(panic-expect) -- representatives were looked up in this table when recorded
                 .expect("representative variable exists");
             let same = rep_info.values == info.values
                 && rep_info.probabilities.len() == info.probabilities.len()
@@ -483,12 +495,14 @@ fn drop_unused_variables(db: &mut ProbDb) {
         for (_, descriptor) in relation.rows_mut() {
             let remapped: Vec<(VarId, ValueIndex)> = descriptor
                 .iter()
+                // uprob-lint: allow(panic-index) -- mapping covers every variable `used` kept, and descriptors only mention kept variables
                 .map(|a| (mapping[&a.var], a.value))
                 .collect();
             let mut rebuilt = WsDescriptor::empty();
             for (var, value) in remapped {
                 rebuilt
                     .assign(var, value)
+                    // uprob-lint: allow(panic-expect) -- injective id remap of an already-functional descriptor
                     .expect("remapping preserves functionality");
             }
             *descriptor = rebuilt;

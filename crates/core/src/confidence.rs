@@ -162,6 +162,7 @@ pub fn tree_probability(tree: &WsTree, table: &WorldTable) -> f64 {
             .map(|(value, child)| {
                 let weight = table
                     .probability(*var, *value)
+                    // uprob-lint: allow(panic-expect) -- tree nodes are built from this table's domains
                     .expect("tree value must be in the variable domain");
                 weight * tree_probability(child, table)
             })

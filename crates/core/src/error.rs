@@ -35,6 +35,15 @@ pub enum CoreError {
     /// An error bubbled up from the Monte-Carlo approximation layer (the
     /// sampling fallback of the hybrid confidence engine).
     Approx(uprob_approx::ApproxError),
+    /// The `UPROB_WORKERS` environment variable (or an equivalent worker
+    /// spec) was set but did not parse as a positive integer. Malformed
+    /// specs are rejected rather than silently falling back to an
+    /// automatic worker count: a CI determinism matrix that typos its
+    /// worker knob must fail loudly, not quietly test the wrong policy.
+    InvalidWorkerSpec {
+        /// The rejected raw value.
+        spec: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -56,6 +65,12 @@ impl fmt::Display for CoreError {
             CoreError::Wsd(e) => write!(f, "world-set descriptor error: {e}"),
             CoreError::Urel(e) => write!(f, "U-relation error: {e}"),
             CoreError::Approx(e) => write!(f, "approximation error: {e}"),
+            CoreError::InvalidWorkerSpec { spec } => {
+                write!(
+                    f,
+                    "invalid worker spec {spec:?}: expected a positive integer                      (unset or empty means automatic)"
+                )
+            }
         }
     }
 }

@@ -36,6 +36,9 @@
 //! exactly the sequential one; cache hits can shift where the charges
 //! fall, just as they do sequentially).
 
+// uprob-lint: allow-file(panic-expect) -- scheduler discipline: lock `.expect`s propagate a panicked worker (a poisoned lock must abort the run, not limp on), and slot/root `.expect`s assert the combine-node accounting the determinism contract requires
+// uprob-lint: allow-file(panic-index) -- every index is scheduler-internal: worker/victim ids are `% queues`-bounded, arena indices come from `alloc`, and combine slots are sized to the child count at allocation
+
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -92,12 +95,14 @@ impl ParallelOptions {
     }
 
     /// Reads the worker count from the `UPROB_WORKERS` environment
-    /// variable (the knob the CI determinism matrix turns); unset or
-    /// unparsable values fall back to [`ParallelOptions::auto`].
-    pub fn from_env() -> Self {
-        ParallelOptions::new(workers_from_spec(
-            std::env::var("UPROB_WORKERS").ok().as_deref(),
-        ))
+    /// variable (the knob the CI determinism matrix turns). Unset or
+    /// empty means [`ParallelOptions::auto`]; anything else must parse
+    /// as a positive integer or the call fails with
+    /// [`CoreError::InvalidWorkerSpec`] — a typoed matrix leg must fail
+    /// loudly, not silently test the automatic policy.
+    pub fn from_env() -> Result<Self> {
+        let spec = std::env::var("UPROB_WORKERS").ok();
+        Ok(ParallelOptions::new(workers_from_spec(spec.as_deref())?))
     }
 
     /// Returns a copy with the given scheduling grain: ws-sets with fewer
@@ -130,12 +135,22 @@ pub fn available_workers() -> usize {
     thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Parses a `UPROB_WORKERS`-style spec; `None`, empty or unparsable specs
-/// fall back to [`available_workers`].
-fn workers_from_spec(spec: Option<&str>) -> usize {
-    spec.and_then(|raw| raw.trim().parse::<usize>().ok())
-        .filter(|workers| *workers >= 1)
-        .unwrap_or_else(available_workers)
+/// Parses a `UPROB_WORKERS`-style spec. `None` and empty/whitespace
+/// specs mean "choose automatically" ([`available_workers`]); any other
+/// value must be a positive integer (surrounding whitespace tolerated)
+/// or the spec is rejected as [`CoreError::InvalidWorkerSpec`].
+fn workers_from_spec(spec: Option<&str>) -> Result<usize> {
+    let Some(raw) = spec else {
+        return Ok(available_workers());
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(available_workers());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(workers) if workers >= 1 => Ok(workers),
+        _ => Err(CoreError::InvalidWorkerSpec { spec: raw.into() }),
+    }
 }
 
 /// Sentinel parent index for the root task.
@@ -794,12 +809,40 @@ mod tests {
 
     #[test]
     fn workers_spec_parsing() {
-        assert_eq!(workers_from_spec(Some("4")), 4);
-        assert_eq!(workers_from_spec(Some(" 2 ")), 2);
+        assert_eq!(workers_from_spec(Some("4")).unwrap(), 4);
+        assert_eq!(workers_from_spec(Some(" 2 ")).unwrap(), 2);
+        assert_eq!(workers_from_spec(Some("1")).unwrap(), 1);
         let auto = available_workers();
-        assert_eq!(workers_from_spec(None), auto);
-        assert_eq!(workers_from_spec(Some("")), auto);
-        assert_eq!(workers_from_spec(Some("0")), auto);
-        assert_eq!(workers_from_spec(Some("many")), auto);
+        assert_eq!(workers_from_spec(None).unwrap(), auto);
+        assert_eq!(workers_from_spec(Some("")).unwrap(), auto);
+        assert_eq!(workers_from_spec(Some("   ")).unwrap(), auto);
+        assert_eq!(workers_from_spec(Some("\t\n")).unwrap(), auto);
+    }
+
+    #[test]
+    fn workers_spec_rejects_malformed_values() {
+        for bad in [
+            "0",
+            " 0 ",
+            "many",
+            "-1",
+            "2.5",
+            "4 workers",
+            "1_0",
+            "+",
+            "0x4",
+        ] {
+            let err = workers_from_spec(Some(bad)).unwrap_err();
+            match err {
+                CoreError::InvalidWorkerSpec { ref spec } => assert_eq!(spec, bad),
+                other => panic!("expected InvalidWorkerSpec for {bad:?}, got {other:?}"),
+            }
+            assert!(err.to_string().contains("positive integer"), "{err}");
+        }
+        // Overflow is malformed too, not a silent clamp.
+        assert!(matches!(
+            workers_from_spec(Some("99999999999999999999999999")),
+            Err(CoreError::InvalidWorkerSpec { .. })
+        ));
     }
 }

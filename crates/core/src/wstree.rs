@@ -86,6 +86,7 @@ impl WsTree {
                     let saved = prefix.clone();
                     prefix
                         .assign(*var, *value)
+                        // uprob-lint: allow(panic-expect) -- decomposition strips var from every subtree before recursing
                         .expect("ws-tree paths assign each variable at most once");
                     child.collect_paths(prefix, out);
                     *prefix = saved;

@@ -1,0 +1,18 @@
+//! Fixture: ambient nondeterminism sources in product code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn timed<T>(work: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now(); //~ det-ambient-source
+    let value = work();
+    (value, start.elapsed().as_nanos())
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() //~ det-ambient-source
+}
+
+pub fn roll(sides: u64) -> u64 {
+    let mut rng = thread_rng(); //~ det-ambient-source
+    rng.random_range(0..sides)
+}

@@ -1,0 +1,15 @@
+//! Fixture: randomness and time threaded in explicitly, never ambient.
+
+pub fn roll(rng: &mut StdRng, sides: u64) -> u64 {
+    rng.random_range(0..sides)
+}
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn timed<T>(clock: &dyn Fn() -> u64, work: impl FnOnce() -> T) -> (T, u64) {
+    let start = clock();
+    let value = work();
+    (value, clock() - start)
+}

@@ -1,0 +1,21 @@
+//! Fixture: std hash containers constructed with the randomly seeded
+//! default hasher.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn build_index(names: &[String]) -> HashMap<String, usize> { //~ det-default-hasher
+    let mut index = HashMap::new(); //~ det-default-hasher
+    for (i, n) in names.iter().enumerate() {
+        index.insert(n.clone(), i);
+    }
+    index
+}
+
+pub fn dedup(values: &[u64]) -> usize {
+    let seen: HashSet<u64> = values.iter().copied().collect(); //~ det-default-hasher
+    seen.len()
+}
+
+pub fn preallocated(n: usize) -> HashMap<u64, u64> { //~ det-default-hasher
+    HashMap::with_capacity(n) //~ det-default-hasher
+}

@@ -1,0 +1,25 @@
+//! Fixture: hash containers pinned to the workspace's deterministic
+//! FxHasher (or avoided entirely).
+
+use std::collections::BTreeMap;
+
+pub fn build_index(names: &[String]) -> FxHashMap<String, usize> {
+    let mut index = FxHashMap::default();
+    for (i, n) in names.iter().enumerate() {
+        index.insert(n.clone(), i);
+    }
+    index
+}
+
+pub fn dedup(values: &[u64]) -> usize {
+    let seen: FxHashSet<u64> = values.iter().copied().collect();
+    seen.len()
+}
+
+pub fn ordered(names: &[String]) -> BTreeMap<String, usize> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i))
+        .collect()
+}

@@ -1,0 +1,17 @@
+//! Fixture: iteration order of a hash container leaks into output.
+
+pub fn collect_names(index: &FxHashMap<String, usize>) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in index.keys() { //~ det-hash-iter
+        out.push(name.clone());
+    }
+    out
+}
+
+pub fn first_value(seen: &FxHashSet<u64>) -> Option<u64> {
+    seen.iter().next().copied() //~ det-hash-iter
+}
+
+pub fn drain_all(buckets: &mut FxHashMap<u64, Vec<u64>>) -> Vec<(u64, Vec<u64>)> {
+    buckets.drain().collect() //~ det-hash-iter
+}

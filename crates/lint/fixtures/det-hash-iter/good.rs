@@ -1,0 +1,19 @@
+//! Fixture: order-insensitive and canonicalized uses of hash containers.
+
+use std::collections::BTreeMap;
+
+pub fn cardinality(index: &FxHashMap<String, usize>) -> usize {
+    index.len()
+}
+
+pub fn any_empty(buckets: &FxHashMap<u64, Vec<u64>>) -> bool {
+    buckets.values().any(|b| b.is_empty())
+}
+
+pub fn in_order(names: &BTreeMap<String, usize>) -> Vec<String> {
+    names.keys().cloned().collect()
+}
+
+pub fn membership(seen: &FxHashSet<u64>, probe: u64) -> bool {
+    seen.contains(&probe)
+}

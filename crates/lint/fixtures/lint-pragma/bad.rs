@@ -1,0 +1,25 @@
+//! Fixture: every way a pragma can go stale or be malformed.
+
+//~v lint-pragma
+// uprob-lint: allow(panic-unwrap) -- nothing on the next line ever unwraps
+pub fn quiet() -> u64 {
+    7
+}
+
+//~v lint-pragma
+// uprob-lint: allow(panic-unwrap)
+pub fn missing_reason(values: &[u64]) -> u64 {
+    *values.first().unwrap() //~ panic-unwrap
+}
+
+//~v lint-pragma
+// uprob-lint: allow(not-a-real-rule) -- the registry has no such id
+pub fn unknown_rule() -> u64 {
+    9
+}
+
+//~v lint-pragma
+// uprob-lint: allow panic-unwrap -- parentheses are part of the grammar
+pub fn malformed(values: &[u64]) -> u64 {
+    *values.first().unwrap() //~ panic-unwrap
+}

@@ -1,0 +1,15 @@
+//! Fixture: well-formed, reasoned, *used* pragmas silence their findings.
+
+pub fn head(values: &[u64]) -> u64 {
+    // uprob-lint: allow(panic-unwrap) -- fixture invariant: callers check is_empty first
+    *values.first().unwrap()
+}
+
+pub fn root(index: &FxHashMap<String, u64>) -> u64 {
+    // uprob-lint: allow(panic-expect) -- fixture invariant: the table always has a root
+    *index.get("root").expect("root entry")
+}
+
+pub fn trailing(values: &[u64]) -> u64 {
+    values[0] // uprob-lint: allow(panic-index) -- fixture invariant: validated non-empty
+}

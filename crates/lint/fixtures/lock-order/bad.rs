@@ -1,0 +1,20 @@
+//! Fixture: locks nested against the declared acquisition order.
+//!
+//! Checked under the virtual path of the scheduler, whose declared order
+//! is `queues` before `arena` before `root` before `error`.
+
+impl Shared {
+    pub fn backwards(&self) {
+        let arena = self.arena.lock();
+        let queues = self.queues.lock(); //~ lock-order
+        drop(queues);
+        drop(arena);
+    }
+
+    pub fn reentrant(&self) {
+        let first = self.root.lock();
+        let second = self.root.lock(); //~ lock-order
+        drop(second);
+        drop(first);
+    }
+}

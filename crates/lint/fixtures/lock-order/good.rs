@@ -1,0 +1,21 @@
+//! Fixture: locks taken in the declared order, or never nested.
+
+impl Shared {
+    pub fn in_order(&self) {
+        let queues = self.queues.lock();
+        let arena = self.arena.lock();
+        drop(arena);
+        drop(queues);
+    }
+
+    pub fn disjoint(&self) {
+        {
+            let queues = self.queues.lock();
+            drop(queues);
+        }
+        {
+            let arena = self.arena.lock();
+            drop(arena);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a mutex acquired that the file's declared order never lists.
+
+impl Shared {
+    pub fn surprise(&self) {
+        let stats = self.stats.lock(); //~ lock-undeclared
+        drop(stats);
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: only declared locks are acquired.
+
+impl Shared {
+    pub fn declared(&self) {
+        let queues = self.queues.lock();
+        drop(queues);
+        let root = self.root.lock();
+        drop(root);
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: raw f64 accumulation outside the numeric policy module.
+
+pub fn total_probability(probabilities: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for p in probabilities {
+        total += p; //~ num-raw-accum
+    }
+    total
+}
+
+pub fn turbo_sum(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() //~ num-raw-accum
+}

@@ -1,0 +1,22 @@
+//! Fixture: compensated accumulation through the numeric policy module,
+//! and integer accumulation (which the rule does not govern).
+
+pub fn total_probability(probabilities: &[f64]) -> f64 {
+    let mut total = NeumaierSum::new();
+    for &p in probabilities {
+        total.add(p);
+    }
+    total.value()
+}
+
+pub fn compensated(values: &[f64]) -> f64 {
+    compensated_sum(values.iter().copied())
+}
+
+pub fn count_nonzero(values: &[u64]) -> u64 {
+    let mut count = 0;
+    for &v in values {
+        count += u64::from(v != 0);
+    }
+    count
+}

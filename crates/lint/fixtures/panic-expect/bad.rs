@@ -1,0 +1,9 @@
+//! Fixture: `.expect(..)` in library code without a pragma justifying it.
+
+pub fn lookup(index: &FxHashMap<String, u64>, name: &str) -> u64 {
+    *index.get(name).expect("name must be present") //~ panic-expect
+}
+
+pub fn open(path: &std::path::Path) -> String {
+    std::fs::read_to_string(path).expect("readable file") //~ panic-expect
+}

@@ -1,0 +1,9 @@
+//! Fixture: lookups surfaced as Option/Result instead of panicking.
+
+pub fn lookup(index: &FxHashMap<String, u64>, name: &str) -> Option<u64> {
+    index.get(name).copied()
+}
+
+pub fn open(path: &std::path::Path) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}

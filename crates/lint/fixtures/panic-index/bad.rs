@@ -1,0 +1,13 @@
+//! Fixture: unchecked indexing and slicing in library code.
+
+pub fn third(values: &[u64]) -> u64 {
+    values[2] //~ panic-index
+}
+
+pub fn tail(values: &[u64], from: usize) -> &[u64] {
+    &values[from..] //~ panic-index
+}
+
+pub fn pair(matrix: &[Vec<u64>], row: usize, col: usize) -> u64 {
+    matrix[row][col] //~ panic-index //~ panic-index
+}

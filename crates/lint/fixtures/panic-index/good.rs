@@ -1,0 +1,13 @@
+//! Fixture: checked access via `get`, and range-bound iteration.
+
+pub fn third(values: &[u64]) -> Option<u64> {
+    values.get(2).copied()
+}
+
+pub fn tail(values: &[u64], from: usize) -> &[u64] {
+    values.get(from..).unwrap_or(&[])
+}
+
+pub fn row_sums(matrix: &[Vec<u64>]) -> Vec<u64> {
+    matrix.iter().map(|row| row.iter().copied().fold(0, u64::wrapping_add)).collect()
+}

@@ -1,0 +1,17 @@
+//! Fixture: panicking macros in library code.
+
+pub fn pick(kind: u8) -> &'static str {
+    match kind {
+        0 => "zero",
+        1 => "one",
+        _ => unreachable!("callers only pass 0 or 1"), //~ panic-macro
+    }
+}
+
+pub fn reject(reason: &str) -> ! {
+    panic!("rejected: {reason}") //~ panic-macro
+}
+
+pub fn later() {
+    todo!() //~ panic-macro
+}

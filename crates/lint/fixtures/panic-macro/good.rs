@@ -1,0 +1,13 @@
+//! Fixture: invalid inputs surfaced as typed errors, not panics.
+
+pub fn pick(kind: u8) -> Result<&'static str, FixtureError> {
+    match kind {
+        0 => Ok("zero"),
+        1 => Ok("one"),
+        other => Err(FixtureError::UnknownKind(other)),
+    }
+}
+
+pub fn reject(reason: &str) -> FixtureError {
+    FixtureError::Rejected(reason.to_string())
+}

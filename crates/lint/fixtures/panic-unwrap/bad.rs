@@ -1,0 +1,9 @@
+//! Fixture: `.unwrap()` in library code.
+
+pub fn head(values: &[u64]) -> u64 {
+    *values.first().unwrap() //~ panic-unwrap
+}
+
+pub fn parse(raw: &str) -> u64 {
+    raw.parse().unwrap() //~ panic-unwrap
+}

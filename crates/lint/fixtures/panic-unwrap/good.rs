@@ -1,0 +1,13 @@
+//! Fixture: fallible results surfaced as typed errors.
+
+pub fn head(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+pub fn parse(raw: &str) -> Result<u64, std::num::ParseIntError> {
+    raw.parse()
+}
+
+pub fn head_or_error(values: &[u64]) -> Result<u64, FixtureError> {
+    values.first().copied().ok_or(FixtureError::Empty)
+}

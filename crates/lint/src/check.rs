@@ -1,0 +1,929 @@
+//! The rule implementations: pattern analyses over sanitized sources.
+//!
+//! Every analysis here is deliberately lexical. The sanitizer guarantees
+//! that matches can never come from comments or string literals, test
+//! regions are excluded up front, and each heuristic errs on the side of
+//! flagging — the inline allow pragma (with a mandatory reason) is the
+//! designed pressure valve, and `lint-pragma` keeps the allowlist honest
+//! by flagging entries that have gone stale.
+
+// uprob-lint: allow-file(panic-index) -- every index and slice offset in this file derives from enumerate()/find()/memchr-style scans over the very buffer being indexed, clamped with min()/saturating_sub at the boundaries
+
+use crate::config::{Family, LintConfig, LockManifest};
+use crate::rules::is_registered;
+use crate::source::{is_ident_byte, SourceFile};
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Registered rule id.
+    pub rule: &'static str,
+    /// Human message.
+    pub message: String,
+    /// Fix hint.
+    pub hint: &'static str,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}\n    hint: {}",
+            self.file, self.line, self.col, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Runs every configured family over one file.
+pub fn check_file(file: &SourceFile, config: &LintConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let families: Vec<Family> = config.families(&file.rel_path).collect();
+    for family in &families {
+        match family {
+            Family::Determinism => check_determinism(file, &mut findings),
+            Family::Numeric => check_numeric(file, &mut findings),
+            Family::Panic => check_panic(file, &mut findings),
+            Family::Locks => check_locks(file, config.lock_manifest(&file.rel_path), &mut findings),
+        }
+    }
+    check_pragmas(file, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.col));
+    findings
+}
+
+/// Emits a finding unless the site is test code or allowed by a pragma.
+fn emit(
+    file: &SourceFile,
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    offset: usize,
+    message: String,
+    hint: &'static str,
+) {
+    if file.in_test_code(offset) || file.allowed(rule, offset) {
+        return;
+    }
+    let (line, col) = file.position(offset);
+    findings.push(Finding {
+        file: file.rel_path.clone(),
+        line,
+        col,
+        rule,
+        message,
+        hint,
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Generic lexical helpers
+// ---------------------------------------------------------------------------
+
+/// Offsets of word-boundary occurrences of `word`.
+fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(start);
+        }
+        from = start + 1;
+    }
+    out
+}
+
+/// Offsets of `.method(` call sites (method matched exactly).
+fn method_calls(text: &str, method: &str) -> Vec<usize> {
+    let pattern = format!(".{method}(");
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(&pattern) {
+        out.push(from + pos);
+        from = from + pos + 1;
+    }
+    out
+}
+
+/// The identifier ending at byte `end` (exclusive), if any.
+fn ident_ending_at(text: &str, end: usize) -> Option<&str> {
+    let bytes = text.as_bytes();
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    (start < end && !bytes[start].is_ascii_digit()).then(|| &text[start..end])
+}
+
+/// Last non-whitespace byte strictly before `offset`.
+fn prev_nonspace(text: &str, offset: usize) -> Option<(usize, u8)> {
+    let bytes = text.as_bytes();
+    (0..offset)
+        .rev()
+        .map(|i| (i, bytes[i]))
+        .find(|&(_, b)| !b.is_ascii_whitespace())
+}
+
+/// First non-whitespace byte at or after `offset`.
+fn next_nonspace(text: &str, offset: usize) -> Option<(usize, u8)> {
+    let bytes = text.as_bytes();
+    (offset..bytes.len())
+        .map(|i| (i, bytes[i]))
+        .find(|&(_, b)| !b.is_ascii_whitespace())
+}
+
+/// The statement snippet around `offset`: from the previous `;`/`{`/`}` to
+/// the next `;` or `{` (whichever comes first), used for canonicalization
+/// and type-context checks.
+fn statement_around(text: &str, offset: usize) -> &str {
+    let bytes = text.as_bytes();
+    let start = (0..offset)
+        .rev()
+        .find(|&i| matches!(bytes[i], b';' | b'{' | b'}'))
+        .map_or(0, |i| i + 1);
+    let mut depth = 0i32;
+    let mut end = text.len();
+    for (i, &b) in bytes.iter().enumerate().skip(offset) {
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' | b'{' if depth <= 0 => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    &text[start..end]
+}
+
+/// Skips a balanced `(..)` group starting at `open`; returns the offset
+/// just past the closer.
+fn skip_parens(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == b'(' {
+            depth += 1;
+        } else if b == b')' {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    bytes.len()
+}
+
+// ---------------------------------------------------------------------------
+// Panic family
+// ---------------------------------------------------------------------------
+
+fn check_panic(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let text = &file.text;
+    for offset in method_calls(text, "unwrap") {
+        emit(
+            file,
+            findings,
+            "panic-unwrap",
+            offset,
+            "`.unwrap()` in library code".to_string(),
+            "return a typed error, or allow(panic-unwrap) with the invariant",
+        );
+    }
+    for offset in method_calls(text, "expect") {
+        emit(
+            file,
+            findings,
+            "panic-expect",
+            offset,
+            "`.expect(..)` in library code".to_string(),
+            "return a typed error, or allow(panic-expect) with the invariant",
+        );
+    }
+    for macro_name in ["panic", "unreachable", "todo", "unimplemented"] {
+        for offset in word_occurrences(text, macro_name) {
+            if text.as_bytes().get(offset + macro_name.len()) == Some(&b'!') {
+                emit(
+                    file,
+                    findings,
+                    "panic-macro",
+                    offset,
+                    format!("`{macro_name}!` in library code"),
+                    "return a typed error, or allow(panic-macro) with the invariant",
+                );
+            }
+        }
+    }
+    check_panic_index(file, findings);
+}
+
+fn check_panic_index(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let bytes = file.text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // An index expression: `[` glued to the end of a place expression.
+        let Some(&prev) = i.checked_sub(1).and_then(|p| bytes.get(p)) else {
+            continue;
+        };
+        if !(is_ident_byte(prev) || prev == b')' || prev == b']' || prev == b'?') {
+            continue;
+        }
+        // `r"..."`-style prefixes and attributes never reach here (the
+        // sanitizer keeps quotes, and `#[`/`![`/`vec![` are excluded by
+        // the previous-byte test).
+        let Some(close) = matching_bracket(bytes, i) else {
+            continue;
+        };
+        let inner = file.text[i + 1..close].trim();
+        if inner == ".." {
+            continue; // full-range slicing cannot panic
+        }
+        emit(
+            file,
+            findings,
+            "panic-index",
+            i,
+            format!("indexing `[{inner}]` can panic"),
+            "use .get()/.get_mut(), or allow(panic-index) with the bounding invariant",
+        );
+    }
+}
+
+fn matching_bracket(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == b'[' {
+            depth += 1;
+        } else if b == b']' {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Determinism family
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+const CANONICALIZERS: [&str; 11] = [
+    ".sort",
+    "BTree",
+    ".len()",
+    ".count()",
+    ".any(",
+    ".all(",
+    ".contains",
+    ".is_empty()",
+    ".min(",
+    ".max(",
+    ".fold(0,",
+];
+const AMBIENT_SOURCES: [(&str, &str); 6] = [
+    ("Instant::now", "wall-clock read"),
+    ("SystemTime::now", "wall-clock read"),
+    ("thread_rng", "ambient thread-local RNG"),
+    ("ThreadRng", "ambient thread-local RNG"),
+    ("RandomState", "randomly seeded hasher state"),
+    ("thread::current", "thread identity"),
+];
+
+fn check_determinism(file: &SourceFile, findings: &mut Vec<Finding>) {
+    check_default_hasher(file, findings);
+    check_hash_iteration(file, findings);
+    for (pattern, what) in AMBIENT_SOURCES {
+        let head = pattern.split(':').next().unwrap_or(pattern);
+        for offset in word_occurrences(&file.text, head) {
+            if file.text[offset..].starts_with(pattern) {
+                emit(
+                    file,
+                    findings,
+                    "det-ambient-source",
+                    offset,
+                    format!("{what} (`{pattern}`) in product code"),
+                    "thread the value in from the caller or move it to uprob-bench",
+                );
+            }
+        }
+    }
+}
+
+fn check_default_hasher(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let text = &file.text;
+    let bytes = text.as_bytes();
+    for container in ["HashMap", "HashSet"] {
+        for offset in word_occurrences(text, container) {
+            let after = offset + container.len();
+            let rest = &text[after..];
+            let flagged = if let Some(tail) = rest.strip_prefix("::") {
+                ["new(", "with_capacity(", "from(", "default("]
+                    .iter()
+                    .any(|ctor| tail.starts_with(ctor))
+            } else if rest.starts_with('<') {
+                let params = top_level_commas(bytes, after);
+                match (container, params) {
+                    ("HashMap", Some(commas)) => commas < 2,
+                    ("HashSet", Some(commas)) => commas < 1,
+                    _ => false,
+                }
+            } else {
+                false
+            };
+            if flagged {
+                emit(
+                    file,
+                    findings,
+                    "det-default-hasher",
+                    offset,
+                    format!("`{container}` with the default RandomState hasher"),
+                    "use uprob_wsd::{FxHashMap, FxHashSet} (DESIGN.md numeric/hashing policy)",
+                );
+            }
+        }
+    }
+}
+
+/// Counts top-level commas of the generic list opening at `open` (which
+/// must point at `<`). Returns `None` for an unbalanced list.
+fn top_level_commas(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut angle = 0i32;
+    let mut group = 0i32;
+    let mut commas = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'-' if bytes.get(i + 1) == Some(&b'>') => i += 1, // fn-type arrow
+            b'<' => angle += 1,
+            b'>' => {
+                angle -= 1;
+                if angle == 0 {
+                    return Some(commas);
+                }
+            }
+            b'(' | b'[' => group += 1,
+            b')' | b']' => group -= 1,
+            b',' if angle == 1 && group == 0 => commas += 1,
+            b';' => return None, // statement boundary: not a generic list
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn check_hash_iteration(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let names = hash_typed_names(file);
+    if names.is_empty() {
+        return;
+    }
+    let text = &file.text;
+    for name in &names {
+        for offset in word_occurrences(text, name) {
+            let after = offset + name.len();
+            // Method-call iteration: `name.iter()`, `name.drain(..)`, ...
+            let is_method_iter = text[after..].starts_with('.')
+                && ITER_METHODS.iter().chain(["drain"].iter()).any(|m| {
+                    let call = format!(".{m}(");
+                    text[after..].starts_with(&call)
+                });
+            // `for pat in &name {` / `for pat in name {`
+            let is_for_iter = {
+                let followed_by_block = matches!(next_nonspace(text, after), Some((_, b'{')));
+                followed_by_block && preceded_by_in(text, offset)
+            };
+            if !(is_method_iter || is_for_iter) {
+                continue;
+            }
+            if CANONICALIZERS
+                .iter()
+                .any(|c| statement_around(text, offset).contains(c))
+            {
+                continue;
+            }
+            emit(
+                file,
+                findings,
+                "det-hash-iter",
+                offset,
+                format!("iteration over hash-ordered `{name}`"),
+                "use a BTree container, sort before use, or allow(det-hash-iter) with why order cannot leak",
+            );
+        }
+    }
+}
+
+/// True when the identifier at `offset` is preceded (over `&`/`mut`) by the
+/// keyword `in`.
+fn preceded_by_in(text: &str, offset: usize) -> bool {
+    let bytes = text.as_bytes();
+    let mut i = offset;
+    loop {
+        let Some((pos, b)) = prev_nonspace(text, i) else {
+            return false;
+        };
+        match b {
+            b'&' => i = pos,
+            // `mut` between `in` and the iterated name
+            b't' if pos >= 2 && &bytes[pos - 2..=pos] == b"mut" => i = pos - 2,
+            b'n' => {
+                return pos >= 1
+                    && bytes[pos - 1] == b'i'
+                    && (pos < 2 || !is_ident_byte(bytes[pos - 2]));
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Identifiers declared (let binding, field or parameter) with a hash-table
+/// type anywhere in the file's non-test code.
+fn hash_typed_names(file: &SourceFile) -> Vec<String> {
+    let text = &file.text;
+    let bytes = text.as_bytes();
+    let mut names = Vec::new();
+    // `name: ...HashMap<...` declarations (fields, params, typed lets).
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b':' || file.in_test_code(i) {
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b':') || (i > 0 && bytes[i - 1] == b':') {
+            continue; // path separator
+        }
+        let Some((end, prev)) = prev_nonspace(text, i) else {
+            continue;
+        };
+        if !is_ident_byte(prev) {
+            continue;
+        }
+        let Some(name) = ident_ending_at(text, end + 1) else {
+            continue;
+        };
+        // A type annotation ends at the statement/body, at `=`, or — for
+        // fn parameters — at the next parameter or the closing paren, so
+        // a hash-typed *return type* never taints a parameter's name.
+        let look = &text[i + 1..(i + 80).min(text.len())];
+        let type_head: &str = look
+            .split([';', '=', '{', '(', ')', ','])
+            .next()
+            .unwrap_or("");
+        if HASH_TYPES.iter().any(|t| contains_word(type_head, t)) {
+            names.push(name.to_string());
+        }
+    }
+    // `let [mut] name = <hash constructor>` initializer declarations.
+    for offset in word_occurrences(text, "let") {
+        if file.in_test_code(offset) {
+            continue;
+        }
+        let Some((name, after_name)) = let_binding_name(text, offset) else {
+            continue;
+        };
+        let init: &str = text[after_name..(after_name + 120).min(text.len())]
+            .split(';')
+            .next()
+            .unwrap_or("");
+        if HASH_TYPES.iter().any(|t| contains_word(init, t)) {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// True when `word` occurs with identifier boundaries.
+fn contains_word(text: &str, word: &str) -> bool {
+    !word_occurrences(text, word).is_empty()
+}
+
+/// For a `let` keyword at `offset`: the bound identifier (skipping `mut`)
+/// and the offset just past it. `None` for pattern bindings.
+fn let_binding_name(text: &str, offset: usize) -> Option<(&str, usize)> {
+    let bytes = text.as_bytes();
+    let mut i = offset + 3;
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if text[i..].starts_with("mut") && !is_ident_byte(*bytes.get(i + 3)?) {
+        i += 3;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+    }
+    let start = i;
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    (i > start && !bytes[start].is_ascii_digit()).then(|| (&text[start..i], i))
+}
+
+// ---------------------------------------------------------------------------
+// Numeric family
+// ---------------------------------------------------------------------------
+
+fn check_numeric(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let text = &file.text;
+    // Bare typed sums.
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(".sum::<f64>()") {
+        let offset = from + pos;
+        emit(
+            file,
+            findings,
+            "num-raw-accum",
+            offset,
+            "raw `.sum::<f64>()` outside uprob_wsd::numeric".to_string(),
+            "fold through NeumaierSum, or allow(num-raw-accum) with why this sum is exempt",
+        );
+        from = offset + 1;
+    }
+    // Untyped sums whose statement is visibly f64-typed.
+    for offset in method_calls(text, "sum") {
+        if text[offset..].starts_with(".sum::<") {
+            continue; // handled above (or a non-f64 turbofish)
+        }
+        let statement = statement_around(text, offset);
+        if contains_word(statement, "f64") {
+            emit(
+                file,
+                findings,
+                "num-raw-accum",
+                offset,
+                "raw f64 `.sum()` outside uprob_wsd::numeric".to_string(),
+                "fold through NeumaierSum, or allow(num-raw-accum) with why this sum is exempt",
+            );
+        }
+    }
+    // `name += ...` on float-initialized locals.
+    for name in float_locals(file) {
+        for offset in word_occurrences(text, &name) {
+            let after = offset + name.len();
+            if matches!(next_nonspace(text, after), Some((pos, b'+')) if file.text.as_bytes().get(pos + 1) == Some(&b'='))
+            {
+                emit(
+                    file,
+                    findings,
+                    "num-raw-accum",
+                    offset,
+                    format!("raw f64 accumulation `{name} += ..` outside uprob_wsd::numeric"),
+                    "fold through NeumaierSum, or allow(num-raw-accum) with why this sum is exempt",
+                );
+            }
+        }
+    }
+}
+
+/// Names of locals bound with a float type or float-literal initializer.
+/// Test-region bindings are ignored: a test fixture must not reclassify a
+/// like-named product local.
+fn float_locals(file: &SourceFile) -> Vec<String> {
+    let text = &file.text;
+    let mut names = Vec::new();
+    for offset in word_occurrences(text, "let") {
+        if file.in_test_code(offset) {
+            continue;
+        }
+        let Some((name, after_name)) = let_binding_name(text, offset) else {
+            continue;
+        };
+        let tail: &str = text[after_name..(after_name + 160).min(text.len())]
+            .split(';')
+            .next()
+            .unwrap_or("");
+        let is_float =
+            contains_word(tail, "f64") || contains_word(tail, "f32") || has_float_literal(tail);
+        if is_float {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// True when the snippet contains a `<digits>.<digits>` literal.
+fn has_float_literal(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    bytes.windows(3).enumerate().any(|(i, w)| {
+        w[0].is_ascii_digit()
+            && w[1] == b'.'
+            && w[2].is_ascii_digit()
+            // exclude tuple-index-ish `x.0.1` chains: require a non-ident,
+            // non-dot byte before the first digit's run start
+            && {
+                let mut start = i;
+                while start > 0 && bytes[start - 1].is_ascii_digit() {
+                    start -= 1;
+                }
+                start == 0 || (!is_ident_byte(bytes[start - 1]) && bytes[start - 1] != b'.')
+            }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Lock family
+// ---------------------------------------------------------------------------
+
+/// One `.lock()` site with its modeled guard lifetime.
+#[derive(Debug)]
+pub struct Acquisition {
+    /// Lock name resolved against the manifest.
+    pub name: String,
+    /// Offset of the receiver (diagnostic anchor).
+    pub offset: usize,
+    /// Offset past which the guard is provably dropped.
+    pub scope_end: usize,
+    /// Whether the guard is a named `let` binding (block-scoped).
+    pub named_guard: bool,
+}
+
+fn check_locks(file: &SourceFile, manifest: Option<&LockManifest>, findings: &mut Vec<Finding>) {
+    let acquisitions = collect_acquisitions(file, manifest, findings);
+    let Some(manifest) = manifest else {
+        return;
+    };
+    let position = |name: &str| manifest.order.iter().position(|&n| n == name);
+    for (i, outer) in acquisitions.iter().enumerate() {
+        for inner in &acquisitions[i + 1..] {
+            if inner.offset >= outer.scope_end {
+                break;
+            }
+            let (Some(po), Some(pi)) = (position(&outer.name), position(&inner.name)) else {
+                continue; // undeclared: already reported
+            };
+            if po == pi {
+                emit(
+                    file,
+                    findings,
+                    "lock-order",
+                    inner.offset,
+                    format!(
+                        "`{}` re-acquired while a `{}` guard is live (self-deadlock with std Mutex)",
+                        inner.name, outer.name
+                    ),
+                    "drop the outer guard first (end its block or statement) before re-locking",
+                );
+            } else if pi < po {
+                emit(
+                    file,
+                    findings,
+                    "lock-order",
+                    inner.offset,
+                    format!(
+                        "`{}` acquired while `{}` is held, violating the declared order {:?}",
+                        inner.name, outer.name, manifest.order
+                    ),
+                    "acquire locks in declared order, or release the outer guard first",
+                );
+            }
+        }
+    }
+}
+
+/// Extracts every `.lock()` site of the file, resolving names against the
+/// manifest (reporting undeclared locks) and modeling guard scopes.
+pub fn collect_acquisitions(
+    file: &SourceFile,
+    manifest: Option<&LockManifest>,
+    findings: &mut Vec<Finding>,
+) -> Vec<Acquisition> {
+    let text = &file.text;
+    let bytes = text.as_bytes();
+    let blocks = brace_pairs(bytes);
+    let mut out = Vec::new();
+    for call in method_calls(text, "lock") {
+        if file.in_test_code(call) {
+            continue;
+        }
+        let Some(raw_name) = receiver_name(text, call) else {
+            continue;
+        };
+        // Resolve iteration elements by the `shard` -> `shards` convention.
+        let name = match manifest {
+            Some(m) => {
+                if m.order.contains(&raw_name.as_str()) {
+                    raw_name
+                } else {
+                    let plural = format!("{raw_name}s");
+                    if m.order.contains(&plural.as_str()) {
+                        plural
+                    } else {
+                        emit(
+                            file,
+                            findings,
+                            "lock-undeclared",
+                            call,
+                            format!(
+                                "lock `{raw_name}` is not in the declared order {:?} for this file",
+                                m.order
+                            ),
+                            "add the lock to this file's order in crates/lint/src/config.rs",
+                        );
+                        continue;
+                    }
+                }
+            }
+            None => {
+                emit(
+                    file,
+                    findings,
+                    "lock-undeclared",
+                    call,
+                    format!("lock `{raw_name}` in a file with no declared lock order"),
+                    "declare this file's lock-acquisition order in crates/lint/src/config.rs",
+                );
+                continue;
+            }
+        };
+        let (scope_end, named_guard) = guard_scope(text, call, &blocks);
+        out.push(Acquisition {
+            name,
+            offset: call,
+            scope_end,
+            named_guard,
+        });
+    }
+    out.sort_by_key(|a| a.offset);
+    out
+}
+
+/// The field/binding name the `.lock()` at `call` is invoked on, skipping
+/// one trailing index chain (`shards[i].lock()` resolves to `shards`).
+fn receiver_name(text: &str, call: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut end = call; // points at the `.` of `.lock(`
+    if let Some((pos, b)) = prev_nonspace(text, end) {
+        if b == b']' {
+            // skip the [...] chain
+            let mut depth = 0i32;
+            let mut i = pos;
+            loop {
+                match bytes[i] {
+                    b']' => depth += 1,
+                    b'[' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i = i.checked_sub(1)?;
+            }
+        } else {
+            end = pos + 1;
+        }
+    }
+    ident_ending_at(text, end).map(str::to_string)
+}
+
+/// All `{`..`}` pairs of the file.
+fn brace_pairs(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut pairs = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'{' {
+            stack.push(i);
+        } else if b == b'}' {
+            if let Some(open) = stack.pop() {
+                pairs.push((open, i));
+            }
+        }
+    }
+    pairs
+}
+
+/// Models the guard scope of the `.lock()` at `call`:
+///
+/// * a `let guard = ..lock()[.expect(..)];` binding lives to the end of
+///   its enclosing block;
+/// * any other use is a temporary living to the end of its statement — and
+///   when the statement flows into a block before reaching `;` (if-let /
+///   while-let / match scrutinees), to the end of that block (the Rust
+///   2021 temporary-scope extension).
+fn guard_scope(text: &str, call: usize, blocks: &[(usize, usize)]) -> (usize, bool) {
+    let bytes = text.as_bytes();
+    // Where does the lock expression's chain end? Skip `.expect(..)` and
+    // `.unwrap()` which forward the guard.
+    let mut i = call;
+    // step past `.lock(...)`
+    i += ".lock".len();
+    i = skip_parens(bytes, i);
+    loop {
+        // rustfmt splits long chains across lines: skip whitespace before
+        // testing for the next chained call.
+        let next = next_nonspace(text, i).map_or(i, |(pos, _)| pos);
+        if text[next..].starts_with(".expect(") {
+            i = skip_parens(bytes, next + ".expect".len());
+        } else if text[next..].starts_with(".unwrap(") {
+            i = skip_parens(bytes, next + ".unwrap".len());
+        } else {
+            i = next;
+            break;
+        }
+    }
+    let chain_consumed = bytes.get(i) == Some(&b'.');
+    // Statement head: is this a `let` guard?
+    let stmt_start = (0..call)
+        .rev()
+        .find(|&p| matches!(bytes[p], b';' | b'{' | b'}'))
+        .map_or(0, |p| p + 1);
+    let head = text[stmt_start..call].trim_start();
+    let is_let = head.starts_with("let ") || head.starts_with("let\n");
+    if is_let && !chain_consumed {
+        // Named guard: lives to the end of the enclosing block.
+        let enclosing = blocks
+            .iter()
+            .filter(|&&(open, close)| open < call && call < close)
+            .map(|&(open, close)| (close - open, close))
+            .min();
+        return (enclosing.map_or(bytes.len(), |(_, close)| close), true);
+    }
+    // Temporary: to the `;` ending the statement, or — when a block opens
+    // first — to the end of that block (scrutinee extension).
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' if depth <= 0 => return (j, false),
+            b'{' if depth <= 0 => {
+                let close = blocks
+                    .iter()
+                    .find(|&&(open, _)| open == j)
+                    .map_or(bytes.len(), |&(_, close)| close);
+                return (close, false);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (bytes.len(), false)
+}
+
+// ---------------------------------------------------------------------------
+// Pragma meta-rule
+// ---------------------------------------------------------------------------
+
+fn check_pragmas(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for pragma in &file.pragmas {
+        let (line, col) = (pragma.line, 1);
+        let mut report = |message: String| {
+            findings.push(Finding {
+                file: file.rel_path.clone(),
+                line,
+                col,
+                rule: "lint-pragma",
+                message,
+                hint: "format: // uprob-lint: allow(<rule>[, <rule>]) -- <reason>",
+            });
+        };
+        if !pragma.well_formed {
+            report("malformed uprob-lint pragma".to_string());
+            continue;
+        }
+        if pragma.reason.is_empty() {
+            report("allow pragma without a `-- <reason>` justification".to_string());
+            continue;
+        }
+        let mut bad_rule = false;
+        for rule in &pragma.rules {
+            if !is_registered(rule) {
+                report(format!("allow pragma names unregistered rule `{rule}`"));
+                bad_rule = true;
+            }
+        }
+        if !bad_rule && !pragma.used.get() {
+            report(format!(
+                "allow pragma for {:?} suppresses nothing — delete it",
+                pragma.rules
+            ));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! uprob-lint: the workspace's invariant-enforcing static-analysis pass.
+//!
+//! The paper reproduction rests on contracts no type system checks for
+//! us: determinism (parallel ≡ sequential bit-for-bit, results a pure
+//! function of the database), the Neumaier numeric policy, panic hygiene
+//! in library code, and deadlock-free lock ordering in the scheduler and
+//! cache. This crate enforces them lexically — a hand-rolled sanitizer
+//! plus per-rule pattern analyses, zero external dependencies — so the
+//! checks run in CI on the same pinned stable toolchain as the build.
+//!
+//! Run as `cargo run -p uprob-lint -- check`; see `--explain <rule>` for
+//! any diagnostic, and `crates/lint/fixtures/` for the per-rule corpus
+//! the linter is itself tested against.
+
+pub mod check;
+pub mod config;
+pub mod rules;
+pub mod source;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use check::{check_file, Finding};
+pub use config::LintConfig;
+pub use source::SourceFile;
+
+/// Lints every in-scope file under `root` (a workspace checkout),
+/// returning findings sorted by (file, line, col).
+pub fn check_workspace(root: &Path, config: &LintConfig) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel_path in workspace_sources(root, config)? {
+        let text = std::fs::read_to_string(root.join(&rel_path))?;
+        let file = SourceFile::parse(&rel_path, &text);
+        findings.extend(check_file(&file, config));
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(findings)
+}
+
+/// The sorted workspace-relative paths of every file the config scans.
+pub fn workspace_sources(root: &Path, config: &LintConfig) -> io::Result<Vec<String>> {
+    let mut paths = Vec::new();
+    let mut stack = vec![PathBuf::new()];
+    while let Some(rel_dir) = stack.pop() {
+        let dir = root.join(&rel_dir);
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = if rel_dir.as_os_str().is_empty() {
+                PathBuf::from(name.as_ref())
+            } else {
+                rel_dir.join(name.as_ref())
+            };
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            if entry.file_type()?.is_dir() {
+                if matches!(
+                    name.as_ref(),
+                    ".git" | "target" | "vendor" | "fixtures" | "node_modules"
+                ) {
+                    continue;
+                }
+                stack.push(rel);
+            } else if config.scans(&rel_str) {
+                paths.push(rel_str);
+            }
+        }
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> PathBuf {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root")
+    }
+
+    #[test]
+    fn workspace_walk_finds_product_sources_and_skips_vendor() {
+        let config = LintConfig::default();
+        let sources = workspace_sources(&root(), &config).expect("walk");
+        assert!(sources.iter().any(|p| p == "crates/core/src/parallel.rs"));
+        assert!(sources.iter().any(|p| p == "src/lib.rs"));
+        assert!(sources.iter().any(|p| p == "crates/lint/src/main.rs"));
+        assert!(!sources.iter().any(|p| p.starts_with("vendor/")));
+        assert!(!sources.iter().any(|p| p.starts_with("tests/")));
+        assert!(!sources.iter().any(|p| p.contains("fixtures")));
+        assert!(!sources.iter().any(|p| p.starts_with("crates/datagen/")));
+    }
+
+    /// The workspace itself must be lint-clean: this is the same gate CI
+    /// runs via `cargo run -p uprob-lint -- check`, kept as a test so
+    /// plain `cargo test` catches regressions without the extra step.
+    #[test]
+    fn live_workspace_is_clean() {
+        let config = LintConfig::default();
+        let findings = check_workspace(&root(), &config).expect("lint run");
+        assert!(
+            findings.is_empty(),
+            "workspace has {} unallowed lint finding(s):\n{}",
+            findings.len(),
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

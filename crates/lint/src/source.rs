@@ -1,0 +1,637 @@
+//! Source model for the lint pass: a hand-rolled lexical sanitizer.
+//!
+//! `uprob-lint` deliberately ships no parser dependency (the workspace
+//! vendors every dependency, and a full Rust grammar is far more machinery
+//! than the rules need). Instead, each file is *sanitized*: comments and
+//! the contents of string/char literals are replaced by spaces, byte for
+//! byte, so the sanitized text has exactly the raw text's length, line
+//! structure and token positions — and every rule can match code patterns
+//! by position without ever being fooled by a string literal or a doc
+//! comment. Comments are captured before blanking so the `uprob-lint:`
+//! allow pragmas can be read out of them, and `#[cfg(test)]` / `#[test]`
+//! regions are bracketed so rules can skip test code.
+
+// uprob-lint: allow-file(panic-index) -- every index and slice offset in this file derives from a scan over the very buffer being indexed; the sanitizer's byte-for-byte contract keeps raw and sanitized offsets interchangeable
+
+use std::cell::Cell;
+
+/// A lint-allow pragma extracted from a comment.
+///
+/// Grammar (inside any `//` or `/* */` comment):
+///
+/// ```text
+/// uprob-lint: allow(rule-a, rule-b) -- <reason>
+/// uprob-lint: allow-file(rule-a) -- <reason>
+/// ```
+///
+/// A plain `allow` guards the line it shares with code, or — when the
+/// comment stands on its own line — the next line that contains code.
+/// `allow-file` guards the whole file. The reason after ` -- ` is
+/// mandatory; a missing or empty reason is itself a finding, as is a rule
+/// id that no registered rule carries and a pragma that suppresses
+/// nothing.
+#[derive(Debug)]
+pub struct Pragma {
+    /// 1-based line of the comment itself.
+    pub line: usize,
+    /// 1-based line the pragma guards (`None` for file-level pragmas).
+    pub target_line: Option<usize>,
+    /// Rule ids listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// The justification after ` -- ` (empty when missing).
+    pub reason: String,
+    /// Whether this is an `allow-file` pragma.
+    pub file_level: bool,
+    /// Set once any listed rule is actually suppressed by this pragma.
+    pub used: Cell<bool>,
+    /// Whether the pragma text parsed as well-formed.
+    pub well_formed: bool,
+}
+
+/// One analysed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub rel_path: String,
+    /// Sanitized text: comments and literal contents blanked, same length
+    /// and line structure as the raw file.
+    pub text: String,
+    /// Byte offset of the start of each (1-based) line.
+    line_starts: Vec<usize>,
+    /// Allow pragmas harvested from comments.
+    pub pragmas: Vec<Pragma>,
+    /// Byte ranges covered by `#[cfg(test)]` items or `#[test]` functions.
+    test_regions: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Sanitizes `raw` and computes pragmas, line table and test regions.
+    pub fn parse(rel_path: &str, raw: &str) -> SourceFile {
+        let (text, comments) = sanitize(raw);
+        let line_starts = index_lines(&text);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            text,
+            line_starts,
+            pragmas: Vec::new(),
+            test_regions: Vec::new(),
+        };
+        file.pragmas = comments
+            .iter()
+            .filter_map(|c| parse_pragma(c, &file))
+            .collect();
+        file.test_regions = find_test_regions(&file.text);
+        file
+    }
+
+    /// 1-based (line, column) of a byte offset.
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.position(offset).0
+    }
+
+    /// Byte range of a 1-based line (start inclusive, end exclusive).
+    pub fn line_span(&self, line: usize) -> (usize, usize) {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.text.len());
+        (start, end)
+    }
+
+    /// Whether the offset falls inside a `#[cfg(test)]` / `#[test]` region.
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&offset))
+    }
+
+    /// Whether `rule` is allowed at `offset` by a pragma; marks the pragma
+    /// used. Malformed pragmas never suppress anything.
+    pub fn allowed(&self, rule: &str, offset: usize) -> bool {
+        let line = self.line_of(offset);
+        for pragma in &self.pragmas {
+            if !pragma.well_formed || pragma.reason.is_empty() {
+                continue;
+            }
+            if !pragma.rules.iter().any(|r| r == rule) {
+                continue;
+            }
+            if pragma.file_level || pragma.target_line == Some(line) {
+                pragma.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The first line (1-based) at or after `line` that contains code in
+    /// the sanitized text, if any.
+    fn next_code_line(&self, line: usize) -> Option<usize> {
+        (line..=self.line_starts.len()).find(|&candidate| {
+            let (start, end) = self.line_span(candidate);
+            !self.text[start..end].trim().is_empty()
+        })
+    }
+}
+
+/// A comment captured during sanitization (content without delimiters).
+struct Comment {
+    /// 1-based line the comment starts on.
+    line: usize,
+    /// Whether any code precedes the comment on its first line.
+    trailing: bool,
+    /// The comment text.
+    content: String,
+}
+
+/// Blanks comments and literal contents. Returns the sanitized text (same
+/// byte length as `raw`) and the captured comments.
+fn sanitize(raw: &str) -> (String, Vec<Comment>) {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_had_code = false;
+    let mut i = 0usize;
+
+    // Pushes `n` source bytes as blanks, preserving newlines.
+    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize, line: &mut usize) {
+        for &b in &bytes[from..to] {
+            if b == b'\n' {
+                out.push(b'\n');
+                *line += 1;
+            } else {
+                out.push(b' ');
+            }
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    trailing: line_had_code,
+                    content: raw[start + 2..i].to_string(),
+                });
+                blank(&mut out, bytes, start, i, &mut line);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let trailing = line_had_code;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    trailing,
+                    content: raw[(start + 2).min(i)..i.saturating_sub(2).max(start + 2)]
+                        .to_string(),
+                });
+                blank(&mut out, bytes, start, i, &mut line);
+            }
+            b'"' => {
+                // String literal (including the body of b"...").
+                out.push(b'"');
+                i += 1;
+                let start = i;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => break,
+                        _ => i += 1,
+                    }
+                }
+                let end = i.min(bytes.len());
+                blank(&mut out, bytes, start, end, &mut line);
+                if i < bytes.len() {
+                    out.push(b'"');
+                    i += 1;
+                }
+                line_had_code = true;
+                continue;
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"...", r#"..."#, br"...", etc.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'r') {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                // Copy the prefix (r, optional b, hashes, opening quote).
+                out.extend_from_slice(&bytes[i..=j]);
+                i = j + 1;
+                let start = i;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < bytes.len() && !bytes[i..].starts_with(&closer) {
+                    i += 1;
+                }
+                blank(&mut out, bytes, start, i, &mut line);
+                if i < bytes.len() {
+                    out.extend_from_slice(&closer);
+                    i += closer.len();
+                }
+                line_had_code = true;
+                continue;
+            }
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is a quote followed
+                // by an identifier that is *not* itself closed by a quote.
+                if is_lifetime(bytes, i) {
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => break,
+                            _ => i += 1,
+                        }
+                    }
+                    let end = i.min(bytes.len());
+                    blank(&mut out, bytes, start, end, &mut line);
+                    if i < bytes.len() {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                }
+                line_had_code = true;
+                continue;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                line += 1;
+                line_had_code = false;
+                i += 1;
+                continue;
+            }
+            _ => {
+                if !b.is_ascii_whitespace() {
+                    line_had_code = true;
+                }
+                out.push(b);
+                i += 1;
+                continue;
+            }
+        }
+    }
+    // uprob-lint: allow(panic-expect) -- blanking only ever replaces whole characters with ASCII spaces
+    let text = String::from_utf8(out).expect("sanitizer preserves UTF-8 structure");
+    (text, comments)
+}
+
+/// True at the start of a raw (or raw byte) string literal.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier (e.g. `for r in ...`).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) != Some(&b'r') {
+            // b"..." is handled by the plain string arm via its quote.
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// True when the quote at `i` opens a lifetime rather than a char literal.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&first) = bytes.get(i + 1) else {
+        return true;
+    };
+    if first == b'\\' {
+        return false;
+    }
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false;
+    }
+    // 'x' is a char literal; 'x on its own (no closing quote right after
+    // the identifier) is a lifetime.
+    let mut j = i + 2;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+fn index_lines(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Parses a `uprob-lint:` pragma out of one comment, if present.
+fn parse_pragma(comment: &Comment, file: &SourceFile) -> Option<Pragma> {
+    let content = comment.content.trim();
+    let rest = content.strip_prefix("uprob-lint:")?.trim_start();
+    let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Some(Pragma {
+            line: comment.line,
+            target_line: None,
+            rules: Vec::new(),
+            reason: String::new(),
+            file_level: false,
+            used: Cell::new(false),
+            well_formed: false,
+        });
+    };
+    let rest = rest.trim_start();
+    let mut well_formed = true;
+    let (rules, tail) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+        Some((inside, tail)) => {
+            let rules: Vec<String> = inside
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if rules.is_empty() {
+                well_formed = false;
+            }
+            (rules, tail)
+        }
+        None => {
+            well_formed = false;
+            (Vec::new(), rest)
+        }
+    };
+    let reason = match tail.trim_start().strip_prefix("--") {
+        Some(r) => r.trim().to_string(),
+        None => String::new(),
+    };
+    let target_line = if file_level {
+        None
+    } else if comment.trailing {
+        Some(comment.line)
+    } else {
+        file.next_code_line(comment.line + 1)
+    };
+    Some(Pragma {
+        line: comment.line,
+        target_line,
+        rules,
+        reason,
+        file_level,
+        used: Cell::new(false),
+        well_formed,
+    })
+}
+
+/// Finds the byte ranges of test-only code: any item annotated
+/// `#[cfg(test)]` (or any `cfg` list mentioning `test`) and any
+/// `#[test]`-annotated function, covering attribute through closing brace.
+fn find_test_regions(text: &str) -> Vec<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        if bytes.get(j) == Some(&b'!') {
+            // Inner attribute: applies to the enclosing item; out of scope.
+            i = j + 1;
+            continue;
+        }
+        if bytes.get(j) != Some(&b'[') {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching(bytes, j, b'[', b']') else {
+            break;
+        };
+        let attr = &text[j + 1..attr_end];
+        let is_test_attr = attr.trim() == "test"
+            || (attr.trim_start().starts_with("cfg") && mentions_word(attr, "test"));
+        j = attr_end + 1;
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Skip further attributes and find the item's opening brace (or a
+        // terminating semicolon for brace-less items).
+        let mut k = j;
+        loop {
+            while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                k += 1;
+            }
+            if bytes.get(k) == Some(&b'#') && bytes.get(k + 1) == Some(&b'[') {
+                match matching(bytes, k + 1, b'[', b']') {
+                    Some(end) => k = end + 1,
+                    None => break,
+                }
+                continue;
+            }
+            break;
+        }
+        let mut depth_paren = 0i32;
+        let mut body_open = None;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'(' | b'<' => depth_paren += 1,
+                b')' | b'>' => depth_paren -= 1,
+                b'{' if depth_paren <= 0 => {
+                    body_open = Some(k);
+                    break;
+                }
+                b';' if depth_paren <= 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        match body_open.and_then(|open| matching(bytes, open, b'{', b'}')) {
+            Some(close) => {
+                regions.push((attr_start, close + 1));
+                i = close + 1;
+            }
+            None => i = k + 1,
+        }
+    }
+    regions
+}
+
+/// Offset of the brace/bracket matching the opener at `open`.
+fn matching(bytes: &[u8], open: usize, opener: u8, closer: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == opener {
+            depth += 1;
+        } else if b == closer {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// True when `word` occurs in `text` with identifier boundaries.
+fn mentions_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// True for bytes that can continue an identifier.
+pub fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_blanks_comments_and_strings_preserving_offsets() {
+        let raw = "let x = \"a.unwrap()\"; // c.unwrap()\nlet y = 'z';";
+        let file = SourceFile::parse("f.rs", raw);
+        assert_eq!(file.text.len(), raw.len());
+        assert!(!file.text.contains("unwrap"));
+        assert!(file.text.contains("let y"));
+        // The char literal body is blanked, the quotes remain.
+        assert!(file.text.contains("' '"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let raw = "fn f<'a>(s: &'a str) { let r = r#\"x.unwrap()\"#; let c = 'q'; }";
+        let file = SourceFile::parse("f.rs", raw);
+        assert!(!file.text.contains("unwrap"));
+        assert!(file.text.contains("<'a>"));
+        assert!(file.text.contains("&'a str"));
+    }
+
+    #[test]
+    fn pragmas_bind_to_their_line_or_the_next() {
+        let raw = "\
+let a = 1; // uprob-lint: allow(panic-unwrap) -- same line
+// uprob-lint: allow(panic-expect) -- next line
+let b = 2;
+// uprob-lint: allow-file(det-hash-iter) -- whole file
+";
+        let file = SourceFile::parse("f.rs", raw);
+        assert_eq!(file.pragmas.len(), 3);
+        assert_eq!(file.pragmas[0].target_line, Some(1));
+        assert_eq!(file.pragmas[1].target_line, Some(3));
+        assert!(file.pragmas[2].file_level);
+        assert!(file.allowed("panic-unwrap", 0));
+        let (line3, _) = file.line_span(3);
+        assert!(file.allowed("panic-expect", line3));
+        assert!(file.allowed("det-hash-iter", line3));
+        assert!(!file.allowed("panic-macro", line3));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_malformed_and_suppresses_nothing() {
+        let raw = "let a = 1; // uprob-lint: allow(panic-unwrap)\n";
+        let file = SourceFile::parse("f.rs", raw);
+        assert_eq!(file.pragmas.len(), 1);
+        assert!(file.pragmas[0].reason.is_empty());
+        assert!(!file.allowed("panic-unwrap", 0));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods_and_test_fns() {
+        let raw = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+#[test]
+fn standalone() { body(); }
+fn live_again() {}
+";
+        let file = SourceFile::parse("f.rs", raw);
+        let helper = raw.find("helper").unwrap();
+        let body = raw.find("body").unwrap();
+        let live = raw.find("live_again").unwrap();
+        assert!(file.in_test_code(helper));
+        assert!(file.in_test_code(body));
+        assert!(!file.in_test_code(live));
+        assert!(!file.in_test_code(0));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test_region() {
+        let raw = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn inner() {} }\nfn out() {}";
+        let file = SourceFile::parse("f.rs", raw);
+        assert!(file.in_test_code(raw.find("inner").unwrap()));
+        assert!(!file.in_test_code(raw.find("out").unwrap()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let file = SourceFile::parse("f.rs", "ab\ncd\n");
+        assert_eq!(file.position(0), (1, 1));
+        assert_eq!(file.position(3), (2, 1));
+        assert_eq!(file.position(4), (2, 2));
+    }
+}

@@ -341,6 +341,7 @@ where
             }
         })
         .clamp(1, groups.len().max(1));
+    // uprob-lint: allow(panic-index) -- fan_out_indexed yields indices below groups.len()
     fan_out_indexed(groups.len(), workers, |index| run(index, &groups[index].1))
         .into_iter()
         .map(|result| result.map_err(crate::QueryError::Core))

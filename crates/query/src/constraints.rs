@@ -43,8 +43,10 @@
 //! tuple. The eager reference compilation implements the identical rules
 //! tuple-by-tuple; see `uprob_urel::violations` and DESIGN.md.
 
-use std::collections::HashMap;
+// uprob-lint: allow-file(panic-expect) -- each `.expect` restates an invariant established earlier in this file: `validate` has resolved every column name, and the constraint-kind match arms guarantee a violation plan exists
+
 use std::sync::Arc;
+use uprob_wsd::FxHashMap;
 
 use uprob_core::{
     condition, estimate_conditioned_confidence, estimate_confidence, fan_out_indexed, Conditioned,
@@ -437,6 +439,7 @@ impl Constraint {
                     parent_columns,
                 } = self
                 else {
+                    // uprob-lint: allow(panic-macro) -- the enclosing match arm already excludes every other constraint kind
                     unreachable!("only inclusion dependencies have no violation plan");
                 };
                 ind_violations(db, child, child_columns, parent, parent_columns, true)
@@ -534,6 +537,7 @@ fn column_type(schema: &Schema, column: &str) -> uprob_urel::ColumnType {
     let idx = schema
         .column_index(column)
         .expect("column checked by validate");
+    // uprob-lint: allow(panic-index) -- idx was just resolved by `column_index` on the same schema
     schema.columns()[idx].column_type
 }
 
@@ -553,6 +557,7 @@ fn check_columns(
         });
     }
     for (i, column) in columns.iter().enumerate() {
+        // uprob-lint: allow(panic-index) -- `i` comes from enumerate() over `columns`
         if columns[..i].contains(column) {
             return Err(QueryError::InvalidConstraint {
                 constraint: constraint.describe(),
@@ -667,7 +672,7 @@ fn ind_violations(
     let table = db.world_table();
 
     // Build side: parent descriptors bucketed by (fully non-NULL) key.
-    let mut buckets: HashMap<Vec<Value>, Vec<WsDescriptor>> = HashMap::new();
+    let mut buckets: FxHashMap<Vec<Value>, Vec<WsDescriptor>> = FxHashMap::default();
     if hashed {
         for (tuple, descriptor) in parent_rel.iter() {
             if let Some(key) = non_null_key(tuple, &p_idx) {
@@ -824,6 +829,7 @@ pub fn assert_all_with_options(
         combined_satisfying_ws_set(db, constraints)?
     } else {
         let compiled = fan_out_indexed(constraints.len(), parallel.workers(), |index| {
+            // uprob-lint: allow(panic-index) -- fan_out_indexed yields indices below constraints.len()
             constraints[index].violation_ws_set(db)
         });
         let mut violations = WsSet::empty();

@@ -88,6 +88,7 @@ pub fn join(
             if predicate.eval(&schema, &tuple)? {
                 let combined = ld
                     .union(rd)
+                    // uprob-lint: allow(panic-expect) -- the `is_consistent_with` filter above guarantees the union exists
                     .expect("consistent descriptors always have a union");
                 out.push(tuple, combined);
             }
@@ -120,8 +121,8 @@ pub fn union(left: &URelation, right: &URelation, name: &str) -> Result<URelatio
 /// under *different* descriptors are kept — they are distinct derivations
 /// and their world-sets union in [`URelation::tuple_ws_set`].
 pub fn distinct(relation: &URelation) -> URelation {
-    let mut seen: std::collections::HashSet<(&Tuple, &uprob_wsd::WsDescriptor)> =
-        std::collections::HashSet::new();
+    let mut seen: uprob_wsd::FxHashSet<(&Tuple, &uprob_wsd::WsDescriptor)> =
+        uprob_wsd::FxHashSet::default();
     let mut out = URelation::new(relation.schema().clone());
     for (t, d) in relation.iter() {
         if seen.insert((t, d)) {

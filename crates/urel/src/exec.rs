@@ -32,7 +32,7 @@
 //! with a NULL equi-join key on either side are dropped by the hash join —
 //! exactly what evaluating the equality predicate would do.
 
-use std::collections::{HashMap, HashSet};
+use uprob_wsd::{FxHashMap, FxHashSet};
 
 use uprob_wsd::WsDescriptor;
 
@@ -102,6 +102,7 @@ impl CompiledExpr {
     fn eval<'a>(&'a self, tuple: &'a Tuple) -> &'a Value {
         match self {
             CompiledExpr::Const(v) => v,
+            // uprob-lint: allow(panic-expect) -- column positions were validated against this schema at compile time
             CompiledExpr::Column(i) => tuple.get(*i).expect("validated column position"),
         }
     }
@@ -218,7 +219,7 @@ fn compile<'a>(db: &'a ProbDb, plan: &'a Plan) -> Result<(Schema, RowStream<'a>)
         }
         Plan::Distinct { input } => {
             let (schema, stream) = compile(db, input)?;
-            let mut seen: HashSet<Row> = HashSet::new();
+            let mut seen: FxHashSet<Row> = FxHashSet::default();
             (
                 schema,
                 Box::new(stream.filter(move |row| seen.insert(row.clone()))),
@@ -286,6 +287,7 @@ fn compile_join<'a>(
                     if residual.eval(&tuple) {
                         let descriptor = ld
                             .union(rd)
+                            // uprob-lint: allow(panic-expect) -- the `is_consistent_with` filter above guarantees the union exists
                             .expect("consistent descriptors always have a union");
                         out.push((tuple, descriptor));
                     }
@@ -297,7 +299,7 @@ fn compile_join<'a>(
 
     // Hash join: bucket the build side by key. Rows with a NULL key value
     // can never satisfy the equality conjuncts and are dropped up front.
-    let mut table: HashMap<Vec<Value>, Vec<Row>> = HashMap::new();
+    let mut table: FxHashMap<Vec<Value>, Vec<Row>> = FxHashMap::default();
     for (rt, rd) in right_rows {
         if let Some(key) = key_of(&rt, &right_keys) {
             table.entry(key).or_default().push((rt, rd));
@@ -319,6 +321,7 @@ fn compile_join<'a>(
                         if residual_is_true || residual.eval(&tuple) {
                             let descriptor = ld
                                 .union(rd)
+                                // uprob-lint: allow(panic-expect) -- the `is_consistent_with` filter above guarantees the union exists
                                 .expect("consistent descriptors always have a union");
                             out.push((tuple, descriptor));
                         }
@@ -335,6 +338,7 @@ fn compile_join<'a>(
 fn key_of(tuple: &Tuple, positions: &[usize]) -> Option<Vec<Value>> {
     let mut key = Vec::with_capacity(positions.len());
     for &p in positions {
+        // uprob-lint: allow(panic-expect) -- key positions were resolved against the schema when the join was built
         let v = tuple.get(p).expect("validated key position");
         if v.is_null() {
             return None;

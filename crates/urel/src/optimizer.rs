@@ -29,7 +29,11 @@
 //! guarantee identical resolution — e.g. pushing through a union whose
 //! branches disagree on duplicate names — is skipped rather than risked.
 
-use std::collections::{BTreeSet, HashMap};
+// uprob-lint: allow-file(panic-index) -- every index in this file is resolved by `column_index`/`position` on the same schema, or bounded by that schema's arity, immediately before use
+
+use std::collections::BTreeSet;
+
+use uprob_wsd::FxHashMap;
 
 use crate::database::ProbDb;
 use crate::plan::Plan;
@@ -463,7 +467,7 @@ fn remap_to_right_local(
     left_arity: usize,
     right_schema: &Schema,
 ) -> Option<Predicate> {
-    let mut map = HashMap::new();
+    let mut map = FxHashMap::default();
     for (name, &idx) in refs.iter().zip(indices) {
         let local = idx - left_arity;
         let local_name = right_schema.columns()[local].name.clone();
@@ -483,7 +487,7 @@ fn remap_for_right_branch(
     left_schema: &Schema,
     right_schema: &Schema,
 ) -> Option<Predicate> {
-    let mut map = HashMap::new();
+    let mut map = FxHashMap::default();
     for name in conjunct.referenced_columns() {
         let idx = left_schema.column_index(&name).ok()?;
         let right_name = right_schema.columns()[idx].name.clone();
@@ -675,6 +679,7 @@ fn push_project_into_join(
     }
     for name in &referenced {
         let old = concat.column_index(name)?;
+        // uprob-lint: allow(panic-expect) -- `referenced` seeded the keep-sets above, so every referenced column survives into kept_concat
         let pos = kept_concat.iter().position(|&i| i == old).expect("kept");
         if narrowed_concat.column_index(name).map(|x| x == pos) != Ok(true) {
             return Ok(rebuild(left, right, predicate, columns));

@@ -5,8 +5,8 @@
 //! conditions are ordinary predicates over the concatenated schema of the
 //! two operands (see [`crate::Schema::concat`]).
 
-use std::collections::HashMap;
 use std::fmt;
+use uprob_wsd::FxHashMap;
 
 use crate::error::UrelError;
 use crate::schema::{ColumnType, Schema};
@@ -75,6 +75,7 @@ impl Expr {
         match self {
             Expr::Column(c) => {
                 let idx = schema.column_index(&c.name)?;
+                // uprob-lint: allow(panic-index) -- idx was just resolved by `column_index` on the same schema
                 Ok(Some(schema.columns()[idx].column_type))
             }
             Expr::Const(Value::Null) => Ok(None),
@@ -88,7 +89,7 @@ impl Expr {
     /// Rewrites column references through `map`; returns `None` if a
     /// referenced column has no entry (the optimizer then keeps the
     /// predicate where it is instead of pushing it down).
-    fn rename_columns(&self, map: &HashMap<String, String>) -> Option<Expr> {
+    fn rename_columns(&self, map: &FxHashMap<String, String>) -> Option<Expr> {
         match self {
             Expr::Const(v) => Some(Expr::Const(v.clone())),
             Expr::Column(c) => map.get(&c.name).map(|n| Expr::col(n)),
@@ -364,7 +365,7 @@ impl Predicate {
     /// through unions and joins, where the same column has different names
     /// above and below the operator). Returns `None` if a referenced column
     /// has no entry; the optimizer then leaves the predicate in place.
-    pub fn rename_columns(&self, map: &HashMap<String, String>) -> Option<Predicate> {
+    pub fn rename_columns(&self, map: &FxHashMap<String, String>) -> Option<Predicate> {
         Some(match self {
             Predicate::True => Predicate::True,
             Predicate::False => Predicate::False,
@@ -668,18 +669,18 @@ mod tests {
             .and(Predicate::col_eq("A", 1i64))
             .or(Predicate::col_eq("C", 2i64).not());
         assert_eq!(p.referenced_columns(), vec!["A", "B", "C"]);
-        let map: HashMap<String, String> = [("A", "X"), ("B", "Y"), ("C", "Z")]
+        let map: FxHashMap<String, String> = [("A", "X"), ("B", "Y"), ("C", "Z")]
             .into_iter()
             .map(|(a, b)| (a.to_string(), b.to_string()))
             .collect();
         let renamed = p.rename_columns(&map).unwrap();
         assert_eq!(renamed.referenced_columns(), vec!["X", "Y", "Z"]);
         // A reference outside the map blocks the rewrite entirely.
-        let partial: HashMap<String, String> =
+        let partial: FxHashMap<String, String> =
             [("A".to_string(), "X".to_string())].into_iter().collect();
         assert!(p.rename_columns(&partial).is_none());
         assert_eq!(
-            Predicate::True.rename_columns(&HashMap::new()),
+            Predicate::True.rename_columns(&FxHashMap::default()),
             Some(Predicate::True)
         );
     }

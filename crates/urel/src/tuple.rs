@@ -52,6 +52,7 @@ impl Tuple {
     /// the schema first.
     pub fn project(&self, positions: &[usize]) -> Tuple {
         Tuple {
+            // uprob-lint: allow(panic-index) -- documented panic contract: callers resolve positions via the schema
             values: positions.iter().map(|&i| self.values[i].clone()).collect(),
         }
     }

@@ -36,11 +36,13 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // uprob-lint: allow(panic-expect) -- chunks_exact(8) yields exactly 8 bytes
             self.combine(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {
             let mut word = [0u8; 8];
+            // uprob-lint: allow(panic-index) -- remainder of chunks_exact(8) is < 8 bytes
             word[..rest.len()].copy_from_slice(rest);
             self.combine(u64::from_le_bytes(word));
         }

@@ -63,6 +63,7 @@ impl CanonicalSetKey {
     /// (the format produced by [`DescriptorInterner::canonical_ids`]).
     pub fn from_sorted_ids(ids: &[u32]) -> Self {
         debug_assert!(
+            // uprob-lint: allow(panic-index) -- windows(2) yields exactly 2 elements
             ids.windows(2).all(|w| w[0] < w[1]),
             "ids must be sorted+deduped"
         );
@@ -125,6 +126,7 @@ impl DescriptorInterner {
             return id;
         }
         let id = DescriptorId(
+            // uprob-lint: allow(panic-expect) -- 2^32 interned descriptors exceeds addressable memory first
             u32::try_from(self.descriptors.len()).expect("more than u32::MAX distinct descriptors"),
         );
         self.by_descriptor.insert(descriptor.clone(), id);
@@ -138,6 +140,7 @@ impl DescriptorInterner {
     ///
     /// Panics if `id` was not produced by this interner.
     pub fn resolve(&self, id: DescriptorId) -> &WsDescriptor {
+        // uprob-lint: allow(panic-index) -- documented panic contract: id must come from this interner
         &self.descriptors[id.index()]
     }
 

@@ -6,10 +6,11 @@
 //! `P({x -> i})` of each assignment, such that the probabilities of all
 //! assignments of a variable sum to one.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::WsdError;
+use crate::fast_hash::{FxHashMap, FxHashSet};
+use crate::numeric::{compensated_sum, NeumaierSum};
 use crate::value::{DomainValue, ValueIndex, VarId};
 use crate::Result;
 
@@ -48,7 +49,7 @@ impl VariableInfo {
 #[derive(Clone, Debug)]
 pub struct WorldTable {
     variables: Vec<VariableInfo>,
-    by_name: HashMap<String, VarId>,
+    by_name: FxHashMap<String, VarId>,
     /// Content stamp: refreshed on every mutation, shared by (unmutated)
     /// clones. Equal stamps imply identical contents, which lets memo
     /// caches detect in O(1) that they are being reused across a different
@@ -67,7 +68,7 @@ impl Default for WorldTable {
     fn default() -> Self {
         WorldTable {
             variables: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: FxHashMap::default(),
             stamp: fresh_stamp(),
         }
     }
@@ -122,8 +123,8 @@ impl WorldTable {
         }
         let mut values = Vec::with_capacity(alternatives.len());
         let mut probabilities = Vec::with_capacity(alternatives.len());
-        let mut seen = std::collections::HashSet::with_capacity(alternatives.len());
-        let mut sum = 0.0;
+        let mut seen = FxHashSet::with_capacity_and_hasher(alternatives.len(), Default::default());
+        let mut sum = NeumaierSum::new();
         for &(value, p) in alternatives {
             if !seen.insert(value) {
                 return Err(WsdError::DuplicateDomainValue {
@@ -139,8 +140,9 @@ impl WorldTable {
             }
             values.push(value);
             probabilities.push(p);
-            sum += p;
+            sum.add(p);
         }
+        let sum = sum.value();
         if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
             return Err(WsdError::DistributionNotNormalized {
                 name: name.to_string(),
@@ -258,10 +260,11 @@ impl WorldTable {
     /// (the paper reports experiments with `10^(10^6)` worlds), so only the
     /// logarithm is exposed.
     pub fn log2_world_count(&self) -> f64 {
-        self.variables
-            .iter()
-            .map(|v| (v.domain_size() as f64).log2())
-            .sum()
+        compensated_sum(
+            self.variables
+                .iter()
+                .map(|v| (v.domain_size() as f64).log2()),
+        )
     }
 
     /// Exact number of possible worlds, if it fits in a `u128`.
@@ -289,6 +292,7 @@ impl WorldTable {
         self.variables
             .iter()
             .zip(world)
+            // uprob-lint: allow(panic-index) -- idx comes from this table's own domain (asserted total valuation)
             .map(|(info, idx)| info.probabilities[idx.index()])
             .product()
     }
@@ -326,12 +330,12 @@ impl WorldTable {
     /// This implements simplification optimisation (1) of Section 5:
     /// variables that no longer appear in any U-relation can be dropped from
     /// `W`.
-    pub fn retain_variables<F>(&self, mut keep: F) -> (WorldTable, HashMap<VarId, VarId>)
+    pub fn retain_variables<F>(&self, mut keep: F) -> (WorldTable, FxHashMap<VarId, VarId>)
     where
         F: FnMut(VarId, &VariableInfo) -> bool,
     {
         let mut new_table = WorldTable::new();
-        let mut mapping = HashMap::new();
+        let mut mapping = FxHashMap::default();
         for (var, info) in self.iter() {
             if keep(var, info) {
                 let alternatives: Vec<(DomainValue, f64)> = info
@@ -342,6 +346,7 @@ impl WorldTable {
                     .collect();
                 let new_id = new_table
                     .add_variable(&info.name, &alternatives)
+                    // uprob-lint: allow(panic-expect) -- alternatives are copied verbatim from an already-validated variable
                     .expect("copying a valid variable cannot fail");
                 mapping.insert(var, new_id);
             }
@@ -389,9 +394,13 @@ impl Iterator for WorldIter<'_> {
                 self.done = true;
                 return None;
             }
+            // uprob-lint: allow(panic-index) -- odometer cursor i is guarded by the `i == current.len()` exit above
             let size = self.table.variables[i].domain_size() as u16;
+            // uprob-lint: allow(panic-index) -- same bound
             if self.current[i].0 + 1 < size {
+                // uprob-lint: allow(panic-index) -- same bound
                 self.current[i].0 += 1;
+                // uprob-lint: allow(panic-index) -- same bound
                 for slot in &mut self.current[..i] {
                     slot.0 = 0;
                 }

@@ -8,7 +8,9 @@
 //! a ws-set into independent components (the building block of independent
 //! partitioning in Section 4).
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
+
+use crate::fast_hash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 use crate::descriptor::WsDescriptor;
@@ -183,6 +185,7 @@ impl WsSet {
     /// probabilities (used by ws-descriptor elimination, Section 6).
     pub fn is_pairwise_mutex(&self) -> bool {
         for (i, d1) in self.descriptors.iter().enumerate() {
+            // uprob-lint: allow(panic-index) -- i comes from enumerate() over the same vec
             for d2 in &self.descriptors[i + 1..] {
                 if !d1.is_mutex_with(d2) {
                     return false;
@@ -202,7 +205,7 @@ impl WsSet {
     ///
     /// Exponential in the number of variables of `table`; intended for tests
     /// and brute-force baselines only.
-    pub fn enumerate_worlds(&self, table: &WorldTable) -> HashSet<Vec<ValueIndex>> {
+    pub fn enumerate_worlds(&self, table: &WorldTable) -> FxHashSet<Vec<ValueIndex>> {
         table
             .enumerate_worlds()
             .filter(|(world, _)| self.matches_world(world))
@@ -247,8 +250,7 @@ impl WsSet {
         let mut uf = UnionFind::new(n);
         // Map each variable to the first descriptor that mentions it and
         // union subsequent descriptors into that component.
-        let mut first_owner: std::collections::HashMap<VarId, usize> =
-            std::collections::HashMap::new();
+        let mut first_owner: FxHashMap<VarId, usize> = FxHashMap::default();
         for (i, d) in self.descriptors.iter().enumerate() {
             for var in d.variables() {
                 match first_owner.entry(var) {
@@ -271,6 +273,7 @@ impl WsSet {
                 groups.push(WsSet::empty());
                 groups.len() - 1
             });
+            // uprob-lint: allow(panic-index) -- index was just created by the or_insert_with push
             groups[index].push(d.clone());
         }
         groups
@@ -394,6 +397,7 @@ pub fn diff_single(d1: &WsDescriptor, d2: &WsDescriptor, table: &WorldTable) -> 
     for a in &missing {
         let domain_size = table
             .domain_size(a.var)
+            // uprob-lint: allow(panic-expect) -- documented contract: descriptors are built against this table
             .expect("descriptor variable missing from world table");
         for alt in 0..domain_size as u16 {
             if ValueIndex(alt) == a.value {
@@ -401,11 +405,13 @@ pub fn diff_single(d1: &WsDescriptor, d2: &WsDescriptor, table: &WorldTable) -> 
             }
             let d = prefix
                 .with(a.var, ValueIndex(alt))
+                // uprob-lint: allow(panic-expect) -- a.var is missing from prefix by construction of `missing`
                 .expect("prefix cannot already assign this variable");
             result.push(d);
         }
         prefix
             .assign(a.var, a.value)
+            // uprob-lint: allow(panic-expect) -- same: a.var is unassigned in prefix until this step
             .expect("prefix cannot conflict with the subtracted assignment");
     }
     result
@@ -424,8 +430,11 @@ impl UnionFind {
     }
 
     fn find(&mut self, mut x: usize) -> usize {
+        // uprob-lint: allow(panic-index) -- union-find nodes are 0..n by construction; parents stay in range
         while self.parent[x] != x {
+            // uprob-lint: allow(panic-index) -- same union-find range invariant
             self.parent[x] = self.parent[self.parent[x]];
+            // uprob-lint: allow(panic-index) -- same union-find range invariant
             x = self.parent[x];
         }
         x
@@ -435,6 +444,7 @@ impl UnionFind {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra != rb {
+            // uprob-lint: allow(panic-index) -- same union-find range invariant
             self.parent[ra] = rb;
         }
     }
@@ -516,21 +526,21 @@ mod tests {
         let s1 = WsSet::from_descriptors(vec![d1.clone(), d2.clone()]);
         let s2 = WsSet::from_descriptors(vec![d2.clone(), d3.clone()]);
 
-        let union_worlds: HashSet<_> = s1
+        let union_worlds: FxHashSet<_> = s1
             .enumerate_worlds(&w)
             .union(&s2.enumerate_worlds(&w))
             .cloned()
             .collect();
         assert_eq!(s1.union(&s2).enumerate_worlds(&w), union_worlds);
 
-        let inter_worlds: HashSet<_> = s1
+        let inter_worlds: FxHashSet<_> = s1
             .enumerate_worlds(&w)
             .intersection(&s2.enumerate_worlds(&w))
             .cloned()
             .collect();
         assert_eq!(s1.intersect(&s2).enumerate_worlds(&w), inter_worlds);
 
-        let diff_worlds: HashSet<_> = s1
+        let diff_worlds: FxHashSet<_> = s1
             .enumerate_worlds(&w)
             .difference(&s2.enumerate_worlds(&w))
             .cloned()

@@ -76,7 +76,9 @@ proptest! {
         // parallelism when unset): **bit-identical** to the sequential
         // fold, not merely within tolerance. The tiny grain forces the
         // scheduler onto these small instances.
-        let parallel = ParallelOptions::from_env().with_grain(2);
+        let parallel = ParallelOptions::from_env()
+            .expect("CI sets a well-formed UPROB_WORKERS")
+            .with_grain(2);
         let sequential = confidence(
             &instance.query,
             &instance.table,
@@ -187,7 +189,9 @@ proptest! {
 
         // The engine's parallel conditioned path under the CI matrix worker
         // count (`UPROB_WORKERS`): the exact bits again.
-        let parallel = ParallelOptions::from_env().with_grain(2);
+        let parallel = ParallelOptions::from_env()
+            .expect("CI sets a well-formed UPROB_WORKERS")
+            .with_grain(2);
         let parallel_exact = estimate_conditioned_confidence_with_options(
             &instance.query,
             &instance.condition,

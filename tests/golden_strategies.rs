@@ -127,7 +127,9 @@ fn golden_values_are_bit_identical_under_the_ci_worker_matrix() {
     // The worker count the CI `parallel-determinism` matrix routes through
     // `UPROB_WORKERS` (the available parallelism when unset), with a tiny
     // grain so the scheduler is exercised on these small fixtures.
-    let parallel = ParallelOptions::from_env().with_grain(2);
+    let parallel = ParallelOptions::from_env()
+        .expect("CI sets a well-formed UPROB_WORKERS")
+        .with_grain(2);
     let options = DecompositionOptions::indve_minlog();
 
     // Figure 3's 0.7578 through the parallel fold, WE and the engine.

@@ -30,7 +30,9 @@ use uprob::query::QueryError;
 /// env var, so each leg re-checks its own count).
 fn worker_counts() -> Vec<usize> {
     let mut counts = vec![2, 3, 8];
-    let env = ParallelOptions::from_env().workers();
+    let env = ParallelOptions::from_env()
+        .expect("CI sets a well-formed UPROB_WORKERS")
+        .workers();
     if env > 1 && !counts.contains(&env) {
         counts.push(env);
     }
