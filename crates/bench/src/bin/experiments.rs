@@ -5,7 +5,8 @@
 //! ```
 //!
 //! `NAME` is one of `fig10`, `fig11a`, `fig11b`, `fig12`, `fig13`,
-//! `ablation`, `conditioning`, `planned`, `parallel` or `all` (default).
+//! `ablation`, `conditioning`, `planned`, `parallel`, `serve` or `all`
+//! (default).
 //! `--paper` switches from
 //! the quick instance sizes to sizes close to the paper's (slower). `--csv`
 //! additionally prints each table as CSV for post-processing.
@@ -16,7 +17,7 @@ use std::process::ExitCode;
 use uprob_bench::runner::with_large_stack;
 use uprob_bench::{
     ablation_conditioning, ablation_decomposition, fig10, fig11a, fig11b, fig12, fig13,
-    parallel_scaling, planned_vs_eager, ExperimentScale, ResultTable,
+    parallel_scaling, planned_vs_eager, serve_load, ExperimentScale, ResultTable,
 };
 
 fn main() -> ExitCode {
@@ -37,7 +38,7 @@ fn main() -> ExitCode {
             "--csv" => csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|planned|parallel|all] [--paper] [--csv]"
+                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|planned|parallel|serve|all] [--paper] [--csv]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
             "conditioning",
             "planned",
             "parallel",
+            "serve",
         ]
     } else {
         vec![experiment.as_str()]
@@ -76,6 +78,7 @@ fn main() -> ExitCode {
             "conditioning" => with_large_stack(move || ablation_conditioning(scale)),
             "planned" => with_large_stack(move || planned_vs_eager(scale)),
             "parallel" => with_large_stack(move || parallel_scaling(scale)),
+            "serve" => with_large_stack(move || serve_load(scale)),
             other => {
                 eprintln!("unknown experiment: {other}");
                 return ExitCode::from(2);

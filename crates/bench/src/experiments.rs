@@ -15,15 +15,16 @@ use std::time::Instant;
 
 use uprob_core::{
     confidence_parallel, ConditioningOptions, DecompositionOptions, ParallelOptions,
-    VariableHeuristic,
+    SharedDecompositionCache, VariableHeuristic,
 };
 use uprob_datagen::{
     q1_answer, q1_answer_relation, q1_plan, q2_answer, q2_answer_relation, HardInstance,
     HardInstanceConfig, TpchConfig, TpchDatabase,
 };
 use uprob_query::{
-    answer_confidences, assert_constraint, boolean_confidence, tuple_confidences_sequential,
-    Constraint,
+    answer_confidences, assert_constraint, boolean_confidence,
+    planned_answer_confidences_with_options, tuple_confidences_sequential, Constraint,
+    ProbDbService, ServiceOptions,
 };
 use uprob_urel::{optimize_plan, Plan, Predicate};
 
@@ -649,6 +650,131 @@ pub fn parallel_scaling(scale: ExperimentScale) -> ResultTable {
     table
 }
 
+/// The `q`-quantile of an ascending-sorted latency sample (nearest rank).
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[index.min(sorted_ms.len() - 1)]
+}
+
+/// **Serving layer**: load-generates the snapshot-isolated
+/// [`ProbDbService`] with 1/2/4/8 concurrent readers issuing a TPC-H plan
+/// mix of `conf()` requests, and reports throughput (queries/s), latency
+/// percentiles (p50/p99 in ms), the plan-cache and decomposition-cache hit
+/// rates, the number of coalesced requests, and whether every served
+/// answer stayed bit-identical to the single-owner sequential library
+/// call.
+pub fn serve_load(scale: ExperimentScale) -> ResultTable {
+    let mut table = ResultTable::new(
+        "Concurrent serving: ProbDbService load generation (TPC-H conf() mix)",
+        &[
+            "readers",
+            "requests",
+            "qps",
+            "p50_ms",
+            "p99_ms",
+            "plan_hit_rate",
+            "decomp_hit_rate",
+            "coalesced",
+            "bit_identical",
+        ],
+    );
+    let row_scale = if scale.is_quick() { 0.02 } else { 0.1 };
+    let data = TpchDatabase::generate(
+        TpchConfig::scale(0.01)
+            .with_row_scale(row_scale)
+            .with_seed(2008),
+    );
+    let plans: Vec<Plan> = vec![
+        q1_plan(),
+        Plan::scan("orders").select(Predicate::cmp(
+            uprob_urel::Expr::col("orderdate"),
+            uprob_urel::Comparison::Gt,
+            uprob_urel::Expr::val(uprob_datagen::tpch::dates::DATE_1995_03_15),
+        )),
+    ];
+    let options = ServiceOptions::default();
+    // The single-owner sequential reference per plan: the bit-identity
+    // oracle every served answer is checked against.
+    let reference: Vec<(u64, Vec<u64>)> = plans
+        .iter()
+        .map(|plan| {
+            let answer = planned_answer_confidences_with_options(
+                &data.db,
+                plan,
+                &options.decomposition,
+                &ParallelOptions::sequential(),
+                &SharedDecompositionCache::new(),
+            )
+            .expect("the serve workload decomposes without a budget");
+            (
+                answer.boolean.to_bits(),
+                answer.tuples.iter().map(|(_, p)| p.to_bits()).collect(),
+            )
+        })
+        .collect();
+    let per_reader = if scale.is_quick() { 12 } else { 60 };
+    for readers in [1usize, 2, 4, 8] {
+        let service = ProbDbService::with_options(data.db.clone(), options);
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut identical = true;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let service = &service;
+                    let plans = &plans;
+                    let reference = &reference;
+                    scope.spawn(move || {
+                        let mut latencies = Vec::with_capacity(per_reader);
+                        let mut identical = true;
+                        for i in 0..per_reader {
+                            let plan = i % plans.len();
+                            let request_start = Instant::now();
+                            let answer = service
+                                .conf(&plans[plan])
+                                .expect("the serve workload decomposes without a budget");
+                            latencies.push(request_start.elapsed().as_secs_f64() * 1e3);
+                            let (boolean_bits, tuple_bits) = &reference[plan];
+                            identical &= answer.boolean.to_bits() == *boolean_bits
+                                && answer.tuples.len() == tuple_bits.len()
+                                && answer
+                                    .tuples
+                                    .iter()
+                                    .zip(tuple_bits)
+                                    .all(|((_, p), bits)| p.to_bits() == *bits);
+                        }
+                        (latencies, identical)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (latencies, reader_identical) = handle.join().expect("reader thread");
+                latencies_ms.extend(latencies);
+                identical &= reader_identical;
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        latencies_ms.sort_by(f64::total_cmp);
+        let stats = service.stats();
+        let cache = service.snapshot().cache_stats();
+        table.push_row(vec![
+            readers.to_string(),
+            latencies_ms.len().to_string(),
+            format!("{:.1}", latencies_ms.len() as f64 / wall.max(1e-9)),
+            format!("{:.3}", percentile(&latencies_ms, 0.50)),
+            format!("{:.3}", percentile(&latencies_ms, 0.99)),
+            format!("{:.2}", stats.plan_hit_rate()),
+            format!("{:.2}", cache.hit_rate()),
+            stats.coalesced.to_string(),
+            if identical { "yes" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,5 +856,33 @@ mod tests {
                 "the bit-identity contract must hold in the scaling sweep: {row:?}"
             );
         }
+    }
+
+    #[test]
+    fn serve_load_quick_reports_rates_and_stays_bit_identical() {
+        let table = serve_load(ExperimentScale::Quick);
+        // One row per reader count.
+        assert_eq!(table.len(), 4);
+        for row in table.rows() {
+            assert!(row[1].parse::<usize>().unwrap() > 0, "requests: {row:?}");
+            assert!(row[2].parse::<f64>().unwrap() > 0.0, "qps: {row:?}");
+            let p50 = row[3].parse::<f64>().unwrap();
+            let p99 = row[4].parse::<f64>().unwrap();
+            assert!(p50 >= 0.0 && p99 >= p50, "percentiles: {row:?}");
+            let plan_hits = row[5].parse::<f64>().unwrap();
+            assert!((0.0..=1.0).contains(&plan_hits), "plan hit rate: {row:?}");
+            let decomp_hits = row[6].parse::<f64>().unwrap();
+            assert!(
+                (0.0..=1.0).contains(&decomp_hits),
+                "decomposition hit rate: {row:?}"
+            );
+            assert_eq!(
+                row[8], "yes",
+                "served answers must stay bit-identical: {row:?}"
+            );
+        }
+        // Repeated identical requests must actually hit the plan cache.
+        let single_reader = &table.rows()[0];
+        assert!(single_reader[5].parse::<f64>().unwrap() > 0.5);
     }
 }

@@ -28,10 +28,20 @@
 //! insert the same key write the same value (the second insert is a no-op)
 //! and no worker can observe a wrong entry. The lock is intentionally
 //! coarse: correctness first, sharding later (see `DESIGN.md`).
+//!
+//! Shard access is **poison-tolerant**: a worker that panics while holding
+//! a shard lock (contained by the scheduler or the serving layer) must not
+//! take every later request down with it. Recovering the guard is sound
+//! here because every critical section is one hash-map/interner operation
+//! that either completes or leaves the map untouched — `lookup` only reads
+//! (its scratch buffer is left valid by `mem::take`), and `insert` is a
+//! single first-write-wins entry insertion — and memoized values are pure
+//! functions of their keys, so a recovered shard can never serve a wrong
+//! probability.
 
 use std::collections::hash_map::Entry;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use uprob_wsd::fast_hash::FxHasher;
 use uprob_wsd::{CanonicalSetKey, DescriptorInterner, FxHashMap, WsSet};
@@ -231,16 +241,18 @@ impl SharedDecompositionCache {
         (digest % SHARDS as u64) as usize
     }
 
+    /// Locks one shard, recovering from poisoning (see the module docs for
+    /// why recovery is sound here: every critical section is a single
+    /// atomic-in-effect map operation over deterministic values).
+    fn shard_guard(shard: &Mutex<DecompositionCache>) -> MutexGuard<'_, DecompositionCache> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up the probability of `set`, counting the hit or miss.
     pub fn lookup(&self, set: &WsSet) -> CacheLookup {
         let shard = self.shard_of(set);
         // uprob-lint: allow(panic-index) -- shard_of masks into 0..SHARDS
-        match self.shards[shard]
-            .lock()
-            // uprob-lint: allow(panic-expect) -- poisoning propagation: a panicked worker must not leave a half-written cache in use
-            .expect("cache lock poisoned")
-            .lookup(set)
-        {
+        match Self::shard_guard(&self.shards[shard]).lookup(set) {
             Ok(p) => CacheLookup::Hit(p),
             Err(key) => CacheLookup::Miss(PendingEntry { shard, key }),
         }
@@ -249,11 +261,7 @@ impl SharedDecompositionCache {
     /// Memoizes the probability of the set behind `pending`.
     pub fn insert(&self, pending: PendingEntry, probability: f64) {
         // uprob-lint: allow(panic-index) -- pending.shard was produced by shard_of
-        self.shards[pending.shard]
-            .lock()
-            // uprob-lint: allow(panic-expect) -- poisoning propagation, as in lookup
-            .expect("cache lock poisoned")
-            .insert(pending.key, probability);
+        Self::shard_guard(&self.shards[pending.shard]).insert(pending.key, probability);
     }
 
     /// Aggregate counters across all shards and every run that used this
@@ -261,8 +269,7 @@ impl SharedDecompositionCache {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            // uprob-lint: allow(panic-expect) -- poisoning propagation, as in lookup
-            let stats = shard.lock().expect("cache lock poisoned").stats();
+            let stats = Self::shard_guard(shard).stats();
             total.hits += stats.hits;
             total.misses += stats.misses;
             total.entries += stats.entries;
@@ -374,6 +381,43 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, crate::CoreError::CacheTableMismatch { .. }));
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_for_later_requests() {
+        let (_, s12, s21) = two_sets();
+        let cache = SharedDecompositionCache::new();
+        let CacheLookup::Miss(key) = cache.lookup(&s12) else {
+            panic!("first lookup must miss");
+        };
+        cache.insert(key, 0.44);
+        // Poison the shard holding the entry: a thread panics while its
+        // guard is live (what an injected worker panic does at worst).
+        let shard = cache.shard_of(&s12);
+        let poisoner = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = cache.shards[shard].lock().unwrap();
+                    panic!("poison the shard");
+                })
+                .join()
+        });
+        assert!(poisoner.is_err(), "the poisoning thread must panic");
+        assert!(cache.shards[shard].is_poisoned());
+        // Lookup, insert and stats all recover instead of propagating.
+        match cache.lookup(&s21) {
+            CacheLookup::Hit(p) => assert_eq!(p, 0.44),
+            CacheLookup::Miss(_) => panic!("the memoized entry must survive the poisoning"),
+        }
+        let CacheLookup::Miss(extra) = cache.lookup(&WsSet::from_descriptors(vec![
+            s12.iter().next().unwrap().clone(),
+            s12.iter().next().unwrap().clone(),
+        ])) else {
+            panic!("an unseen set must miss");
+        };
+        cache.insert(extra, 0.2);
+        let stats = cache.stats();
+        assert!(stats.hits >= 1 && stats.entries >= 1);
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub use engine::{
 };
 pub use error::CoreError;
 pub use heuristics::VariableHeuristic;
-pub use parallel::{available_workers, confidence_parallel, ParallelOptions};
+pub use parallel::{available_workers, confidence_parallel, panic_message, ParallelOptions};
 pub use stats::{Confidence, DecompositionStats};
 pub use uprob_approx::{fan_out_indexed, ApproximationOptions};
 pub use wstree::WsTree;

@@ -40,8 +40,9 @@
 // uprob-lint: allow-file(panic-index) -- every index is scheduler-internal: worker/victim ids are `% queues`-bounded, arena indices come from `alloc`, and combine slots are sized to the child count at allocation
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock, PoisonError};
 use std::thread;
 
 use uprob_wsd::{NeumaierSum, WorldTable, WsSet};
@@ -100,9 +101,26 @@ impl ParallelOptions {
     /// as a positive integer or the call fails with
     /// [`CoreError::InvalidWorkerSpec`] — a typoed matrix leg must fail
     /// loudly, not silently test the automatic policy.
+    ///
+    /// **Read-once semantics:** the variable is resolved exactly once per
+    /// process, on the first call; every later call — including a
+    /// malformed-spec failure — replays that first resolution. Re-reading
+    /// on every call would race against `set_var` in multi-threaded
+    /// programs and would let the effective worker count drift mid-run
+    /// under the serving layer, where one `ProbDbService` hands the same
+    /// [`ParallelOptions`] to every request. Code that needs a different
+    /// worker count at runtime must construct it explicitly with
+    /// [`ParallelOptions::new`] and pass it down.
     pub fn from_env() -> Result<Self> {
-        let spec = std::env::var("UPROB_WORKERS").ok();
-        Ok(ParallelOptions::new(workers_from_spec(spec.as_deref())?))
+        static ENV_WORKERS: OnceLock<std::result::Result<usize, CoreError>> = OnceLock::new();
+        let resolved = ENV_WORKERS.get_or_init(|| {
+            let spec = std::env::var("UPROB_WORKERS").ok();
+            workers_from_spec(spec.as_deref())
+        });
+        match resolved {
+            Ok(workers) => Ok(ParallelOptions::new(*workers)),
+            Err(error) => Err(error.clone()),
+        }
     }
 
     /// Returns a copy with the given scheduling grain: ws-sets with fewer
@@ -270,12 +288,30 @@ struct Shared<'a> {
 }
 
 impl Shared<'_> {
+    /// Records the first error of the run and tells every worker to stop.
+    /// Poison-tolerant on purpose: this is the containment path a
+    /// panicking worker reports through, so it must stay usable even
+    /// after another worker died while holding the error lock (the slot
+    /// is a plain `Option` — there is no half-written state to observe).
     fn record_error(&self, error: CoreError) {
-        let mut slot = self.error.lock().expect("error lock poisoned");
+        let mut slot = self.error.lock().unwrap_or_else(PoisonError::into_inner);
         if slot.is_none() {
             *slot = Some(error);
         }
         self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Renders a `catch_unwind` payload to text, best effort: `&str` and
+/// `String` payloads (what `panic!` produces) are returned verbatim,
+/// anything else is summarized.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -477,8 +513,28 @@ fn next_task(shared: &Shared<'_>, worker: usize) -> Option<Task> {
     None
 }
 
+/// Test-only fault injection: panics inside the next scheduled task when
+/// the tests have armed [`tests::INJECT_TASK_PANIC`] and the run uses the
+/// sentinel grain (so concurrently running tests never trip it).
+#[cfg(test)]
+fn maybe_inject_panic(grain: usize) {
+    if grain == tests::INJECTION_GRAIN && tests::INJECT_TASK_PANIC.swap(false, Ordering::SeqCst) {
+        panic!("injected task panic");
+    }
+}
+
+#[cfg(not(test))]
+fn maybe_inject_panic(_grain: usize) {}
+
 /// The worker main loop: drain tasks until the root resolves or a worker
 /// reports an error; idle workers yield between steal attempts.
+///
+/// Each iteration runs under `catch_unwind`: a panic anywhere in task
+/// execution (or in a steal attempt hitting a lock the panicking worker
+/// poisoned) is converted into [`CoreError::WorkerPanicked`] and recorded,
+/// which sets `done` and drains the scheduler. Without this containment a
+/// panicking worker would never set `done`, the surviving workers would
+/// spin forever, and `thread::scope` would deadlock the process.
 fn worker_loop(
     worker: usize,
     shared: &Shared<'_>,
@@ -488,13 +544,24 @@ fn worker_loop(
 ) -> DecompositionStats {
     let mut decomposer = Decomposer::with_shared_nodes(table, options, nodes);
     while !shared.done.load(Ordering::Acquire) {
-        match next_task(shared, worker) {
-            Some(task) => {
-                if let Err(error) = run_task(task, worker, shared, &mut decomposer) {
-                    shared.record_error(error);
+        let step = catch_unwind(AssertUnwindSafe(|| {
+            maybe_inject_panic(shared.grain);
+            match next_task(shared, worker) {
+                Some(task) => {
+                    if let Err(error) = run_task(task, worker, shared, &mut decomposer) {
+                        shared.record_error(error);
+                    }
+                    true
                 }
+                None => false,
             }
-            None => thread::yield_now(),
+        }));
+        match step {
+            Ok(true) => {}
+            Ok(false) => thread::yield_now(),
+            Err(payload) => shared.record_error(CoreError::WorkerPanicked {
+                message: panic_message(payload.as_ref()),
+            }),
         }
     }
     decomposer.stats
@@ -558,7 +625,14 @@ pub fn confidence_parallel(
             stats.absorb(&handle.join().expect("worker thread must not panic"));
         }
     });
-    if let Some(error) = shared.error.lock().expect("error lock poisoned").take() {
+    // Poison-tolerant like `record_error`: the error slot must stay
+    // readable even if the recording worker died while holding it.
+    if let Some(error) = shared
+        .error
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
         return Err(error);
     }
     let probability = shared
@@ -576,6 +650,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
     use uprob_wsd::{ValueIndex, VarId, WsDescriptor};
+
+    /// Arms [`maybe_inject_panic`]: the next task of a run whose grain is
+    /// [`INJECTION_GRAIN`] panics. The sentinel grain keeps concurrently
+    /// running tests (which use grains 0 and 2) from consuming the flag.
+    pub(super) static INJECT_TASK_PANIC: AtomicBool = AtomicBool::new(false);
+    pub(super) const INJECTION_GRAIN: usize = 3;
 
     /// The world table and ws-set S of Figure 3 (P(S) = 0.7578).
     fn figure3() -> (WorldTable, WsSet) {
@@ -805,6 +885,52 @@ mod tests {
         assert_eq!(ParallelOptions::new(4).grain(), DEFAULT_GRAIN);
         assert_eq!(ParallelOptions::new(4).with_grain(2).grain(), 2);
         assert!(ParallelOptions::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained_and_later_runs_succeed() {
+        let (w, s) = figure3();
+        let options = DecompositionOptions::indve_minlog();
+        let parallel = ParallelOptions::new(4).with_grain(INJECTION_GRAIN);
+        INJECT_TASK_PANIC.store(true, Ordering::SeqCst);
+        let err = confidence_parallel(&s, &w, &options, &parallel, None).unwrap_err();
+        match err {
+            CoreError::WorkerPanicked { ref message } => {
+                assert!(message.contains("injected"), "unexpected payload: {err}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(
+            !INJECT_TASK_PANIC.load(Ordering::SeqCst),
+            "the injection must have been consumed"
+        );
+        // Containment: the failed run owned the panic; the same call made
+        // afterwards (fresh scheduler state) succeeds bit-identically.
+        let sequential = confidence_with_cache(&s, &w, &options, None).unwrap();
+        let got = confidence_parallel(&s, &w, &options, &parallel, None).unwrap();
+        assert_eq!(got.probability.to_bits(), sequential.probability.to_bits());
+    }
+
+    #[test]
+    fn from_env_resolves_once_per_process() {
+        // Whatever the environment says, two calls agree: the spec is
+        // resolved into a process-wide OnceLock on the first call.
+        let first = ParallelOptions::from_env();
+        let second = ParallelOptions::from_env();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let static_payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(static_payload.as_ref()), "boom");
+        let string_payload: Box<dyn std::any::Any + Send> = Box::new(String::from("formatted"));
+        assert_eq!(panic_message(string_payload.as_ref()), "formatted");
+        let odd_payload: Box<dyn std::any::Any + Send> = Box::new(7u32);
+        assert_eq!(
+            panic_message(odd_payload.as_ref()),
+            "non-string panic payload"
+        );
     }
 
     #[test]

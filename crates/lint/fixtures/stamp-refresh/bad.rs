@@ -1,0 +1,33 @@
+//! stamp-refresh corpus: `&mut self` methods on a stamped type that skip
+//! the refresh, so a cache bound to the old stamp would keep serving
+//! results for contents that no longer exist.
+
+pub struct Registry {
+    entries: Vec<u32>,
+    stamp: u64,
+}
+
+fn fresh() -> u64 {
+    7
+}
+
+impl Registry {
+    pub fn add(&mut self, value: u32) -> usize {
+        self.entries.push(value);
+        self.stamp = fresh();
+        self.entries.len()
+    }
+
+    pub fn add_twice(&mut self, value: u32) {
+        self.add(value);
+        self.add(value);
+    }
+
+    pub fn clear(&mut self) { //~ stamp-refresh
+        self.entries.clear();
+    }
+
+    pub fn truncate(&mut self, keep: usize) { //~ stamp-refresh
+        self.entries.truncate(keep);
+    }
+}

@@ -1,0 +1,52 @@
+//! stamp-refresh corpus: every mutator refreshes the stamp, directly or
+//! by delegating to a refreshing mutator; unstamped types are untouched.
+
+pub struct Registry {
+    entries: Vec<u32>,
+    stamp: u64,
+}
+
+fn fresh() -> u64 {
+    7
+}
+
+impl Registry {
+    pub fn add(&mut self, value: u32) -> usize {
+        self.entries.push(value);
+        self.stamp = fresh();
+        self.entries.len()
+    }
+
+    pub fn add_default(&mut self) -> usize {
+        self.add(0)
+    }
+
+    pub fn add_twice(&mut self, value: u32) {
+        self.add_default();
+        self.add(value);
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.stamp = fresh();
+    }
+
+    pub fn current(&self) -> u64 {
+        self.stamp
+    }
+
+    // uprob-lint: allow(stamp-refresh) -- reserving capacity cannot change observable contents, so the old stamp stays truthful
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+}
+
+pub struct Unstamped {
+    entries: Vec<u32>,
+}
+
+impl Unstamped {
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}

@@ -315,6 +315,7 @@ const AMBIENT_SOURCES: [(&str, &str); 6] = [
 fn check_determinism(file: &SourceFile, findings: &mut Vec<Finding>) {
     check_default_hasher(file, findings);
     check_hash_iteration(file, findings);
+    check_stamp_refresh(file, findings);
     for (pattern, what) in AMBIENT_SOURCES {
         let head = pattern.split(':').next().unwrap_or(pattern);
         for offset in word_occurrences(&file.text, head) {
@@ -539,6 +540,216 @@ fn let_binding_name(text: &str, offset: usize) -> Option<(&str, usize)> {
         i += 1;
     }
     (i > start && !bytes[start].is_ascii_digit()).then(|| (&text[start..i], i))
+}
+
+// ---------------------------------------------------------------------------
+// Stamp refresh (determinism family)
+// ---------------------------------------------------------------------------
+
+/// One `&mut self` method of a stamped type.
+struct Mutator {
+    /// Method name (used to resolve `self.name(..)` delegation).
+    name: String,
+    /// Offset of the `fn` keyword (diagnostic anchor).
+    offset: usize,
+    /// Body range (between the braces, exclusive).
+    body: (usize, usize),
+}
+
+/// Flags `&mut self` methods on stamp-carrying types that neither touch
+/// `stamp` themselves nor delegate (transitively) to a method that does —
+/// the invariant behind stamp-bound caches: equal stamps imply identical
+/// contents.
+fn check_stamp_refresh(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let text = &file.text;
+    let bytes = text.as_bytes();
+    let blocks = brace_pairs(bytes);
+    let stamped = stamped_type_names(text, &blocks);
+    if stamped.is_empty() {
+        return;
+    }
+    let mut mutators: Vec<Mutator> = Vec::new();
+    for offset in word_occurrences(text, "impl") {
+        let Some(open) = text[offset..].find('{').map(|p| offset + p) else {
+            continue;
+        };
+        let header = &text[offset..open];
+        if !stamped.iter().any(|n| contains_word(header, n)) {
+            continue;
+        }
+        let close = blocks
+            .iter()
+            .find(|&&(o, _)| o == open)
+            .map_or(text.len(), |&(_, c)| c);
+        collect_mut_self_fns(text, &blocks, open + 1, close, &mut mutators);
+    }
+    // Fixpoint: a mutator refreshes if its body mentions `stamp` or calls a
+    // refreshing mutator through `self.`.
+    let mut refreshes: Vec<bool> = mutators
+        .iter()
+        .map(|m| contains_word(&text[m.body.0..m.body.1], "stamp"))
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..mutators.len() {
+            if refreshes.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+            let body = &text[mutators[i].body.0..mutators[i].body.1];
+            let delegates = mutators
+                .iter()
+                .enumerate()
+                .any(|(j, m)| refreshes[j] && body.contains(&format!("self.{}(", m.name)));
+            if delegates {
+                refreshes[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (i, mutator) in mutators.iter().enumerate() {
+        if refreshes[i] {
+            continue;
+        }
+        emit(
+            file,
+            findings,
+            "stamp-refresh",
+            mutator.offset,
+            format!(
+                "`&mut self` method `{}` on a stamped type never refreshes `stamp`",
+                mutator.name
+            ),
+            "refresh the stamp (directly or via a refreshing mutator), or allow(stamp-refresh) with why contents are unchanged",
+        );
+    }
+}
+
+/// Names of struct types declaring a field named exactly `stamp`.
+fn stamped_type_names(text: &str, blocks: &[(usize, usize)]) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut names = Vec::new();
+    for offset in word_occurrences(text, "struct") {
+        let mut i = offset + "struct".len();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == start {
+            continue;
+        }
+        let name = &text[start..i];
+        // The record body: the first brace outside the generic list. Unit
+        // and tuple structs (`;` / `(` first) carry no named fields.
+        let mut angle = 0i32;
+        let mut open = None;
+        for (j, &b) in bytes.iter().enumerate().skip(i) {
+            match b {
+                b'<' => angle += 1,
+                b'>' => angle -= 1,
+                b'{' if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                b';' | b'(' if angle <= 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            continue;
+        };
+        let close = blocks
+            .iter()
+            .find(|&&(o, _)| o == open)
+            .map_or(text.len(), |&(_, c)| c);
+        let body = &text[open + 1..close];
+        let has_stamp_field = word_occurrences(body, "stamp")
+            .iter()
+            .any(|&p| matches!(next_nonspace(body, p + "stamp".len()), Some((_, b':'))));
+        if has_stamp_field {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Collects the `&mut self` methods declared in `from..to` (an impl body).
+fn collect_mut_self_fns(
+    text: &str,
+    blocks: &[(usize, usize)],
+    from: usize,
+    to: usize,
+    out: &mut Vec<Mutator>,
+) {
+    let bytes = text.as_bytes();
+    for offset in word_occurrences(text, "fn") {
+        if offset < from || offset >= to {
+            continue;
+        }
+        let mut i = offset + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        if i == start {
+            continue;
+        }
+        let name = &text[start..i];
+        let Some(popen) = text[i..to].find('(').map(|p| i + p) else {
+            continue;
+        };
+        let pclose = skip_parens(bytes, popen);
+        let first_param = text[popen + 1..pclose.saturating_sub(1).max(popen + 1)]
+            .split(',')
+            .next()
+            .unwrap_or("");
+        let is_mut_self = first_param.contains('&')
+            && contains_word(first_param, "mut")
+            && contains_word(first_param, "self");
+        if !is_mut_self {
+            continue;
+        }
+        // The body opener: the first `{` before a `;` (a `;` first means a
+        // bodyless trait-method declaration).
+        let mut open = None;
+        for (j, &b) in bytes
+            .iter()
+            .enumerate()
+            .skip(pclose)
+            .take(to - pclose.min(to))
+        {
+            match b {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            continue;
+        };
+        let close = blocks
+            .iter()
+            .find(|&&(o, _)| o == open)
+            .map_or(to, |&(_, c)| c);
+        out.push(Mutator {
+            name: name.to_string(),
+            offset,
+            body: (open + 1, close),
+        });
+    }
 }
 
 // ---------------------------------------------------------------------------

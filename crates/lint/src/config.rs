@@ -77,6 +77,10 @@ impl Default for LintConfig {
                     file: "crates/core/src/cache.rs",
                     order: &["shards"],
                 },
+                LockManifest {
+                    file: "crates/query/src/service.rs",
+                    order: &["writer", "plans", "inflight", "slot"],
+                },
             ],
         }
     }
@@ -189,5 +193,7 @@ mod tests {
         assert_eq!(scheduler.order, ["queues", "arena", "root", "error"]);
         assert!(config.lock_manifest("crates/core/src/cache.rs").is_some());
         assert!(config.lock_manifest("crates/core/src/engine.rs").is_none());
+        let service = config.lock_manifest("crates/query/src/service.rs").unwrap();
+        assert_eq!(service.order, ["writer", "plans", "inflight", "slot"]);
     }
 }

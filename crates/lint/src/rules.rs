@@ -89,6 +89,29 @@ bench crate. An intentionally ambient read may be allowed inline:
     // uprob-lint: allow(det-ambient-source) -- <why the result cannot depend on it>",
     },
     Rule {
+        id: "stamp-refresh",
+        family: "determinism",
+        summary: "&mut self method on a stamped type that never refreshes the stamp",
+        explanation: "\
+Stamp-based cache binding (PR 2, DESIGN.md) rests on one invariant: equal \
+stamps imply identical contents. Every mutation of a stamped value (the \
+world table today; any future stamped type) must refresh its `stamp` \
+field from the global counter, or a SharedDecompositionCache bound to the \
+old stamp will keep serving probabilities computed for contents that no \
+longer exist — silently wrong confidences, the worst failure mode this \
+workspace has. The serving layer compounds the blast radius: a snapshot's \
+plan cache and admission table key on stamps too.
+
+The rule finds struct declarations carrying a `stamp` field, then scans \
+every `&mut self` method in impl blocks of those types: a mutator must \
+either mention `stamp` in its body (a direct refresh) or call another \
+mutator of the same type that does (transitive refresh, resolved to a \
+fixpoint). A mutator that genuinely cannot change observable contents \
+(e.g. reserving capacity) may be allowed inline:
+
+    // uprob-lint: allow(stamp-refresh) -- <why contents are unchanged>",
+    },
+    Rule {
         id: "num-raw-accum",
         family: "numeric",
         summary: "raw f64 accumulation (+= / .sum()) outside uprob_wsd::numeric",

@@ -36,6 +36,15 @@ pub enum QueryError {
     Urel(UrelError),
     /// An error bubbled up from the ws-descriptor layer.
     Wsd(WsdError),
+    /// A served request panicked and was contained at the service
+    /// boundary: the panic is converted to this error instead of
+    /// unwinding into the caller (and poisoning the service), so one bad
+    /// request cannot take down its neighbours.
+    RequestPanicked {
+        /// The panic payload rendered to text (best effort: non-string
+        /// payloads are summarized).
+        message: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -56,6 +65,9 @@ impl fmt::Display for QueryError {
             QueryError::Core(e) => write!(f, "{e}"),
             QueryError::Urel(e) => write!(f, "{e}"),
             QueryError::Wsd(e) => write!(f, "{e}"),
+            QueryError::RequestPanicked { message } => {
+                write!(f, "a served request panicked: {message}")
+            }
         }
     }
 }
@@ -107,5 +119,9 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("'S'"));
+        let e = QueryError::RequestPanicked {
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
     }
 }

@@ -17,7 +17,12 @@
 //!   in the paper (e.g. `conf(t) = 1`, "certain answers");
 //! * [`planned`]: the same `conf()` aggregates over logical query plans —
 //!   `ProbDb::query(plan)` (rule-based optimization + pipelined hash-join
-//!   execution) composed with the batch confidence paths in one call.
+//!   execution) composed with the batch confidence paths in one call;
+//! * [`service`]: the snapshot-isolated concurrent serving layer —
+//!   [`ProbDbService`] serves `query`/`conf`/`assert_all` to any number of
+//!   threads against immutable [`Snapshot`]s, publishing conditioned
+//!   databases by atomic swap, with a per-snapshot plan cache and batched
+//!   admission of identical confidence requests.
 //!
 //! ## Example: the introduction's data-cleaning scenario
 //!
@@ -70,6 +75,7 @@ pub mod confidence;
 pub mod constraints;
 pub mod error;
 pub mod planned;
+pub mod service;
 
 pub use confidence::{
     answer_confidences, answer_confidences_with_cache, answer_confidences_with_options,
@@ -87,6 +93,7 @@ pub use planned::{
     planned_answer_confidences_with_options, planned_answer_confidences_with_strategy,
     planned_answer_confidences_with_strategy_options, planned_boolean_confidence,
 };
+pub use service::{AssertOutcome, ProbDbService, ServiceOptions, ServiceStats, Snapshot};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,735 @@
+//! The snapshot-isolated concurrent serving layer (ROADMAP item 1).
+//!
+//! The paper frames `assert[·]` as a database *transformation*: an
+//! assertion produces a new conditioned database that subsequent queries
+//! run against. This module maps that semantics directly onto concurrency:
+//!
+//! * a [`Snapshot`] is one immutable database version — the world table,
+//!   the U-relations (whose rows embed the ws-descriptor state), and an
+//!   [`Arc`]-held [`SharedDecompositionCache`] that the stamp-binding of
+//!   PR 2 ties to exactly this version;
+//! * a [`ProbDbService`] serves any number of reader threads against the
+//!   current snapshot while a writer builds the next one: conditioning
+//!   never mutates in place — [`ProbDbService::assert_all`] conditions the
+//!   current snapshot into a **new** [`Snapshot`] and publishes it with an
+//!   atomic `Arc` swap, so readers either see the whole old version or the
+//!   whole new one, never a mix.
+//!
+//! # Publish protocol
+//!
+//! `current` is an `RwLock<Arc<Snapshot>>` used only as a swap cell: a
+//! reader takes the read lock just long enough to clone the `Arc` (no
+//! query work happens under it), and the single writer — serialized by the
+//! `writer` mutex — replaces the `Arc` under the write lock. Readers that
+//! pinned the old snapshot keep using it; it is freed when the last
+//! reference drops.
+//!
+//! # Plan cache and batched admission
+//!
+//! Repeated queries skip the optimizer through a plan cache keyed on
+//! *(plan fingerprint, snapshot stamp)*: a published snapshot invalidates
+//! the cache simply by never matching the old keys. Concurrent `conf`
+//! requests for the same *(plan, snapshot)* are coalesced by batched
+//! admission: the first requester runs the shared-cache fold on the
+//! configured worker pool and every concurrent duplicate waits for — and
+//! shares — that one result, so identical requests never compete for the
+//! pool (ROADMAP item 5: one pool, not competing pools).
+//!
+//! # Bit-identity contract
+//!
+//! A served answer equals the single-owner library call bit for bit at
+//! every worker and reader count: the served `query` path is exactly
+//! `optimize_plan` + `execute_plan` (the plan cache memoizes the optimizer
+//! output, which is a pure function of plan and catalog), the served
+//! `conf` path is exactly [`answer_confidences_with_options`] over the
+//! snapshot's cache (shared-cache hits are bit-identical to recomputation
+//! by the PR 2 contract), and coalesced requests share a result that each
+//! of them would have computed bit-identically anyway. The workspace
+//! stress test pins this under the CI `UPROB_WORKERS` matrix.
+//!
+//! # Panic containment
+//!
+//! Every service entry point runs the request under
+//! [`std::panic::catch_unwind`]: a panicking request fails with
+//! [`QueryError::RequestPanicked`] instead of unwinding into the caller,
+//! and the locks it may have poisoned (the scheduler's and the cache's are
+//! poison-tolerant, as are the service's own) stay usable, so subsequent
+//! requests succeed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+
+use uprob_core::{
+    panic_message, CacheStats, ConditioningOptions, DecompositionOptions, DecompositionStats,
+    ParallelOptions, SharedDecompositionCache,
+};
+use uprob_urel::{execute_plan, optimize_plan, Plan, ProbDb, URelation};
+use uprob_wsd::FxHashMap;
+
+use crate::confidence::{answer_confidences_with_options, AnswerConfidences};
+use crate::constraints::{assert_all_with_options, Constraint};
+use crate::error::QueryError;
+use crate::Result;
+
+/// Source of fresh snapshot stamps (0 is reserved, mirroring world-table
+/// stamps). Snapshot stamps are distinct from world-table stamps: two
+/// snapshots can share an unmutated world table while differing in their
+/// relations, and the plan cache must tell them apart.
+static NEXT_SNAPSHOT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_snapshot_stamp() -> u64 {
+    NEXT_SNAPSHOT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One immutable published version of a probabilistic database: the world
+/// table and relations (with their ws-descriptor state), plus the shared
+/// decomposition cache bound to exactly this version.
+///
+/// Snapshots are cheap to share (`Arc`) and never mutated after
+/// construction; conditioning produces a *new* snapshot (see
+/// [`ProbDbService::assert_all`]).
+pub struct Snapshot {
+    db: ProbDb,
+    cache: Arc<SharedDecompositionCache>,
+    stamp: u64,
+}
+
+impl Snapshot {
+    /// Wraps a database as an immutable snapshot with a fresh stamp and an
+    /// empty decomposition cache. The cache binds itself to the snapshot's
+    /// world table on first use (the PR 2 stamp check), so it can never
+    /// serve probabilities computed for a different version.
+    pub fn new(db: ProbDb) -> Self {
+        Snapshot {
+            db,
+            cache: Arc::new(SharedDecompositionCache::new()),
+            stamp: fresh_snapshot_stamp(),
+        }
+    }
+
+    /// The database of this snapshot.
+    pub fn db(&self) -> &ProbDb {
+        &self.db
+    }
+
+    /// The snapshot stamp: unique per published version, used to key the
+    /// plan cache and the admission table.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// The decomposition cache bound to this snapshot.
+    pub fn cache(&self) -> &Arc<SharedDecompositionCache> {
+        &self.cache
+    }
+
+    /// Counters of this snapshot's decomposition cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// The policy one [`ProbDbService`] applies to every request: the
+/// decomposition and conditioning options, and the **explicit** worker
+/// policy — the service never consults the environment per request (see
+/// [`ParallelOptions::from_env`] for the read-once rationale; resolve the
+/// environment once at startup and pass the result in here).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServiceOptions {
+    /// Decomposition policy for every confidence computation.
+    pub decomposition: DecompositionOptions,
+    /// Conditioning policy for [`ProbDbService::assert_all`].
+    pub conditioning: ConditioningOptions,
+    /// Worker-count policy shared by every request (one pool policy, not
+    /// per-request environment reads).
+    pub parallel: ParallelOptions,
+}
+
+/// The outcome of a served [`ProbDbService::assert_all`]: the snapshot
+/// that was published plus the conditioning summary of
+/// [`uprob_core::conditioning::Conditioned`].
+pub struct AssertOutcome {
+    /// The newly published snapshot (also reachable via
+    /// [`ProbDbService::snapshot`] until the next publish).
+    pub snapshot: Arc<Snapshot>,
+    /// The confidence of the asserted constraint set in the *previous*
+    /// snapshot; in the published snapshot it holds with probability 1.
+    pub confidence: f64,
+    /// Decomposition counters of the conditioning run.
+    pub stats: DecompositionStats,
+    /// Number of fresh variables introduced (before simplification).
+    pub new_variables: usize,
+}
+
+/// Aggregate counters of one service (monotone; read with
+/// [`ProbDbService::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted (queries, confidence requests and assertions,
+    /// including failed ones).
+    pub requests: u64,
+    /// Plan-cache hits (optimizer skipped).
+    pub plan_hits: u64,
+    /// Plan-cache misses (optimizer ran, result memoized).
+    pub plan_misses: u64,
+    /// Confidence folds actually executed (admission leaders).
+    pub confidence_folds: u64,
+    /// Confidence requests served by waiting for a concurrent identical
+    /// fold instead of running their own (admission followers).
+    pub coalesced: u64,
+    /// Requests that panicked and were contained as
+    /// [`QueryError::RequestPanicked`].
+    pub contained_panics: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of plan lookups answered from the plan cache (0 if none).
+    pub fn plan_hit_rate(&self) -> f64 {
+        let lookups = self.plan_hits + self.plan_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.plan_hits as f64 / lookups as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    confidence_folds: AtomicU64,
+    coalesced: AtomicU64,
+    contained_panics: AtomicU64,
+}
+
+/// One in-flight coalesced confidence fold: the leader fills `slot` and
+/// notifies; followers wait on `ready`.
+struct Inflight {
+    slot: Mutex<Option<Result<AnswerConfidences>>>,
+    ready: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Key of the plan cache and the admission table: (snapshot stamp, plan
+/// rendering). The full rendering — not a hash of it — is the key, so two
+/// distinct plans can never collide into sharing an optimized form or a
+/// coalesced result.
+type RequestKey = (u64, String);
+
+/// A concurrent front-end over a probabilistic database: many reader
+/// threads run [`query`](ProbDbService::query) /
+/// [`conf`](ProbDbService::conf) against a consistent [`Snapshot`] while
+/// [`assert_all`](ProbDbService::assert_all) builds and publishes the next
+/// one. See the module docs for the publish protocol, the plan cache, the
+/// batched admission and the bit-identity contract.
+pub struct ProbDbService {
+    /// The swap cell holding the current snapshot (see module docs).
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes writers (conditioning + publish).
+    writer: Mutex<()>,
+    options: ServiceOptions,
+    /// Optimized-plan memo keyed by (snapshot stamp, plan rendering).
+    plans: Mutex<FxHashMap<RequestKey, Arc<Plan>>>,
+    /// Admission table of in-flight confidence folds, same key space.
+    inflight: Mutex<FxHashMap<RequestKey, Arc<Inflight>>>,
+    counters: Counters,
+}
+
+impl ProbDbService {
+    /// Serves `db` with [`ServiceOptions::default`] (sequential folds).
+    pub fn new(db: ProbDb) -> Self {
+        ProbDbService::with_options(db, ServiceOptions::default())
+    }
+
+    /// Serves `db` under an explicit request policy.
+    pub fn with_options(db: ProbDb, options: ServiceOptions) -> Self {
+        ProbDbService {
+            current: RwLock::new(Arc::new(Snapshot::new(db))),
+            writer: Mutex::new(()),
+            options,
+            plans: Mutex::new(FxHashMap::default()),
+            inflight: Mutex::new(FxHashMap::default()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The request policy of this service.
+    pub fn options(&self) -> &ServiceOptions {
+        &self.options
+    }
+
+    /// Pins the current snapshot: an `Arc` clone taken under a read lock
+    /// held only for the clone itself. The returned snapshot stays fully
+    /// usable (and internally consistent) across any number of concurrent
+    /// publishes.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Aggregate service counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            plan_hits: self.counters.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.counters.plan_misses.load(Ordering::Relaxed),
+            confidence_folds: self.counters.confidence_folds.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            contained_panics: self.counters.contained_panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evaluates `plan` against the current snapshot through the plan
+    /// cache: the optimizer runs at most once per (plan, snapshot) and the
+    /// rows are bit-identical to the single-owner `ProbDb::query`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-validation errors; a panicking request fails with
+    /// [`QueryError::RequestPanicked`].
+    pub fn query(&self, plan: &Plan) -> Result<URelation> {
+        self.guarded(|| {
+            let snapshot = self.snapshot();
+            self.query_on(&snapshot, plan)
+        })
+    }
+
+    /// The `conf()` aggregate of `plan` against the current snapshot:
+    /// plan-cached evaluation followed by the shared-cache batch
+    /// confidence fold, with concurrent identical requests coalesced into
+    /// one fold (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-validation and decomposition errors; a panicking
+    /// request fails with [`QueryError::RequestPanicked`].
+    pub fn conf(&self, plan: &Plan) -> Result<AnswerConfidences> {
+        self.guarded(|| {
+            let snapshot = self.snapshot();
+            self.conf_coalesced(&snapshot, plan)
+        })
+    }
+
+    /// [`conf`](ProbDbService::conf) against an explicitly pinned
+    /// snapshot (e.g. to keep a multi-query read transaction consistent
+    /// across publishes). Requests for the *current* snapshot share its
+    /// plan cache and admission table entries.
+    ///
+    /// # Errors
+    ///
+    /// As for [`conf`](ProbDbService::conf).
+    pub fn conf_pinned(&self, snapshot: &Arc<Snapshot>, plan: &Plan) -> Result<AnswerConfidences> {
+        self.guarded(|| self.conf_coalesced(snapshot, plan))
+    }
+
+    /// Runs an arbitrary read-only request against a pinned snapshot under
+    /// the service's panic containment — the entry point for callers that
+    /// compose several reads into one consistent unit.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `request` returns; a panic inside `request` fails with
+    /// [`QueryError::RequestPanicked`] instead of unwinding.
+    pub fn with_snapshot<T>(&self, request: impl FnOnce(&Snapshot) -> Result<T>) -> Result<T> {
+        self.guarded(|| {
+            let snapshot = self.snapshot();
+            request(&snapshot)
+        })
+    }
+
+    /// `assert[·]` as a publish: conditions the current snapshot on
+    /// `constraints` (single-pass, parallel violation compilation) and
+    /// publishes the posterior database as a new [`Snapshot`] with a fresh
+    /// decomposition cache. Readers keep their pinned snapshots; writers
+    /// are serialized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constraint-validation and conditioning errors (e.g.
+    /// [`QueryError::UnsatisfiableConstraint`]); nothing is published on
+    /// error. A panicking request fails with
+    /// [`QueryError::RequestPanicked`].
+    pub fn assert_all(&self, constraints: &[Constraint]) -> Result<AssertOutcome> {
+        self.guarded(|| {
+            let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let snapshot = self.snapshot();
+            let conditioned = assert_all_with_options(
+                snapshot.db(),
+                constraints,
+                &self.options.conditioning,
+                &self.options.parallel,
+            )?;
+            let confidence = conditioned.confidence;
+            let stats = conditioned.stats;
+            let new_variables = conditioned.new_variables;
+            Ok(AssertOutcome {
+                snapshot: self.publish_snapshot(conditioned.db),
+                confidence,
+                stats,
+                new_variables,
+            })
+        })
+    }
+
+    /// Publishes `db` as the new current snapshot without conditioning
+    /// (e.g. after loading fresh data). Serialized with
+    /// [`assert_all`](ProbDbService::assert_all).
+    pub fn publish(&self, db: ProbDb) -> Arc<Snapshot> {
+        let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        self.publish_snapshot(db)
+    }
+
+    /// The swap: wraps `db`, replaces `current`, and prunes plan-cache
+    /// entries of retired snapshots (pinned-snapshot requests re-insert on
+    /// demand, so pruning is a space policy, never a correctness one).
+    fn publish_snapshot(&self, db: ProbDb) -> Arc<Snapshot> {
+        let next = Arc::new(Snapshot::new(db));
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = next.clone();
+        let live = next.stamp();
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|(stamp, _), _| *stamp == live);
+        next
+    }
+
+    /// Runs one request under panic containment (see the module docs).
+    fn guarded<T>(&self, request: impl FnOnce() -> Result<T>) -> Result<T> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match catch_unwind(AssertUnwindSafe(request)) {
+            Ok(result) => result,
+            Err(payload) => {
+                self.counters
+                    .contained_panics
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(QueryError::RequestPanicked {
+                    message: panic_message(payload.as_ref()),
+                })
+            }
+        }
+    }
+
+    /// The optimized form of `plan` for `snapshot`, memoized: a pure
+    /// function of (plan rendering, snapshot), so a cache hit is
+    /// bit-identical to re-optimizing.
+    fn optimized_plan(
+        &self,
+        snapshot: &Snapshot,
+        plan: &Plan,
+        key: &RequestKey,
+    ) -> Result<Arc<Plan>> {
+        {
+            let plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(hit) = plans.get(key) {
+                self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit.clone());
+            }
+        }
+        self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let optimized = Arc::new(optimize_plan(plan, snapshot.db())?);
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key.clone(), optimized.clone());
+        Ok(optimized)
+    }
+
+    fn query_on(&self, snapshot: &Snapshot, plan: &Plan) -> Result<URelation> {
+        let key = (snapshot.stamp(), format!("{plan:?}"));
+        let optimized = self.optimized_plan(snapshot, plan, &key)?;
+        Ok(execute_plan(snapshot.db(), &optimized)?)
+    }
+
+    /// The coalesced confidence fold: first requester per (snapshot, plan)
+    /// computes, concurrent duplicates share the result.
+    fn conf_coalesced(&self, snapshot: &Arc<Snapshot>, plan: &Plan) -> Result<AnswerConfidences> {
+        let key = (snapshot.stamp(), format!("{plan:?}"));
+        let (entry, leader) = {
+            let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+            match inflight.get(&key) {
+                Some(entry) => (entry.clone(), false),
+                None => {
+                    let entry = Arc::new(Inflight::new());
+                    inflight.insert(key.clone(), entry.clone());
+                    (entry, true)
+                }
+            }
+        };
+        if leader {
+            self.counters
+                .confidence_folds
+                .fetch_add(1, Ordering::Relaxed);
+            // Contain panics *inside* the fold here too: the slot must be
+            // filled and the admission entry removed no matter what, or
+            // followers would wait forever.
+            let result =
+                match catch_unwind(AssertUnwindSafe(|| self.conf_fold(snapshot, plan, &key))) {
+                    Ok(result) => result,
+                    Err(payload) => Err(QueryError::RequestPanicked {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
+            {
+                let mut slot = entry.slot.lock().unwrap_or_else(PoisonError::into_inner);
+                *slot = Some(result.clone());
+                entry.ready.notify_all();
+            }
+            self.inflight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&key);
+            result
+        } else {
+            self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut slot = entry.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(result) = slot.as_ref() {
+                    return result.clone();
+                }
+                slot = entry
+                    .ready
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// One actual fold: plan-cached evaluation + the shared-cache batch
+    /// confidence path on the configured worker pool.
+    fn conf_fold(
+        &self,
+        snapshot: &Snapshot,
+        plan: &Plan,
+        key: &RequestKey,
+    ) -> Result<AnswerConfidences> {
+        let optimized = self.optimized_plan(snapshot, plan, key)?;
+        let answer = execute_plan(snapshot.db(), &optimized)?;
+        answer_confidences_with_options(
+            &answer,
+            snapshot.db().world_table(),
+            &self.options.decomposition,
+            &self.options.parallel,
+            snapshot.cache(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uprob_urel::{ColumnType, Predicate, Schema, Tuple, Value};
+    use uprob_wsd::WsDescriptor;
+
+    /// The SSN database of Figure 2.
+    fn ssn_db() -> ProbDb {
+        let mut db = ProbDb::new();
+        let j = db
+            .world_table_mut()
+            .add_variable("j", &[(1, 0.2), (7, 0.8)])
+            .unwrap();
+        let b = db
+            .world_table_mut()
+            .add_variable("b", &[(4, 0.3), (7, 0.7)])
+            .unwrap();
+        let schema = Schema::new("R", &[("SSN", ColumnType::Int), ("NAME", ColumnType::Str)]);
+        let mut r = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            r.push(
+                Tuple::new(vec![Value::Int(1), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 1)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("John")]),
+                WsDescriptor::from_pairs(w, &[(j, 7)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(4), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 4)]).unwrap(),
+            );
+            r.push(
+                Tuple::new(vec![Value::Int(7), Value::str("Bill")]),
+                WsDescriptor::from_pairs(w, &[(b, 7)]).unwrap(),
+            );
+        }
+        db.insert_relation(r).unwrap();
+        db
+    }
+
+    fn bills_plan() -> Plan {
+        Plan::scan("R")
+            .select(Predicate::col_eq("NAME", "Bill"))
+            .project(&["SSN"])
+    }
+
+    #[test]
+    fn served_answers_are_bit_identical_to_the_library_call() {
+        let db = ssn_db();
+        let service = ProbDbService::with_options(
+            db.clone(),
+            ServiceOptions {
+                parallel: ParallelOptions::new(4),
+                ..ServiceOptions::default()
+            },
+        );
+        let plan = bills_plan();
+        let served = service.conf(&plan).unwrap();
+        let reference = crate::planned::planned_answer_confidences_with_options(
+            &db,
+            &plan,
+            &service.options().decomposition,
+            &ParallelOptions::sequential(),
+            &SharedDecompositionCache::new(),
+        )
+        .unwrap();
+        assert_eq!(served.tuples.len(), reference.tuples.len());
+        for ((t1, p1), (t2, p2)) in served.tuples.iter().zip(&reference.tuples) {
+            assert_eq!(t1, t2);
+            assert_eq!(p1.to_bits(), p2.to_bits());
+        }
+        assert_eq!(served.boolean.to_bits(), reference.boolean.to_bits());
+        // The served rows match the single-owner query as well.
+        assert_eq!(service.query(&plan).unwrap(), db.query(&plan).unwrap());
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeats_and_invalidates_on_publish() {
+        let service = ProbDbService::new(ssn_db());
+        let plan = bills_plan();
+        service.conf(&plan).unwrap();
+        service.conf(&plan).unwrap();
+        let stats = service.stats();
+        assert_eq!(
+            stats.plan_misses, 1,
+            "one optimization per (plan, snapshot)"
+        );
+        assert!(stats.plan_hits >= 1);
+        assert!(stats.plan_hit_rate() > 0.0);
+        // Publishing a new snapshot retires the old keys: the same plan
+        // re-optimizes exactly once more.
+        let before = service.snapshot().stamp();
+        service
+            .assert_all(&[Constraint::functional_dependency("R", &["SSN"], &["NAME"])])
+            .unwrap();
+        assert_ne!(service.snapshot().stamp(), before);
+        service.conf(&plan).unwrap();
+        assert_eq!(service.stats().plan_misses, 2);
+    }
+
+    #[test]
+    fn assert_all_publishes_a_conditioned_snapshot() {
+        let db = ssn_db();
+        let service = ProbDbService::new(db.clone());
+        let pinned = service.snapshot();
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let outcome = service.assert_all(std::slice::from_ref(&fd)).unwrap();
+        assert!((outcome.confidence - 0.44).abs() < 1e-9);
+        assert_eq!(outcome.snapshot.stamp(), service.snapshot().stamp());
+        // The reader's pinned snapshot still answers from the prior: the
+        // publish did not mutate it.
+        let prior = service.conf_pinned(&pinned, &bills_plan()).unwrap();
+        let reference = crate::planned::planned_answer_confidences_with_options(
+            &db,
+            &bills_plan(),
+            &service.options().decomposition,
+            &ParallelOptions::sequential(),
+            &SharedDecompositionCache::new(),
+        )
+        .unwrap();
+        assert_eq!(prior.boolean.to_bits(), reference.boolean.to_bits());
+        // Served answers against the new snapshot match the single-owner
+        // call on the conditioned database.
+        let conditioned = crate::constraints::assert_all(
+            &db,
+            std::slice::from_ref(&fd),
+            &ConditioningOptions::default(),
+        )
+        .unwrap();
+        let served = service.conf(&bills_plan()).unwrap();
+        let library = crate::planned::planned_answer_confidences_with_options(
+            &conditioned.db,
+            &bills_plan(),
+            &service.options().decomposition,
+            &ParallelOptions::sequential(),
+            &SharedDecompositionCache::new(),
+        )
+        .unwrap();
+        assert_eq!(served.boolean.to_bits(), library.boolean.to_bits());
+        for ((t1, p1), (t2, p2)) in served.tuples.iter().zip(&library.tuples) {
+            assert_eq!(t1, t2);
+            assert_eq!(p1.to_bits(), p2.to_bits());
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_assertion_publishes_nothing() {
+        let service = ProbDbService::new(ssn_db());
+        let before = service.snapshot().stamp();
+        let impossible = Constraint::row_filter("R", Predicate::col_eq("NAME", "Nobody"));
+        assert!(service.assert_all(&[impossible]).is_err());
+        assert_eq!(
+            service.snapshot().stamp(),
+            before,
+            "a failed assertion must not publish"
+        );
+    }
+
+    #[test]
+    fn panicking_request_is_contained_and_the_service_keeps_serving() {
+        let service = ProbDbService::new(ssn_db());
+        let err = service
+            .with_snapshot::<()>(|_| panic!("injected request panic"))
+            .unwrap_err();
+        match err {
+            QueryError::RequestPanicked { ref message } => {
+                assert!(message.contains("injected"), "payload lost: {err}")
+            }
+            other => panic!("expected RequestPanicked, got {other:?}"),
+        }
+        // Subsequent requests — including folds through the same shared
+        // structures — still succeed.
+        let answer = service.conf(&bills_plan()).unwrap();
+        assert!(answer.boolean > 0.0);
+        let stats = service.stats();
+        assert_eq!(stats.contained_panics, 1);
+        assert!(stats.requests >= 2);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_into_one_fold() {
+        let service = std::sync::Arc::new(ProbDbService::new(ssn_db()));
+        let plan = bills_plan();
+        // Warm the plan cache so the race below is about the fold only.
+        let expected = service.conf(&plan).unwrap();
+        let readers = 8;
+        let barrier = std::sync::Barrier::new(readers);
+        std::thread::scope(|scope| {
+            for _ in 0..readers {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let got = service.conf(&plan).unwrap();
+                    assert_eq!(got.boolean.to_bits(), expected.boolean.to_bits());
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(
+            stats.confidence_folds + stats.coalesced,
+            1 + readers as u64,
+            "every request either folds or coalesces"
+        );
+    }
+}

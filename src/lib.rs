@@ -16,7 +16,7 @@
 //! | [`core`] | ws-trees, the INDVE/VE decomposition with the minlog/minmax heuristics, exact confidence, ws-descriptor elimination and conditioning |
 //! | [`approx`] | the Karp–Luby / Dagum-et-al. Monte-Carlo baseline |
 //! | [`datagen`] | probabilistic TPC-H and #P-hard workload generators |
-//! | [`query`] | `conf()` aggregates, constraints and `assert` |
+//! | [`query`] | `conf()` aggregates, constraints, `assert` and the snapshot-isolated [`ProbDbService`](query::ProbDbService) serving layer |
 //!
 //! The [`prelude`] re-exports the types needed by typical applications.
 //!
@@ -85,7 +85,8 @@ pub mod prelude {
         planned_answer_confidences_with_options, planned_answer_confidences_with_strategy,
         planned_answer_confidences_with_strategy_options, planned_boolean_confidence,
         possible_tuples, tuple_confidences, tuple_confidences_sequential, AnswerConfidences,
-        Assertion, Constraint, EstimatedAssertion, StrategyAnswerConfidences,
+        AssertOutcome, Assertion, Constraint, EstimatedAssertion, ProbDbService, ServiceOptions,
+        ServiceStats, Snapshot, StrategyAnswerConfidences,
     };
     pub use uprob_urel::{
         algebra, execute_plan, execute_plan_eager, optimize_plan, ColumnType, Comparison, Expr,

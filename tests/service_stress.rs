@@ -1,0 +1,280 @@
+//! N-reader / 1-writer stress test of the snapshot-isolated serving layer.
+//!
+//! Readers hammer `conf`/`conf_pinned`/`query` against whatever snapshot is
+//! current while the writer repeatedly conditions-and-publishes. The
+//! contract under test:
+//!
+//! 1. **Snapshot consistency** — every answer a reader records is
+//!    attributable to exactly one published snapshot (by stamp), never to
+//!    a mix of two versions;
+//! 2. **Bit-identity** — every recorded confidence equals, bit for bit,
+//!    the single-owner sequential library call replayed against that
+//!    snapshot's database after the fact;
+//! 3. **Containment** — a request that panics mid-flight fails alone; the
+//!    readers that share the service keep getting correct answers.
+//!
+//! The CI `parallel-determinism` matrix routes `UPROB_WORKERS` through
+//! [`ParallelOptions::from_env`], so every matrix leg (and the TSan job)
+//! re-runs this file under its own worker count.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use uprob::prelude::*;
+use uprob::query::QueryError;
+use uprob::wsd::WsDescriptor;
+
+/// A small but non-trivial database: one relation, six interdependent
+/// variables, enough rows that `conf` exercises real decompositions.
+fn stress_db() -> ProbDb {
+    let mut db = ProbDb::new();
+    let vars: Vec<VarId> = (0..6)
+        .map(|i| {
+            db.world_table_mut()
+                .add_variable(
+                    &format!("x{i}"),
+                    &[(1, 0.3 + 0.05 * i as f64), (0, 0.7 - 0.05 * i as f64)],
+                )
+                .unwrap()
+        })
+        .collect();
+    let schema = Schema::new("R", &[("K", ColumnType::Int), ("G", ColumnType::Int)]);
+    let mut r = db.create_relation(schema).unwrap();
+    {
+        let w = db.world_table();
+        for (i, &v) in vars.iter().enumerate() {
+            let k = i as i64;
+            r.push(
+                Tuple::new(vec![Value::Int(k), Value::Int(k % 2)]),
+                WsDescriptor::from_pairs(w, &[(v, 1)]).unwrap(),
+            );
+            // A second tuple per variable: same group, needs the other
+            // alternative, so groups mix descriptors.
+            r.push(
+                Tuple::new(vec![Value::Int(k + 100), Value::Int(k % 2)]),
+                WsDescriptor::from_pairs(w, &[(v, 0), (vars[(i + 1) % vars.len()], 1)]).unwrap(),
+            );
+        }
+    }
+    db.insert_relation(r).unwrap();
+    db
+}
+
+fn plans() -> Vec<Plan> {
+    vec![
+        Plan::scan("R").project(&["G"]),
+        Plan::scan("R")
+            .select(Predicate::col_eq("G", 1))
+            .project(&["K"]),
+        Plan::scan("R").select(Predicate::col_eq("G", 0)),
+    ]
+}
+
+/// A satisfiable constraint to condition on, round after round: the first
+/// round genuinely conditions, later rounds hold with probability 1 but
+/// still publish fresh snapshots — exactly the writer churn readers must
+/// tolerate.
+fn round_constraint() -> Constraint {
+    Constraint::row_filter("R", Predicate::col_eq("G", 0).or(Predicate::col_eq("G", 1)))
+}
+
+/// The bit pattern of one answer: the boolean confidence plus every
+/// per-tuple confidence, all as `f64::to_bits`.
+type AnswerBits = (u64, Vec<(Tuple, u64)>);
+
+/// One recorded reader observation: which snapshot answered, and the bits
+/// it answered with.
+struct Observation {
+    stamp: u64,
+    plan: usize,
+    boolean_bits: u64,
+    tuple_bits: Vec<(Tuple, u64)>,
+}
+
+/// Replays `plan` against `db` through the sequential single-owner library
+/// path with a fresh cache — the bit-identity reference.
+fn reference_bits(db: &ProbDb, plan: &Plan, options: &DecompositionOptions) -> AnswerBits {
+    let reference = planned_answer_confidences_with_options(
+        db,
+        plan,
+        options,
+        &ParallelOptions::sequential(),
+        &SharedDecompositionCache::new(),
+    )
+    .unwrap();
+    (
+        reference.boolean.to_bits(),
+        reference
+            .tuples
+            .iter()
+            .map(|(t, p)| (t.clone(), p.to_bits()))
+            .collect(),
+    )
+}
+
+#[test]
+fn served_answers_are_consistent_and_bit_identical_under_writer_churn() {
+    let readers = 6;
+    let rounds = 4;
+    let parallel = ParallelOptions::from_env().expect("CI sets a well-formed UPROB_WORKERS");
+    let service = Arc::new(ProbDbService::with_options(
+        stress_db(),
+        ServiceOptions {
+            parallel,
+            ..ServiceOptions::default()
+        },
+    ));
+    let plans = plans();
+    // Every snapshot that can ever answer: the initial one plus each
+    // publish, keyed by stamp. The writer fills this as it goes.
+    let initial = service.snapshot();
+    let writer_done = AtomicBool::new(false);
+    let progress = AtomicUsize::new(0);
+    let (observations, published) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut published = vec![service.snapshot()];
+            for _ in 0..rounds {
+                // Let every reader observe the current snapshot at least
+                // once before retiring it — otherwise this tiny database
+                // conditions faster than the readers can even start.
+                let target = progress.load(Ordering::SeqCst) + readers;
+                while progress.load(Ordering::SeqCst) < target {
+                    std::thread::yield_now();
+                }
+                let outcome = service.assert_all(&[round_constraint()]).unwrap();
+                assert!(outcome.confidence > 0.0);
+                published.push(outcome.snapshot);
+            }
+            writer_done.store(true, Ordering::SeqCst);
+            published
+        });
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|reader| {
+                let service = &service;
+                let plans = &plans;
+                let writer_done = &writer_done;
+                let progress = &progress;
+                scope.spawn(move || {
+                    let mut observations = Vec::new();
+                    let mut i = reader; // stagger the plan mix per reader
+                    loop {
+                        let done_before = writer_done.load(Ordering::SeqCst);
+                        let plan = i % plans.len();
+                        // Alternate the current-snapshot path and an
+                        // explicitly pinned one.
+                        let recorded = if i % 2 == 0 {
+                            let snapshot = service.snapshot();
+                            let answer = service.conf_pinned(&snapshot, &plans[plan]).unwrap();
+                            Some((snapshot.stamp(), answer))
+                        } else {
+                            // `conf` re-pins internally, so the snapshot it
+                            // answered from is only knowable when no publish
+                            // intervened: stamps never repeat, so equal
+                            // before/after stamps pin the attribution.
+                            let before = service.snapshot().stamp();
+                            let answer = service.conf(&plans[plan]).unwrap();
+                            let after = service.snapshot().stamp();
+                            (before == after).then_some((before, answer))
+                        };
+                        if let Some((stamp, answer)) = recorded {
+                            observations.push(Observation {
+                                stamp,
+                                plan,
+                                boolean_bits: answer.boolean.to_bits(),
+                                tuple_bits: answer
+                                    .tuples
+                                    .iter()
+                                    .map(|(t, p)| (t.clone(), p.to_bits()))
+                                    .collect(),
+                            });
+                        }
+                        progress.fetch_add(1, Ordering::SeqCst);
+                        i += 1;
+                        if done_before {
+                            break;
+                        }
+                    }
+                    observations
+                })
+            })
+            .collect();
+        let published = writer.join().unwrap();
+        let mut observations = Vec::new();
+        for handle in reader_handles {
+            observations.extend(handle.join().unwrap());
+        }
+        (observations, published)
+    });
+    assert_eq!(published.len(), rounds + 1);
+    assert_eq!(published[0].stamp(), initial.stamp());
+
+    // Attribution: every observation names a snapshot the service actually
+    // published. An unknown stamp would mean readers saw a torn version.
+    let by_stamp: BTreeMap<u64, &Arc<Snapshot>> =
+        published.iter().map(|s| (s.stamp(), s)).collect();
+    // Bit-identity: replay each (snapshot, plan) pair once sequentially and
+    // compare every observation against the replay.
+    let options = service.options().decomposition;
+    let mut replayed: BTreeMap<(u64, usize), AnswerBits> = BTreeMap::new();
+    for observation in &observations {
+        let snapshot = by_stamp
+            .get(&observation.stamp)
+            .unwrap_or_else(|| panic!("answer from unpublished snapshot {}", observation.stamp));
+        let (boolean_bits, tuple_bits) = replayed
+            .entry((observation.stamp, observation.plan))
+            .or_insert_with(|| reference_bits(snapshot.db(), &plans[observation.plan], &options));
+        assert_eq!(
+            observation.boolean_bits, *boolean_bits,
+            "boolean confidence diverged from the sequential replay"
+        );
+        assert_eq!(
+            &observation.tuple_bits, tuple_bits,
+            "per-tuple confidences diverged from the sequential replay"
+        );
+    }
+    // Plausibility of the run itself: every reader produced observations,
+    // and at least two distinct snapshots were observed under churn.
+    assert!(observations.len() >= readers);
+    let distinct: std::collections::BTreeSet<u64> = observations.iter().map(|o| o.stamp).collect();
+    assert!(
+        distinct.len() >= 2,
+        "readers never observed a publish; increase rounds"
+    );
+}
+
+#[test]
+fn a_panicking_request_does_not_poison_concurrent_readers() {
+    let parallel = ParallelOptions::from_env().expect("CI sets a well-formed UPROB_WORKERS");
+    let service = Arc::new(ProbDbService::with_options(
+        stress_db(),
+        ServiceOptions {
+            parallel,
+            ..ServiceOptions::default()
+        },
+    ));
+    let plan = Plan::scan("R").project(&["G"]);
+    let expected = service.conf(&plan).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..8 {
+                    let got = service.conf(&plan).unwrap();
+                    assert_eq!(got.boolean.to_bits(), expected.boolean.to_bits());
+                }
+            });
+        }
+        scope.spawn(|| {
+            for _ in 0..4 {
+                let err = service
+                    .with_snapshot::<()>(|_| panic!("injected stress panic"))
+                    .unwrap_err();
+                assert!(matches!(err, QueryError::RequestPanicked { .. }));
+            }
+        });
+    });
+    // The service is still healthy afterwards.
+    let after = service.conf(&plan).unwrap();
+    assert_eq!(after.boolean.to_bits(), expected.boolean.to_bits());
+    assert_eq!(service.stats().contained_panics, 4);
+}
