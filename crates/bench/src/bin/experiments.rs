@@ -5,7 +5,7 @@
 //! ```
 //!
 //! `NAME` is one of `fig10`, `fig11a`, `fig11b`, `fig12`, `fig13`,
-//! `ablation`, `conditioning`, `planned`, `parallel`, `serve` or `all`
+//! `ablation`, `conditioning`, `planned`, `parallel`, `serve`, `ingest` or `all`
 //! (default).
 //! `--paper` switches from
 //! the quick instance sizes to sizes close to the paper's (slower). `--csv`
@@ -17,7 +17,7 @@ use std::process::ExitCode;
 use uprob_bench::runner::with_large_stack;
 use uprob_bench::{
     ablation_conditioning, ablation_decomposition, fig10, fig11a, fig11b, fig12, fig13,
-    parallel_scaling, planned_vs_eager, serve_load, ExperimentScale, ResultTable,
+    ingest_load, parallel_scaling, planned_vs_eager, serve_load, ExperimentScale, ResultTable,
 };
 
 fn main() -> ExitCode {
@@ -38,7 +38,7 @@ fn main() -> ExitCode {
             "--csv" => csv = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|planned|parallel|serve|all] [--paper] [--csv]"
+                    "usage: experiments [--exp fig10|fig11a|fig11b|fig12|fig13|ablation|conditioning|planned|parallel|serve|ingest|all] [--paper] [--csv]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -61,6 +61,7 @@ fn main() -> ExitCode {
             "planned",
             "parallel",
             "serve",
+            "ingest",
         ]
     } else {
         vec![experiment.as_str()]
@@ -79,6 +80,7 @@ fn main() -> ExitCode {
             "planned" => with_large_stack(move || planned_vs_eager(scale)),
             "parallel" => with_large_stack(move || parallel_scaling(scale)),
             "serve" => with_large_stack(move || serve_load(scale)),
+            "ingest" => with_large_stack(move || ingest_load(scale)),
             other => {
                 eprintln!("unknown experiment: {other}");
                 return ExitCode::from(2);

@@ -17,7 +17,8 @@ pub mod table;
 
 pub use experiments::{
     ablation_conditioning, ablation_decomposition, fig10, fig11a, fig11b, fig12, fig13,
-    orders_lineitem_join_plan, parallel_scaling, planned_vs_eager, serve_load, ExperimentScale,
+    ingest_load, orders_lineitem_join_plan, parallel_scaling, planned_vs_eager, serve_load,
+    ExperimentScale,
 };
 pub use parallel::{available_cores, multicore_gate, ParallelWorkload, ParallelWorkloadConfig};
 pub use runner::{run_algorithm, Algorithm, RunOutcome};

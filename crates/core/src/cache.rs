@@ -44,7 +44,9 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use uprob_wsd::fast_hash::FxHasher;
-use uprob_wsd::{CanonicalSetKey, DescriptorInterner, FxHashMap, WsSet};
+use uprob_wsd::{
+    CanonicalSetKey, DescriptorInterner, FxHashMap, VarId, WorldTable, WsDescriptor, WsSet,
+};
 
 /// Ws-sets larger than this are decomposed without consulting the cache.
 ///
@@ -86,6 +88,12 @@ pub struct CacheStats {
     pub entries: u64,
     /// Number of distinct descriptors interned.
     pub interned_descriptors: u64,
+    /// Entries carried forward from a predecessor cache by
+    /// [`SharedDecompositionCache::inherit_from`].
+    pub inherited_entries: u64,
+    /// Hits answered from an inherited (rather than locally computed)
+    /// entry.
+    pub inherited_hits: u64,
 }
 
 impl CacheStats {
@@ -100,16 +108,26 @@ impl CacheStats {
     }
 }
 
+/// One memoized probability together with its provenance: locally computed
+/// or carried forward from a predecessor cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct MemoEntry {
+    probability: f64,
+    inherited: bool,
+}
+
 /// The single-threaded core of one cache shard: an interner plus the
 /// probability memo table and hit/miss counters.
 #[derive(Debug, Default)]
 pub struct DecompositionCache {
     interner: DescriptorInterner,
-    probabilities: FxHashMap<CanonicalSetKey, f64>,
+    probabilities: FxHashMap<CanonicalSetKey, MemoEntry>,
     /// Reusable id buffer so hit lookups allocate nothing.
     scratch: Vec<u32>,
     hits: u64,
     misses: u64,
+    inherited_entries: u64,
+    inherited_hits: u64,
 }
 
 impl DecompositionCache {
@@ -124,9 +142,12 @@ impl DecompositionCache {
         self.interner.canonical_ids(set, &mut ids);
         // Probe through Borrow<[u32]> — no key allocation on the hit path.
         let result = match self.probabilities.get(ids.as_slice()) {
-            Some(&p) => {
+            Some(&entry) => {
                 self.hits += 1;
-                Ok(p)
+                if entry.inherited {
+                    self.inherited_hits += 1;
+                }
+                Ok(entry.probability)
             }
             None => {
                 self.misses += 1;
@@ -141,8 +162,61 @@ impl DecompositionCache {
     /// wins; concurrent writers always carry the same value.
     pub fn insert(&mut self, key: CanonicalSetKey, probability: f64) {
         if let Entry::Vacant(slot) = self.probabilities.entry(key) {
-            slot.insert(probability);
+            slot.insert(MemoEntry {
+                probability,
+                inherited: false,
+            });
         }
+    }
+
+    /// Non-counting presence probe (tests and diagnostics): the memoized
+    /// probability of `set`, if present, without perturbing the hit/miss
+    /// counters.
+    pub fn probe(&mut self, set: &WsSet) -> Option<f64> {
+        let mut ids = std::mem::take(&mut self.scratch);
+        self.interner.canonical_ids(set, &mut ids);
+        let result = self
+            .probabilities
+            .get(ids.as_slice())
+            .map(|e| e.probability);
+        self.scratch = ids;
+        result
+    }
+
+    /// Memoizes an entry carried forward from a predecessor cache. Private
+    /// to the inheritance path: the only route here is
+    /// [`SharedDecompositionCache::inherit_from`], which performs the
+    /// descriptor-disjointness/eligibility check (enforced by the
+    /// `cache-inherit` lint rule).
+    fn insert_inherited_set(&mut self, set: &WsSet, probability: f64) {
+        let mut ids = std::mem::take(&mut self.scratch);
+        self.interner.canonical_ids(set, &mut ids);
+        if let Entry::Vacant(slot) = self
+            .probabilities
+            .entry(CanonicalSetKey::from_sorted_ids(&ids))
+        {
+            slot.insert(MemoEntry {
+                probability,
+                inherited: true,
+            });
+            self.inherited_entries += 1;
+        }
+        self.scratch = ids;
+    }
+
+    /// Resolves every memoized entry back to its descriptor list (keys are
+    /// interner-local, so export must happen inside the owning shard).
+    fn export_entries(&self) -> Vec<(Vec<WsDescriptor>, f64)> {
+        self.probabilities
+            .iter()
+            .map(|(key, entry)| {
+                let descriptors = key
+                    .ids()
+                    .map(|id| self.interner.resolve(id).clone())
+                    .collect();
+                (descriptors, entry.probability)
+            })
+            .collect()
     }
 
     /// Current counters.
@@ -152,6 +226,8 @@ impl DecompositionCache {
             misses: self.misses,
             entries: self.probabilities.len() as u64,
             interned_descriptors: self.interner.len() as u64,
+            inherited_entries: self.inherited_entries,
+            inherited_hits: self.inherited_hits,
         }
     }
 }
@@ -225,19 +301,27 @@ impl SharedDecompositionCache {
         (2..=MAX_CACHED_SET_LEN).contains(&set.len()) && !set.contains_universal()
     }
 
-    /// The shard responsible for `set`: an order-independent (commutative)
-    /// combination of per-descriptor digests, so every permutation of the
-    /// same descriptor list routes identically. A list containing
-    /// duplicates may route to a different shard than its deduplicated
-    /// form — that costs a missed reuse, never a wrong answer (keys are
-    /// resolved within one shard).
+    /// The shard responsible for `set`: an order-independent and
+    /// duplicate-insensitive combination of per-descriptor digests, so
+    /// every descriptor list with the same canonical form (sorted,
+    /// deduplicated — what `DescriptorInterner::canonical_ids` produces)
+    /// routes to the same shard. Duplicate insensitivity matters beyond a
+    /// missed reuse: [`Self::inherit_from`] re-inserts entries from their
+    /// deduplicated canonical keys, so a duplicate-sensitive digest would
+    /// route an inherited entry away from the raw sets that hit it before
+    /// the publish.
     fn shard_of(&self, set: &WsSet) -> usize {
-        let mut digest = 0u64;
-        for descriptor in set.iter() {
-            let mut hasher = FxHasher::default();
-            descriptor.hash(&mut hasher);
-            digest = digest.wrapping_add(hasher.finish() | 1);
-        }
+        let mut hashes: Vec<u64> = set
+            .iter()
+            .map(|descriptor| {
+                let mut hasher = FxHasher::default();
+                descriptor.hash(&mut hasher);
+                hasher.finish() | 1
+            })
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        let digest = hashes.into_iter().fold(0u64, u64::wrapping_add);
         (digest % SHARDS as u64) as usize
     }
 
@@ -264,6 +348,113 @@ impl SharedDecompositionCache {
         Self::shard_guard(&self.shards[pending.shard]).insert(pending.key, probability);
     }
 
+    /// Non-counting presence probe (tests and diagnostics).
+    pub fn probe(&self, set: &WsSet) -> Option<f64> {
+        let shard = self.shard_of(set);
+        // uprob-lint: allow(panic-index) -- shard_of masks into 0..SHARDS
+        Self::shard_guard(&self.shards[shard]).probe(set)
+    }
+
+    /// Carries forward every entry of `old` whose descriptors survive the
+    /// prior → posterior transition described by `remap`, binding this
+    /// cache to `new_table`.
+    ///
+    /// An entry is inherited iff **every** variable mentioned by **every**
+    /// of its descriptors (i) is absent from `touched` (the variables the
+    /// conditioning pass eliminated — their assignments changed meaning
+    /// under the posterior measure), (ii) is present in `remap`, and
+    /// (iii) maps to a variable of `new_table` with a bit-identical domain
+    /// and distribution. Entries failing any leg are dropped — the
+    /// conservative direction. This is sound because a memoized
+    /// `P(ws-set)` is a pure function of the mentioned variables'
+    /// distributions (all unmentioned variables marginalise to one), and
+    /// the remap produced by conditioning/simplification is monotone (it
+    /// preserves relative [`VarId`] order, hence descriptor assignment
+    /// order and the whole decomposition recursion), so the inherited
+    /// probability is bit-for-bit what recomputation on `new_table` would
+    /// produce.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::CacheTableMismatch`] if `old` is bound to a
+    /// table other than `old_table`, or this cache is already bound to a
+    /// table other than `new_table`.
+    pub fn inherit_from(
+        &self,
+        old: &SharedDecompositionCache,
+        old_table: &WorldTable,
+        new_table: &WorldTable,
+        remap: &FxHashMap<VarId, VarId>,
+        touched: &[VarId],
+    ) -> crate::Result<InheritOutcome> {
+        use std::sync::atomic::Ordering;
+        let old_bound = old.bound_table.load(Ordering::Acquire);
+        if old_bound == 0 {
+            // The predecessor cache was never used: nothing to inherit,
+            // but the new cache still gets bound so later runs are checked.
+            self.bind_table(new_table)?;
+            return Ok(InheritOutcome::default());
+        }
+        if old_bound != old_table.stamp() {
+            return Err(crate::CoreError::CacheTableMismatch {
+                bound: old_bound,
+                given: old_table.stamp(),
+            });
+        }
+        self.bind_table(new_table)?;
+
+        // Per-variable eligibility, memoized across entries: Some(new) if
+        // the variable survives with an identical distribution, None if any
+        // entry mentioning it must be dropped.
+        let mut eligible: FxHashMap<VarId, Option<VarId>> = FxHashMap::default();
+        let mut resolve = |var: VarId| -> Option<VarId> {
+            *eligible.entry(var).or_insert_with(|| {
+                if touched.contains(&var) {
+                    return None;
+                }
+                let new_var = *remap.get(&var)?;
+                let old_info = old_table.variable(var).ok()?;
+                let new_info = new_table.variable(new_var).ok()?;
+                let same = old_info.values == new_info.values
+                    && old_info.probabilities.len() == new_info.probabilities.len()
+                    && old_info
+                        .probabilities
+                        .iter()
+                        .zip(&new_info.probabilities)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                same.then_some(new_var)
+            })
+        };
+
+        let mut outcome = InheritOutcome::default();
+        for shard in &old.shards {
+            let exported = Self::shard_guard(shard).export_entries();
+            'entry: for (descriptors, probability) in exported {
+                let mut remapped = Vec::with_capacity(descriptors.len());
+                for descriptor in &descriptors {
+                    let mut rebuilt = WsDescriptor::empty();
+                    for a in descriptor.iter() {
+                        let Some(new_var) = resolve(a.var) else {
+                            outcome.dropped += 1;
+                            continue 'entry;
+                        };
+                        rebuilt
+                            .assign(new_var, a.value)
+                            // uprob-lint: allow(panic-expect) -- the remap is injective, so remapping preserves functionality
+                            .expect("injective remap of a functional descriptor");
+                    }
+                    remapped.push(rebuilt);
+                }
+                let set = WsSet::from_descriptors(remapped);
+                let target = self.shard_of(&set);
+                // uprob-lint: allow(panic-index) -- shard_of masks into 0..SHARDS
+                Self::shard_guard(&self.shards[target]).insert_inherited_set(&set, probability);
+                outcome.inherited += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
     /// Aggregate counters across all shards and every run that used this
     /// cache.
     pub fn stats(&self) -> CacheStats {
@@ -274,9 +465,21 @@ impl SharedDecompositionCache {
             total.misses += stats.misses;
             total.entries += stats.entries;
             total.interned_descriptors += stats.interned_descriptors;
+            total.inherited_entries += stats.inherited_entries;
+            total.inherited_hits += stats.inherited_hits;
         }
         total
     }
+}
+
+/// Result of one [`SharedDecompositionCache::inherit_from`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InheritOutcome {
+    /// Entries carried forward into the new cache.
+    pub inherited: u64,
+    /// Entries dropped because a mentioned variable was touched, unmapped
+    /// or re-distributed.
+    pub dropped: u64,
 }
 
 #[cfg(test)]
@@ -314,6 +517,28 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.interned_descriptors, 2);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_descriptors_route_to_the_same_shard() {
+        // A raw list with a repeated descriptor canonicalises to the same
+        // key as its deduplicated form, so it must also meet it in the
+        // same shard — otherwise the duplicated probe misses an entry the
+        // deduplicated set inserted (and inherited entries, re-inserted
+        // from deduplicated canonical keys, would dodge raw probes).
+        let (_, s12, _) = two_sets();
+        let mut duplicated = s12.clone();
+        duplicated.push(s12.descriptors()[0].clone());
+        let cache = SharedDecompositionCache::new();
+        let CacheLookup::Miss(key) = cache.lookup(&s12) else {
+            panic!("first lookup must miss");
+        };
+        cache.insert(key, 0.44);
+        match cache.lookup(&duplicated) {
+            CacheLookup::Hit(p) => assert_eq!(p, 0.44),
+            CacheLookup::Miss(_) => panic!("duplicated set must hit the deduplicated entry"),
+        }
+        assert_eq!(cache.probe(&duplicated), Some(0.44));
     }
 
     #[test]
@@ -426,5 +651,140 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats, CacheStats::default());
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_without_lookups_is_zero_not_nan() {
+        // The zero-lookup guard: 0/0 must read as 0.0, never NaN.
+        let stats = CacheStats::default();
+        assert_eq!(stats.hits + stats.misses, 0);
+        let rate = stats.hit_rate();
+        assert!(!rate.is_nan());
+        assert_eq!(rate, 0.0);
+        // And with lookups the ratio is the plain fraction.
+        let some = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
+        assert!((some.hit_rate() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inherit_carries_disjoint_entries_and_drops_touched_ones() {
+        let mut w = WorldTable::new();
+        let j = w.add_variable("j", &[(1, 0.2), (7, 0.8)]).unwrap();
+        let b = w.add_variable("b", &[(4, 0.3), (7, 0.7)]).unwrap();
+        let c = w.add_boolean("c", 0.5).unwrap();
+        let dj = WsDescriptor::from_pairs(&w, &[(j, 1)]).unwrap();
+        let db_ = WsDescriptor::from_pairs(&w, &[(b, 4)]).unwrap();
+        let dc = WsDescriptor::from_pairs(&w, &[(c, 1)]).unwrap();
+        let over_bc = WsSet::from_descriptors(vec![db_.clone(), dc.clone()]);
+        let over_jb = WsSet::from_descriptors(vec![dj.clone(), db_.clone()]);
+
+        let old = SharedDecompositionCache::new();
+        old.bind_table(&w).unwrap();
+        for (set, p) in [(&over_bc, 0.65), (&over_jb, 0.44)] {
+            let CacheLookup::Miss(pending) = old.lookup(set) else {
+                panic!("fresh set must miss");
+            };
+            old.insert(pending, p);
+        }
+
+        // Simulate conditioning that eliminated j: b and c survive,
+        // renumbered down by one (monotone remap), identical distributions.
+        let (new_table, remap) = w.retain_variables(|var, _| var != j);
+        let touched = vec![j];
+        let fresh = SharedDecompositionCache::new();
+        let outcome = fresh
+            .inherit_from(&old, &w, &new_table, &remap, &touched)
+            .unwrap();
+        assert_eq!(
+            outcome,
+            InheritOutcome {
+                inherited: 1,
+                dropped: 1,
+            }
+        );
+
+        // The surviving entry answers under the *new* variable ids…
+        let nb = remap[&b];
+        let nc = remap[&c];
+        let d_nb = {
+            let mut d = WsDescriptor::empty();
+            d.assign(nb, uprob_wsd::ValueIndex(0)).unwrap();
+            d
+        };
+        let d_nc = {
+            let mut d = WsDescriptor::empty();
+            d.assign(nc, uprob_wsd::ValueIndex(0)).unwrap();
+            d
+        };
+        let remapped_bc = WsSet::from_descriptors(vec![d_nb, d_nc]);
+        assert_eq!(fresh.probe(&remapped_bc), Some(0.65));
+        match fresh.lookup(&remapped_bc) {
+            CacheLookup::Hit(p) => assert_eq!(p, 0.65),
+            CacheLookup::Miss(_) => panic!("inherited entry must hit"),
+        }
+        let stats = fresh.stats();
+        assert_eq!(stats.inherited_entries, 1);
+        assert_eq!(stats.inherited_hits, 1);
+        assert_eq!(stats.entries, 1);
+
+        // The touched entry is gone: nothing in the new cache mentions j's
+        // descriptors.
+        let d_touch = {
+            let mut d = WsDescriptor::empty();
+            d.assign(nb, uprob_wsd::ValueIndex(0)).unwrap();
+            d
+        };
+        let gone = WsSet::from_descriptors(vec![d_touch]);
+        assert_eq!(fresh.probe(&gone), None);
+
+        // The new cache is bound to the new table: reuse with the old one
+        // is rejected.
+        assert!(fresh.bind_table(&new_table).is_ok());
+        assert!(matches!(
+            fresh.bind_table(&w),
+            Err(crate::CoreError::CacheTableMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inherit_from_unused_cache_binds_without_entries() {
+        let (w, _, _) = {
+            let mut w = WorldTable::new();
+            let j = w.add_variable("j", &[(1, 0.2), (7, 0.8)]).unwrap();
+            let b = w.add_variable("b", &[(4, 0.3), (7, 0.7)]).unwrap();
+            (w, j, b)
+        };
+        let old = SharedDecompositionCache::new();
+        let remap: FxHashMap<VarId, VarId> = w.variable_ids().map(|v| (v, v)).collect();
+        let fresh = SharedDecompositionCache::new();
+        let outcome = fresh.inherit_from(&old, &w, &w, &remap, &[]).unwrap();
+        assert_eq!(outcome, InheritOutcome::default());
+        // Bound to the (new) table nonetheless.
+        assert!(fresh.bind_table(&w).is_ok());
+    }
+
+    #[test]
+    fn identity_inherit_preserves_every_entry_bit_for_bit() {
+        // The delta-publish case: append-only growth, identity remap,
+        // nothing touched — every entry survives verbatim.
+        let (w, s12, _) = two_sets();
+        let old = SharedDecompositionCache::new();
+        old.bind_table(&w).unwrap();
+        let CacheLookup::Miss(pending) = old.lookup(&s12) else {
+            panic!("must miss");
+        };
+        old.insert(pending, 0.44);
+        let mut grown = w.clone();
+        grown.add_boolean("extra", 0.5).unwrap();
+        let remap: FxHashMap<VarId, VarId> = w.variable_ids().map(|v| (v, v)).collect();
+        let fresh = SharedDecompositionCache::new();
+        let outcome = fresh.inherit_from(&old, &w, &grown, &remap, &[]).unwrap();
+        assert_eq!(outcome.inherited, 1);
+        assert_eq!(outcome.dropped, 0);
+        assert_eq!(fresh.probe(&s12).map(f64::to_bits), Some(0.44f64.to_bits()));
     }
 }

@@ -103,6 +103,20 @@ pub struct Conditioned {
     pub stats: DecompositionStats,
     /// Number of fresh variables introduced (before simplification).
     pub new_variables: usize,
+    /// Prior variables eliminated by the conditioning recursion (sorted,
+    /// deduplicated, in prior [`VarId`]s). Any ws-set mentioning one of
+    /// these changed meaning under the posterior measure; cached entries
+    /// over them must be dropped.
+    pub touched_variables: Vec<VarId>,
+    /// Prior → posterior [`VarId`] remap for the *untouched* prior
+    /// variables that survive in the posterior world table. Simplification
+    /// renumbers variables ([`WorldTable::retain_variables`] assigns dense
+    /// ids in registration order), but copies each surviving variable's
+    /// name, domain and distribution verbatim and preserves relative id
+    /// order — exactly the properties that make cross-snapshot cache
+    /// inheritance bit-sound (see `uprob-core::cache::inherit`). Touched
+    /// variables are never included, even when they physically survive.
+    pub prior_remap: FxHashMap<VarId, VarId>,
 }
 
 /// Row identity used while threading U-relation descriptors through the
@@ -343,15 +357,34 @@ pub fn condition(
         out.replace_relation(relation);
     }
 
-    if options.simplify {
-        simplify(&mut out, &conditioner.sources);
-    }
+    let mut touched_variables: Vec<VarId> = conditioner
+        .sources
+        .iter()
+        .map(|&(_, source)| source)
+        .collect();
+    touched_variables.sort();
+    touched_variables.dedup();
+
+    let mapping: FxHashMap<VarId, VarId> = if options.simplify {
+        simplify_with_mapping(&mut out, &conditioner.sources)
+    } else {
+        // Without simplification the posterior table is the prior table
+        // plus appended fresh variables: every id maps to itself.
+        out.world_table().variable_ids().map(|v| (v, v)).collect()
+    };
+    let prior_vars = table.num_variables() as u32;
+    let prior_remap: FxHashMap<VarId, VarId> = mapping
+        .into_iter()
+        .filter(|(old, _)| old.0 < prior_vars && touched_variables.binary_search(old).is_err())
+        .collect();
 
     Ok(Conditioned {
         db: out,
         confidence,
         stats: conditioner.stats,
         new_variables,
+        touched_variables,
+        prior_remap,
     })
 }
 
@@ -401,9 +434,20 @@ pub fn condition_all(
 /// 3. fresh variables derived from the same original variable with identical
 ///    alternatives and weights are merged.
 pub fn simplify(db: &mut ProbDb, sources: &[(VarId, VarId)]) {
+    let _ = simplify_with_mapping(db, sources);
+}
+
+/// [`simplify`], additionally returning the old → new [`VarId`] mapping of
+/// the variables that survive optimisation (1). Variables dropped as unused
+/// are absent from the map; delta consumers treat absence as "do not
+/// inherit anything mentioning this variable".
+pub fn simplify_with_mapping(
+    db: &mut ProbDb,
+    sources: &[(VarId, VarId)],
+) -> FxHashMap<VarId, VarId> {
     merge_equivalent_variables(db, sources);
     drop_singleton_assignments(db);
-    drop_unused_variables(db);
+    drop_unused_variables(db)
 }
 
 /// Optimisation (3): merge fresh variables with the same source, the same
@@ -479,8 +523,9 @@ fn drop_singleton_assignments(db: &mut ProbDb) {
 }
 
 /// Optimisation (1): rebuild the world table with only the variables that
-/// still occur in some U-relation, remapping the descriptors.
-fn drop_unused_variables(db: &mut ProbDb) {
+/// still occur in some U-relation, remapping the descriptors. Returns the
+/// old → new mapping of the kept variables.
+fn drop_unused_variables(db: &mut ProbDb) -> FxHashMap<VarId, VarId> {
     let mut used: std::collections::BTreeSet<VarId> = std::collections::BTreeSet::new();
     for relation in db.relations() {
         for (_, descriptor) in relation.iter() {
@@ -509,6 +554,7 @@ fn drop_unused_variables(db: &mut ProbDb) {
         }
     }
     db.set_world_table(new_table);
+    mapping
 }
 
 #[cfg(test)]
@@ -923,6 +969,59 @@ mod tests {
         for (key, p) in &expected {
             assert!((p - joint_got[key]).abs() < 1e-9, "instance {key}");
         }
+    }
+
+    #[test]
+    fn touched_and_remap_describe_the_posterior_table() {
+        let (db, cond_set) = ssn_db_and_condition();
+        let table = db.world_table();
+        let j = table.variable_by_name("j").unwrap();
+        let b = table.variable_by_name("b").unwrap();
+        let result = condition(&db, &cond_set, &ConditioningOptions::default()).unwrap();
+        // Both prior variables are eliminated by this condition (it mentions
+        // j and b), so nothing survives into the remap…
+        assert!(result.touched_variables.contains(&j));
+        for old in result.prior_remap.keys() {
+            assert!(!result.touched_variables.contains(old));
+        }
+        // …and every remapped variable is a verbatim copy in the posterior.
+        for (&old, &new) in &result.prior_remap {
+            let before = db.world_table().variable(old).unwrap();
+            let after = result.db.world_table().variable(new).unwrap();
+            assert_eq!(before, after);
+        }
+
+        // A condition touching only j leaves b untouched and remapped to a
+        // live posterior id with identical distribution.
+        let only_j =
+            WsSet::from_descriptors(vec![
+                WsDescriptor::from_pairs(db.world_table(), &[(j, 1)]).unwrap()
+            ]);
+        let result = condition(&db, &only_j, &ConditioningOptions::default()).unwrap();
+        assert_eq!(result.touched_variables, vec![j]);
+        let new_b = result.prior_remap[&b];
+        let before = db.world_table().variable(b).unwrap();
+        let after = result.db.world_table().variable(new_b).unwrap();
+        assert_eq!(before.name, after.name);
+        assert_eq!(before.values, after.values);
+        assert!(before
+            .probabilities
+            .iter()
+            .zip(&after.probabilities)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        // With simplify off, surviving prior variables map to themselves.
+        let raw = condition(
+            &db,
+            &only_j,
+            &ConditioningOptions {
+                simplify: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(raw.prior_remap[&b], b);
+        assert!(!raw.prior_remap.contains_key(&j));
     }
 
     #[test]

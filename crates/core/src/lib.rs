@@ -70,10 +70,12 @@ pub mod parallel;
 pub mod stats;
 pub mod wstree;
 
-pub use cache::{CacheLookup, CacheStats, DecompositionCache, SharedDecompositionCache};
+pub use cache::{
+    CacheLookup, CacheStats, DecompositionCache, InheritOutcome, SharedDecompositionCache,
+};
 pub use conditioning::{
-    condition, condition_all, intersect_conditions, Conditioned, ConditioningMethod,
-    ConditioningOptions,
+    condition, condition_all, intersect_conditions, simplify_with_mapping, Conditioned,
+    ConditioningMethod, ConditioningOptions,
 };
 pub use confidence::{confidence, confidence_brute_force, confidence_with_cache, tree_probability};
 pub use decompose::{build_tree, DecompositionMethod, DecompositionOptions};

@@ -22,7 +22,11 @@
 //! * [`random_constraints`]: random constraint workloads (with NULL
 //!   injections) for the sequential-vs-batch `assert` harness
 //!   (`tests/constraint_equivalence.rs`), plus the deterministic
-//!   FK/denial fixture behind the `constraint_pipeline` bench.
+//!   FK/denial fixture behind the `constraint_pipeline` bench;
+//! * [`sensor`]: the continuous-ingest sensor stream (fixed uncertain
+//!   fleet, per-reading reliability variables, clean canonical
+//!   constraints) behind the `--exp ingest` serving benchmark and the
+//!   `sensor_tracking` example.
 //!
 //! The paper ran TPC-H's `dbgen` at scale factors 0.01–0.10 on a 2008-era
 //! machine; this crate substitutes an in-process, seeded generator that
@@ -38,6 +42,7 @@ pub mod hard;
 pub mod random;
 pub mod random_constraints;
 pub mod random_plan;
+pub mod sensor;
 pub mod tpch;
 pub mod tpch_queries;
 
@@ -51,6 +56,7 @@ pub use random_plan::{
     arb_plan_case, arb_small_db_recipe, PlanCaseRecipe, PlanRecipe, PredicateRecipe,
     RelationRecipe, SmallDbRecipe,
 };
+pub use sensor::{SensorConfig, SensorReading, SensorWorkload};
 pub use tpch::{TpchConfig, TpchDatabase};
 pub use tpch_queries::{
     q1_answer, q1_answer_relation, q1_plan, q2_answer, q2_answer_relation, q2_plan, QueryAnswer,

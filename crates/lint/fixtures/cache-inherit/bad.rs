@@ -1,0 +1,11 @@
+//! Fixture: inherited cache entries created outside the inheritance path.
+
+pub fn smuggle_entry(cache: &mut DecompositionCache, set: &WsSet, probability: f64) {
+    cache.insert_inherited_set(set, probability); //~ cache-inherit
+}
+
+pub fn reimplement_inheritance(new_cache: &mut DecompositionCache, exported: Vec<(WsSet, f64)>) {
+    for (set, probability) in exported {
+        new_cache.insert_inherited_set(&set, probability); //~ cache-inherit
+    }
+}

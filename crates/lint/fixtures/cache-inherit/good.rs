@@ -1,0 +1,14 @@
+//! Fixture: cross-snapshot inheritance through the sanctioned path only.
+
+pub fn publish(
+    old: &SharedDecompositionCache,
+    old_table: &WorldTable,
+    new_table: &WorldTable,
+    remap: &FxHashMap<VarId, VarId>,
+    touched: &[VarId],
+) -> SharedDecompositionCache {
+    let next = SharedDecompositionCache::new();
+    // inherit_from performs the eligibility check per mentioned variable.
+    let _ = next.inherit_from(old, old_table, new_table, remap, touched);
+    next
+}

@@ -29,6 +29,8 @@ pub enum Family {
     Panic,
     /// lock-order, lock-undeclared.
     Locks,
+    /// cache-inherit.
+    Cache,
 }
 
 /// Declared total lock-acquisition order for one file.
@@ -79,7 +81,7 @@ impl Default for LintConfig {
                 },
                 LockManifest {
                     file: "crates/query/src/service.rs",
-                    order: &["writer", "plans", "inflight", "slot"],
+                    order: &["writer", "prior", "plans", "inflight", "slot"],
                 },
             ],
         }
@@ -125,6 +127,7 @@ impl LintConfig {
             (numeric, Family::Numeric),
             (product || panic_only, Family::Panic),
             (product, Family::Locks),
+            (product, Family::Cache),
         ]
         .into_iter()
         .filter_map(|(on, family)| on.then_some(family))
@@ -150,7 +153,8 @@ mod tests {
                 Family::Determinism,
                 Family::Numeric,
                 Family::Panic,
-                Family::Locks
+                Family::Locks,
+                Family::Cache
             ]
         );
     }
@@ -194,6 +198,9 @@ mod tests {
         assert!(config.lock_manifest("crates/core/src/cache.rs").is_some());
         assert!(config.lock_manifest("crates/core/src/engine.rs").is_none());
         let service = config.lock_manifest("crates/query/src/service.rs").unwrap();
-        assert_eq!(service.order, ["writer", "plans", "inflight", "slot"]);
+        assert_eq!(
+            service.order,
+            ["writer", "prior", "plans", "inflight", "slot"]
+        );
     }
 }

@@ -842,6 +842,203 @@ pub fn assert_all_with_options(
     condition_on_satisfying(db, &satisfying, options, || describe_all(constraints))
 }
 
+/// One memoized per-constraint violation ws-set with the evidence that
+/// proves it is still current: the content stamps of every relation the
+/// constraint reads, recorded when the set was computed.
+#[derive(Clone, Debug)]
+struct MemoizedViolations {
+    constraint: Constraint,
+    relation_stamps: Vec<u64>,
+    violations: WsSet,
+}
+
+/// Cross-publish memo of per-constraint violation ws-sets, the state behind
+/// [`assert_all_delta`].
+///
+/// Reuse is stamp-proved, never heuristic: a memoized set is reused only
+/// when (i) the current world table [`extends`](WorldTable::extends) the
+/// memoized one append-only (existing variables keep their ids, domains and
+/// distributions bit-for-bit — violation compilation never reads anything
+/// else of the table), and (ii) every relation the constraint reads has an
+/// unchanged content stamp (equal [`URelation::stamp`]s imply identical
+/// rows). Under those two facts the recomputed set would be syntactically
+/// identical, so reuse is bit-exact by construction — the differential
+/// suite (`tests/delta_equivalence.rs`) checks the end-to-end posterior
+/// against a full [`assert_all`] rebuild anyway.
+///
+/// [`URelation::stamp`]: uprob_urel::URelation::stamp
+#[derive(Clone, Debug, Default)]
+pub struct ViolationMemo {
+    /// The world table the memoized sets were computed against.
+    table: Option<WorldTable>,
+    entries: Vec<MemoizedViolations>,
+    reused: u64,
+    recomputed: u64,
+    invalidated: u64,
+}
+
+impl ViolationMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        ViolationMemo::default()
+    }
+
+    /// Number of memoized per-constraint sets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every memoized set (the next [`assert_all_delta`] recomputes
+    /// from scratch, exactly like [`assert_all`]).
+    pub fn clear(&mut self) {
+        self.invalidated += self.entries.len() as u64;
+        self.entries.clear();
+        self.table = None;
+    }
+
+    /// Lifetime count of constraint sets served from the memo.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Lifetime count of constraint sets recomputed.
+    pub fn recomputed(&self) -> u64 {
+        self.recomputed
+    }
+
+    /// Lifetime count of entries dropped by invalidation (world-table
+    /// replacement or explicit [`ViolationMemo::clear`]).
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    /// The memoized set for `constraint` under the given current relation
+    /// stamps, if still valid.
+    fn lookup(&self, constraint: &Constraint, stamps: &[u64]) -> Option<&WsSet> {
+        self.entries
+            .iter()
+            .find(|e| e.constraint == *constraint && e.relation_stamps == stamps)
+            .map(|e| &e.violations)
+    }
+}
+
+/// The current content stamps of every relation `constraint` reads.
+fn constraint_relation_stamps(db: &ProbDb, constraint: &Constraint) -> Result<Vec<u64>> {
+    constraint
+        .relations()
+        .into_iter()
+        .map(|name| Ok(db.relation(name)?.stamp()))
+        .collect()
+}
+
+/// [`assert_all_with_options`] with **delta conditioning**: per-constraint
+/// violation ws-sets are served from `memo` when their inputs are provably
+/// unchanged (see [`ViolationMemo`]) and recomputed — fanned out over the
+/// workers — only for constraints reading touched relations. The union /
+/// complement / conditioning pipeline then runs identically to
+/// [`assert_all`], so the posterior database, confidence and statistics are
+/// **bit-identical** to a full rebuild at every worker count; only the
+/// violation-query work is saved.
+///
+/// On return the memo holds the (validated) sets of this call, keyed to the
+/// current world table and relation stamps, ready for the next delta.
+///
+/// # Errors
+///
+/// Same as [`assert_all`].
+pub fn assert_all_delta(
+    db: &ProbDb,
+    constraints: &[Constraint],
+    options: &ConditioningOptions,
+    parallel: &ParallelOptions,
+    memo: &mut ViolationMemo,
+) -> Result<Conditioned> {
+    // A replaced (non-extending) world table invalidates everything:
+    // variable ids or distributions may have changed meaning.
+    let world_ok = memo
+        .table
+        .as_ref()
+        .is_some_and(|memoized| db.world_table().extends(memoized));
+    if !world_ok && !memo.entries.is_empty() {
+        memo.invalidated += memo.entries.len() as u64;
+        memo.entries.clear();
+    }
+
+    // Validate every constraint up front — memo hits must fail exactly the
+    // way a full rebuild would.
+    for constraint in constraints {
+        constraint.validate(db)?;
+    }
+    let mut stamps: Vec<Vec<u64>> = Vec::with_capacity(constraints.len());
+    for constraint in constraints {
+        stamps.push(constraint_relation_stamps(db, constraint)?);
+    }
+
+    let mut sets: Vec<Option<WsSet>> = vec![None; constraints.len()];
+    let mut stale: Vec<usize> = Vec::new();
+    for (index, ((constraint, relation_stamps), slot)) in constraints
+        .iter()
+        .zip(&stamps)
+        .zip(sets.iter_mut())
+        .enumerate()
+    {
+        match memo.lookup(constraint, relation_stamps) {
+            Some(ws) => *slot = Some(ws.clone()),
+            None => stale.push(index),
+        }
+    }
+    memo.reused += (constraints.len() - stale.len()) as u64;
+    memo.recomputed += stale.len() as u64;
+
+    if parallel.is_sequential() || stale.len() < 2 {
+        for &index in &stale {
+            // uprob-lint: allow(panic-index) -- stale holds indices below constraints.len()
+            sets[index] = Some(constraints[index].violation_ws_set(db)?);
+        }
+    } else {
+        let computed = fan_out_indexed(stale.len(), parallel.workers(), |k| {
+            // uprob-lint: allow(panic-index) -- fan_out_indexed yields indices below stale.len()
+            constraints[stale[k]].violation_ws_set(db)
+        });
+        for (k, result) in computed.into_iter().enumerate() {
+            // uprob-lint: allow(panic-index) -- k enumerates `computed`, which has stale.len() slots
+            sets[stale[k]] = Some(result?);
+        }
+    }
+
+    // Union in constraint order, complement once: the same shape —
+    // and therefore the same bits — as assert_all.
+    let mut violations = WsSet::empty();
+    for set in sets.iter() {
+        let set = set.as_ref().expect("every constraint's set was filled");
+        violations = violations.union(set);
+    }
+    violations.normalize();
+    let satisfying = complement(&violations, db.world_table());
+
+    // Refresh the memo to this snapshot before conditioning (conditioning
+    // errors do not endanger soundness: the memoized sets are valid for
+    // this db regardless).
+    memo.table = Some(db.world_table().clone());
+    memo.entries = constraints
+        .iter()
+        .zip(&stamps)
+        .zip(&sets)
+        .map(|((constraint, relation_stamps), set)| MemoizedViolations {
+            constraint: constraint.clone(),
+            relation_stamps: relation_stamps.clone(),
+            violations: set.clone().expect("every constraint's set was filled"),
+        })
+        .collect();
+
+    condition_on_satisfying(db, &satisfying, options, || describe_all(constraints))
+}
+
 /// The outcome of a strategy-driven `assert[·]`.
 #[derive(Clone, Debug)]
 pub enum Assertion {
@@ -2004,5 +2201,115 @@ mod tests {
             (virtual_posterior.confidence.probability - batch.confidence).abs()
                 <= 0.05 * batch.confidence + 0.01
         );
+    }
+
+    /// Posterior equality, bit-for-bit: identical world tables (names,
+    /// values, probability bits) and identical relations (rows and
+    /// descriptors, in order).
+    fn assert_bit_identical(a: &ProbDb, b: &ProbDb) {
+        let (wa, wb) = (a.world_table(), b.world_table());
+        assert_eq!(wa.num_variables(), wb.num_variables());
+        for (va, vb) in wa.iter().zip(wb.iter()) {
+            assert_eq!(va.0, vb.0);
+            assert_eq!(va.1.name, vb.1.name);
+            assert_eq!(va.1.values, vb.1.values);
+            assert_eq!(va.1.probabilities.len(), vb.1.probabilities.len());
+            for (pa, pb) in va.1.probabilities.iter().zip(&vb.1.probabilities) {
+                assert_eq!(pa.to_bits(), pb.to_bits());
+            }
+        }
+        assert_eq!(a.relation_names(), b.relation_names());
+        for name in a.relation_names() {
+            assert_eq!(a.relation(&name).unwrap(), b.relation(&name).unwrap());
+        }
+    }
+
+    #[test]
+    fn assert_all_delta_matches_full_rebuild_and_reuses_unchanged_sets() {
+        use uprob_urel::DeltaBuilder;
+        let db = ssn_db(true);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let s_filter = {
+            // A second relation so one constraint's inputs stay unmutated.
+            let mut db2 = db.clone();
+            let schema = Schema::new("S", &[("ID", ColumnType::Int)]);
+            let mut s = db2.create_relation(schema).unwrap();
+            s.push(Tuple::new(vec![Value::Int(1)]), WsDescriptor::empty());
+            s.push(Tuple::new(vec![Value::Int(-3)]), WsDescriptor::empty());
+            db2.insert_relation(s).unwrap();
+            db2
+        };
+        let filter = Constraint::row_filter(
+            "S",
+            Predicate::cmp(Expr::col("ID"), Comparison::Lt, Expr::val(100i64)),
+        );
+        let constraints = vec![fd.clone(), filter.clone()];
+        let options = ConditioningOptions::default();
+        let parallel = ParallelOptions::sequential();
+
+        // First call: everything recomputed; posterior identical to
+        // assert_all.
+        let mut memo = ViolationMemo::new();
+        let full = assert_all(&s_filter, &constraints, &options).unwrap();
+        let delta =
+            assert_all_delta(&s_filter, &constraints, &options, &parallel, &mut memo).unwrap();
+        assert_eq!(full.confidence.to_bits(), delta.confidence.to_bits());
+        assert_bit_identical(&full.db, &delta.db);
+        assert_eq!(memo.recomputed(), 2);
+        assert_eq!(memo.reused(), 0);
+        assert_eq!(memo.len(), 2);
+
+        // Append a row to R only: the FD set is recomputed, the S filter
+        // set is served from the memo, and the posterior still matches the
+        // full rebuild bit-for-bit.
+        let mut builder = DeltaBuilder::new(&s_filter);
+        let v = builder.add_variable("g", &[(7, 0.5), (9, 0.5)]).unwrap();
+        let d = WsDescriptor::from_pairs(builder.world_table(), &[(v, 9)]).unwrap();
+        builder
+            .append("R", Tuple::new(vec![Value::Int(9), Value::str("Gil")]), d)
+            .unwrap();
+        let (mutated, report) = builder.finish();
+        assert_eq!(report.touched_relations, vec!["R".to_string()]);
+
+        let full2 = assert_all(&mutated, &constraints, &options).unwrap();
+        let delta2 =
+            assert_all_delta(&mutated, &constraints, &options, &parallel, &mut memo).unwrap();
+        assert_eq!(full2.confidence.to_bits(), delta2.confidence.to_bits());
+        assert_bit_identical(&full2.db, &delta2.db);
+        assert_eq!(memo.recomputed(), 3, "only the FD set is recomputed");
+        assert_eq!(memo.reused(), 1, "the untouched S set is reused");
+
+        // A non-extending world table (the conditioned posterior) drops
+        // every entry instead of serving stale sets.
+        let mut memo2 = memo.clone();
+        let again =
+            assert_all_delta(&delta2.db, &constraints, &options, &parallel, &mut memo2).unwrap();
+        assert!(again.confidence > 0.0);
+        assert!(memo2.invalidated() >= 2);
+    }
+
+    #[test]
+    fn assert_all_delta_parallel_recompute_is_bit_identical() {
+        let db = ssn_db(true);
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let key = Constraint::key("R", &["SSN"]);
+        let constraints = vec![fd, key];
+        let options = ConditioningOptions::default();
+        let full = assert_all(&db, &constraints, &options).unwrap();
+        for workers in [1usize, 2, 4] {
+            let mut memo = ViolationMemo::new();
+            let parallel = ParallelOptions::new(workers);
+            let delta =
+                assert_all_delta(&db, &constraints, &options, &parallel, &mut memo).unwrap();
+            assert_eq!(full.confidence.to_bits(), delta.confidence.to_bits());
+            assert_bit_identical(&full.db, &delta.db);
+            // Second run over the unchanged database reuses both sets and
+            // still matches.
+            let delta2 =
+                assert_all_delta(&db, &constraints, &options, &parallel, &mut memo).unwrap();
+            assert_eq!(full.confidence.to_bits(), delta2.confidence.to_bits());
+            assert_bit_identical(&full.db, &delta2.db);
+            assert_eq!(memo.reused(), 2);
+        }
     }
 }

@@ -84,8 +84,9 @@ pub use confidence::{
     AnswerConfidences, StrategyAnswerConfidences,
 };
 pub use constraints::{
-    assert_all, assert_all_with_options, assert_all_with_strategy, assert_constraint,
-    assert_constraint_with_strategy, Assertion, Constraint, EstimatedAssertion,
+    assert_all, assert_all_delta, assert_all_with_options, assert_all_with_strategy,
+    assert_constraint, assert_constraint_with_strategy, Assertion, Constraint, EstimatedAssertion,
+    ViolationMemo,
 };
 pub use error::QueryError;
 pub use planned::{
@@ -93,7 +94,9 @@ pub use planned::{
     planned_answer_confidences_with_options, planned_answer_confidences_with_strategy,
     planned_answer_confidences_with_strategy_options, planned_boolean_confidence,
 };
-pub use service::{AssertOutcome, ProbDbService, ServiceOptions, ServiceStats, Snapshot};
+pub use service::{
+    AssertOutcome, DeltaOutcome, ProbDbService, ServiceOptions, ServiceStats, Snapshot,
+};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, QueryError>;

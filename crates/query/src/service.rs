@@ -28,12 +28,47 @@
 //!
 //! Repeated queries skip the optimizer through a plan cache keyed on
 //! *(plan fingerprint, snapshot stamp)*: a published snapshot invalidates
-//! the cache simply by never matching the old keys. Concurrent `conf`
-//! requests for the same *(plan, snapshot)* are coalesced by batched
-//! admission: the first requester runs the shared-cache fold on the
-//! configured worker pool and every concurrent duplicate waits for — and
-//! shares — that one result, so identical requests never compete for the
-//! pool (ROADMAP item 5: one pool, not competing pools).
+//! the cache simply by never matching the old keys. The plan rendering is
+//! produced **once per request** and shared (`Arc<str>`) between the
+//! lookup, the memo insert and the admission table, and the memo itself is
+//! capacity-capped ([`ServiceOptions::plan_capacity`]): beyond the cap the
+//! oldest-inserted entries are evicted (counted in
+//! [`ServiceStats::plan_evictions`]), so a read-heavy service with many
+//! distinct plans cannot grow without bound within one snapshot's
+//! lifetime. Concurrent `conf` requests for the same *(plan, snapshot)*
+//! are coalesced by batched admission: the first requester runs the
+//! shared-cache fold on the configured worker pool and every concurrent
+//! duplicate waits for — and shares — that one result, so identical
+//! requests never compete for the pool (ROADMAP item 5: one pool, not
+//! competing pools).
+//!
+//! # Delta publish and cache inheritance
+//!
+//! A publish no longer cold-starts the decomposition cache. Every publish
+//! path derives a variable remap from the old published snapshot to the
+//! new database and carries warm entries across through
+//! [`SharedDecompositionCache::inherit_from`] — the descriptor-
+//! disjointness check that drops any entry mentioning a touched, unmapped
+//! or re-distributed variable lives *there*, never here:
+//!
+//! * [`publish_delta`](ProbDbService::publish_delta) appends tuples,
+//!   retractions and fresh variables through a [`DeltaBuilder`]; when the
+//!   next database [`extends`](uprob_wsd::WorldTable::extends) the
+//!   published one, the remap is the identity and **every** entry
+//!   survives;
+//! * [`assert_all`](ProbDbService::assert_all) inherits through the
+//!   conditioning remap ([`Conditioned::prior_remap`] minus
+//!   [`Conditioned::touched_variables`]), so an unmutated relation's warm
+//!   entries survive conditioning;
+//! * [`assert_all_delta`](ProbDbService::assert_all_delta) keeps an
+//!   unconditioned **prior line** evolving by deltas plus a
+//!   [`ViolationMemo`] of per-constraint violation ws-sets, re-deriving
+//!   only the sets whose input relations changed, and inherits posterior →
+//!   posterior by composing the previous publish's conditioning remap with
+//!   the current one.
+//!
+//! [`Conditioned::prior_remap`]: uprob_core::Conditioned::prior_remap
+//! [`Conditioned::touched_variables`]: uprob_core::Conditioned::touched_variables
 //!
 //! # Bit-identity contract
 //!
@@ -56,19 +91,20 @@
 //! poison-tolerant, as are the service's own) stay usable, so subsequent
 //! requests succeed.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
 use uprob_core::{
     panic_message, CacheStats, ConditioningOptions, DecompositionOptions, DecompositionStats,
-    ParallelOptions, SharedDecompositionCache,
+    InheritOutcome, ParallelOptions, SharedDecompositionCache,
 };
-use uprob_urel::{execute_plan, optimize_plan, Plan, ProbDb, URelation};
-use uprob_wsd::FxHashMap;
+use uprob_urel::{execute_plan, optimize_plan, DeltaBuilder, DeltaReport, Plan, ProbDb, URelation};
+use uprob_wsd::{FxHashMap, VarId, WorldTable};
 
 use crate::confidence::{answer_confidences_with_options, AnswerConfidences};
-use crate::constraints::{assert_all_with_options, Constraint};
+use crate::constraints::{assert_all_delta, assert_all_with_options, Constraint, ViolationMemo};
 use crate::error::QueryError;
 use crate::Result;
 
@@ -101,9 +137,17 @@ impl Snapshot {
     /// world table on first use (the PR 2 stamp check), so it can never
     /// serve probabilities computed for a different version.
     pub fn new(db: ProbDb) -> Self {
+        Snapshot::with_cache(db, SharedDecompositionCache::new())
+    }
+
+    /// Wraps a database as an immutable snapshot around an explicit cache
+    /// — the publish paths pass in a cache pre-warmed by
+    /// [`SharedDecompositionCache::inherit_from`], which has already bound
+    /// it to `db`'s world table.
+    pub fn with_cache(db: ProbDb, cache: SharedDecompositionCache) -> Self {
         Snapshot {
             db,
-            cache: Arc::new(SharedDecompositionCache::new()),
+            cache: Arc::new(cache),
             stamp: fresh_snapshot_stamp(),
         }
     }
@@ -135,7 +179,7 @@ impl Snapshot {
 /// policy — the service never consults the environment per request (see
 /// [`ParallelOptions::from_env`] for the read-once rationale; resolve the
 /// environment once at startup and pass the result in here).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ServiceOptions {
     /// Decomposition policy for every confidence computation.
     pub decomposition: DecompositionOptions,
@@ -144,6 +188,25 @@ pub struct ServiceOptions {
     /// Worker-count policy shared by every request (one pool policy, not
     /// per-request environment reads).
     pub parallel: ParallelOptions,
+    /// Capacity of the optimized-plan memo in entries (all snapshots
+    /// combined); the oldest-inserted entries are evicted beyond it
+    /// (clamped to at least 1).
+    pub plan_capacity: usize,
+}
+
+/// Default [`ServiceOptions::plan_capacity`]: generous for interactive
+/// workloads, bounded for plan-diverse ones.
+const DEFAULT_PLAN_CAPACITY: usize = 512;
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            decomposition: DecompositionOptions::default(),
+            conditioning: ConditioningOptions::default(),
+            parallel: ParallelOptions::default(),
+            plan_capacity: DEFAULT_PLAN_CAPACITY,
+        }
+    }
 }
 
 /// The outcome of a served [`ProbDbService::assert_all`]: the snapshot
@@ -160,6 +223,25 @@ pub struct AssertOutcome {
     pub stats: DecompositionStats,
     /// Number of fresh variables introduced (before simplification).
     pub new_variables: usize,
+    /// Cache-inheritance summary of the publish: how many warm entries of
+    /// the previous snapshot survived into the new one, and how many were
+    /// dropped by the descriptor-disjointness check.
+    pub inherited: InheritOutcome,
+    /// Violation ws-sets served from the delta memo instead of being
+    /// recompiled (always 0 for the full-rebuild
+    /// [`ProbDbService::assert_all`]).
+    pub reused_violations: u64,
+}
+
+/// The outcome of a served [`ProbDbService::publish_delta`].
+pub struct DeltaOutcome {
+    /// The newly published snapshot.
+    pub snapshot: Arc<Snapshot>,
+    /// What the delta touched (relations, variables, row counts).
+    pub report: DeltaReport,
+    /// Cache-inheritance summary of the publish — for a pure append delta
+    /// the remap is the identity and every warm entry survives.
+    pub inherited: InheritOutcome,
 }
 
 /// Aggregate counters of one service (monotone; read with
@@ -173,6 +255,10 @@ pub struct ServiceStats {
     pub plan_hits: u64,
     /// Plan-cache misses (optimizer ran, result memoized).
     pub plan_misses: u64,
+    /// Plan-cache entries evicted by the capacity cap
+    /// ([`ServiceOptions::plan_capacity`]); retirements of a replaced
+    /// snapshot's keys on publish are not counted.
+    pub plan_evictions: u64,
     /// Confidence folds actually executed (admission leaders).
     pub confidence_folds: u64,
     /// Confidence requests served by waiting for a concurrent identical
@@ -200,6 +286,7 @@ struct Counters {
     requests: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
     confidence_folds: AtomicU64,
     coalesced: AtomicU64,
     contained_panics: AtomicU64,
@@ -224,8 +311,84 @@ impl Inflight {
 /// Key of the plan cache and the admission table: (snapshot stamp, plan
 /// rendering). The full rendering — not a hash of it — is the key, so two
 /// distinct plans can never collide into sharing an optimized form or a
-/// coalesced result.
-type RequestKey = (u64, String);
+/// coalesced result. It is rendered **once per request** and shared as an
+/// `Arc<str>` between the lookup, the memo insert and the admission table
+/// (satellite: no per-lookup `format!` on the hot path).
+type RequestKey = (u64, Arc<str>);
+
+/// Renders the one key a request uses for every cache interaction.
+fn request_key(snapshot: &Snapshot, plan: &Plan) -> RequestKey {
+    (snapshot.stamp(), Arc::from(format!("{plan:?}")))
+}
+
+/// The optimized-plan memo behind [`ProbDbService::query`] /
+/// [`ProbDbService::conf`], capacity-capped: once `capacity` entries are
+/// held, the oldest-inserted entry is evicted per insert. Eviction is a
+/// space policy, never a correctness one — an evicted plan re-optimizes on
+/// its next request, bit-identically (optimization is a pure function of
+/// plan and catalog).
+struct PlanCache {
+    map: FxHashMap<RequestKey, Arc<Plan>>,
+    /// Insertion order of the keys in `map` (kept in lockstep by
+    /// `insert`/`retain_stamp`).
+    order: VecDeque<RequestKey>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> Self {
+        PlanCache {
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, key: &RequestKey) -> Option<Arc<Plan>> {
+        self.map.get(key).cloned()
+    }
+
+    /// Memoizes `plan` under `key`, evicting oldest entries down to the
+    /// capacity; returns how many entries were evicted.
+    fn insert(&mut self, key: RequestKey, plan: Arc<Plan>) -> u64 {
+        if self.map.insert(key.clone(), plan).is_none() {
+            self.order.push_back(key);
+        }
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.remove(&oldest).is_some() {
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Retires every key of snapshots other than `live` (on publish).
+    fn retain_stamp(&mut self, live: u64) {
+        self.map.retain(|(stamp, _), _| *stamp == live);
+        self.order.retain(|(stamp, _)| *stamp == live);
+    }
+}
+
+/// The writer-side state of the delta path: the unconditioned **prior**
+/// database evolving by [`DeltaBuilder`] mutations, the violation memo
+/// keyed to it, and the conditioning remap of the last posterior publish
+/// (prior variable → published posterior variable), used to compose the
+/// posterior → posterior inheritance remap. Guarded by its own mutex,
+/// always taken under `writer` (see the lint lock manifest).
+#[derive(Default)]
+struct PriorLine {
+    /// `None` until the first delta request; initialized from the then-
+    /// current snapshot.
+    db: Option<ProbDb>,
+    memo: ViolationMemo,
+    /// `Some` iff the currently published snapshot is a posterior produced
+    /// by [`ProbDbService::assert_all_delta`] from this prior line.
+    posterior_remap: Option<FxHashMap<VarId, VarId>>,
+}
 
 /// A concurrent front-end over a probabilistic database: many reader
 /// threads run [`query`](ProbDbService::query) /
@@ -238,9 +401,12 @@ pub struct ProbDbService {
     current: RwLock<Arc<Snapshot>>,
     /// Serializes writers (conditioning + publish).
     writer: Mutex<()>,
+    /// The delta path's prior line (see [`PriorLine`]); taken only under
+    /// `writer`.
+    prior: Mutex<PriorLine>,
     options: ServiceOptions,
     /// Optimized-plan memo keyed by (snapshot stamp, plan rendering).
-    plans: Mutex<FxHashMap<RequestKey, Arc<Plan>>>,
+    plans: Mutex<PlanCache>,
     /// Admission table of in-flight confidence folds, same key space.
     inflight: Mutex<FxHashMap<RequestKey, Arc<Inflight>>>,
     counters: Counters,
@@ -257,8 +423,9 @@ impl ProbDbService {
         ProbDbService {
             current: RwLock::new(Arc::new(Snapshot::new(db))),
             writer: Mutex::new(()),
+            prior: Mutex::new(PriorLine::default()),
             options,
-            plans: Mutex::new(FxHashMap::default()),
+            plans: Mutex::new(PlanCache::new(options.plan_capacity)),
             inflight: Mutex::new(FxHashMap::default()),
             counters: Counters::default(),
         }
@@ -286,6 +453,7 @@ impl ProbDbService {
             requests: self.counters.requests.load(Ordering::Relaxed),
             plan_hits: self.counters.plan_hits.load(Ordering::Relaxed),
             plan_misses: self.counters.plan_misses.load(Ordering::Relaxed),
+            plan_evictions: self.counters.plan_evictions.load(Ordering::Relaxed),
             confidence_folds: self.counters.confidence_folds.load(Ordering::Relaxed),
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             contained_panics: self.counters.contained_panics.load(Ordering::Relaxed),
@@ -352,9 +520,12 @@ impl ProbDbService {
 
     /// `assert[·]` as a publish: conditions the current snapshot on
     /// `constraints` (single-pass, parallel violation compilation) and
-    /// publishes the posterior database as a new [`Snapshot`] with a fresh
-    /// decomposition cache. Readers keep their pinned snapshots; writers
-    /// are serialized.
+    /// publishes the posterior database as a new [`Snapshot`] whose cache
+    /// inherits every warm entry that survives the conditioning remap (see
+    /// the module docs). Readers keep their pinned snapshots; writers are
+    /// serialized. Resets the delta path's prior line — use
+    /// [`assert_all_delta`](ProbDbService::assert_all_delta) for the
+    /// incremental flavour.
     ///
     /// # Errors
     ///
@@ -372,37 +543,264 @@ impl ProbDbService {
                 &self.options.conditioning,
                 &self.options.parallel,
             )?;
+            let (cache, inherited) = Self::inherited_cache(
+                &snapshot,
+                conditioned.db.world_table(),
+                &conditioned.prior_remap,
+                &conditioned.touched_variables,
+            );
+            // A full conditioning starts a fresh delta line: the published
+            // posterior has no tracked relationship to any earlier prior.
+            *self.prior.lock().unwrap_or_else(PoisonError::into_inner) = PriorLine::default();
             let confidence = conditioned.confidence;
             let stats = conditioned.stats;
             let new_variables = conditioned.new_variables;
             Ok(AssertOutcome {
-                snapshot: self.publish_snapshot(conditioned.db),
+                snapshot: self.publish_with_cache(conditioned.db, cache),
                 confidence,
                 stats,
                 new_variables,
+                inherited,
+                reused_violations: 0,
+            })
+        })
+    }
+
+    /// The incremental `assert[·]`: conditions the delta path's
+    /// unconditioned **prior line** (initialized from the current snapshot
+    /// on first use, advanced by
+    /// [`publish_delta`](ProbDbService::publish_delta)) on `constraints`,
+    /// reusing memoized violation ws-sets for every constraint whose input
+    /// relations did not change since the last call, and publishes the
+    /// posterior. The posterior is bit-identical to a full
+    /// [`assert_all`](ProbDbService::assert_all) on the same prior; the
+    /// published cache inherits posterior → posterior through the composed
+    /// conditioning remaps.
+    ///
+    /// # Errors
+    ///
+    /// As for [`assert_all`](ProbDbService::assert_all); nothing is
+    /// published (and neither the prior line nor the memo is corrupted) on
+    /// error.
+    pub fn assert_all_delta(&self, constraints: &[Constraint]) -> Result<AssertOutcome> {
+        self.guarded(|| {
+            let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let published = self.snapshot();
+            let mut prior = self.prior.lock().unwrap_or_else(PoisonError::into_inner);
+            let PriorLine {
+                db,
+                memo,
+                posterior_remap,
+            } = &mut *prior;
+            let prior_db = db.get_or_insert_with(|| published.db().clone());
+            let reused_before = memo.reused();
+            let conditioned = assert_all_delta(
+                prior_db,
+                constraints,
+                &self.options.conditioning,
+                &self.options.parallel,
+                memo,
+            )?;
+            let reused_violations = memo.reused() - reused_before;
+            // Pick the remap from the published snapshot's variables to
+            // the new posterior's: direct if the prior line extends the
+            // published snapshot (it *is* the snapshot, or the snapshot
+            // plus ingested append-only deltas — published variables keep
+            // their ids and distributions, so the conditioning remap
+            // applies to them verbatim), composed through the previous
+            // publish's conditioning remap if the published snapshot is
+            // the previous posterior.
+            let inheritance = if prior_db.world_table().extends(published.db().world_table()) {
+                Some((
+                    conditioned.prior_remap.clone(),
+                    conditioned.touched_variables.clone(),
+                ))
+            } else {
+                posterior_remap.as_ref().map(|saved| {
+                    let composed: FxHashMap<VarId, VarId> = saved
+                        .iter()
+                        .filter_map(|(prior_var, old_post)| {
+                            conditioned
+                                .prior_remap
+                                .get(prior_var)
+                                .map(|new_post| (*old_post, *new_post))
+                        })
+                        .collect();
+                    // Touched is empty: any variable outside the composed
+                    // remap (including the previous publish's fresh
+                    // conditioning variables) is dropped as unmapped.
+                    (composed, Vec::new())
+                })
+            };
+            let (cache, inherited) = match inheritance {
+                Some((remap, touched)) => Self::inherited_cache(
+                    &published,
+                    conditioned.db.world_table(),
+                    &remap,
+                    &touched,
+                ),
+                None => (SharedDecompositionCache::new(), InheritOutcome::default()),
+            };
+            *posterior_remap = Some(conditioned.prior_remap.clone());
+            drop(prior);
+            let confidence = conditioned.confidence;
+            let stats = conditioned.stats;
+            let new_variables = conditioned.new_variables;
+            Ok(AssertOutcome {
+                snapshot: self.publish_with_cache(conditioned.db, cache),
+                confidence,
+                stats,
+                new_variables,
+                inherited,
+                reused_violations,
+            })
+        })
+    }
+
+    /// Applies a batch of mutations to the delta path's prior line
+    /// **without** publishing: readers keep the current (typically
+    /// conditioned) snapshot until the next
+    /// [`assert_all_delta`](ProbDbService::assert_all_delta) publishes a
+    /// fresh posterior over the accumulated deltas — the bounded-staleness
+    /// ingest flow of the `--exp ingest` benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors; the prior line is unchanged on error. A
+    /// panicking `build` fails with [`QueryError::RequestPanicked`].
+    pub fn ingest(
+        &self,
+        build: impl FnOnce(&mut DeltaBuilder) -> uprob_urel::Result<()>,
+    ) -> Result<DeltaReport> {
+        self.guarded(|| {
+            let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let published = self.snapshot();
+            let mut prior = self.prior.lock().unwrap_or_else(PoisonError::into_inner);
+            let base = prior.db.get_or_insert_with(|| published.db().clone());
+            let mut builder = DeltaBuilder::new(base);
+            build(&mut builder)?;
+            let (next_db, report) = builder.finish();
+            *base = next_db;
+            Ok(report)
+        })
+    }
+
+    /// Applies a batch of mutations to the delta path's prior line through
+    /// a [`DeltaBuilder`] and publishes the result — **without**
+    /// conditioning (pair with
+    /// [`assert_all_delta`](ProbDbService::assert_all_delta) to publish
+    /// posteriors instead). When the next database extends the published
+    /// one (pure appends on the same line), the cache is inherited under
+    /// the identity remap and every warm entry survives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (unknown relations, invalid descriptors,
+    /// …); nothing is published and the prior line is unchanged on error.
+    pub fn publish_delta(
+        &self,
+        build: impl FnOnce(&mut DeltaBuilder) -> uprob_urel::Result<()>,
+    ) -> Result<DeltaOutcome> {
+        self.guarded(|| {
+            let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+            let published = self.snapshot();
+            let mut prior = self.prior.lock().unwrap_or_else(PoisonError::into_inner);
+            let PriorLine {
+                db,
+                posterior_remap,
+                ..
+            } = &mut *prior;
+            let base = db.get_or_insert_with(|| published.db().clone());
+            let mut builder = DeltaBuilder::new(base);
+            build(&mut builder)?;
+            let (next_db, report) = builder.finish();
+            *base = next_db.clone();
+            let (cache, inherited) = if next_db.world_table().extends(published.db().world_table())
+            {
+                let identity: FxHashMap<VarId, VarId> = published
+                    .db()
+                    .world_table()
+                    .iter()
+                    .map(|(var, _)| (var, var))
+                    .collect();
+                Self::inherited_cache(&published, next_db.world_table(), &identity, &[])
+            } else {
+                // The published snapshot is a posterior (or unrelated):
+                // its variables have no identity mapping into the prior
+                // line, so the new snapshot starts cold.
+                (SharedDecompositionCache::new(), InheritOutcome::default())
+            };
+            // The published snapshot is now the prior line itself.
+            *posterior_remap = None;
+            drop(prior);
+            Ok(DeltaOutcome {
+                snapshot: self.publish_with_cache(next_db, cache),
+                report,
+                inherited,
             })
         })
     }
 
     /// Publishes `db` as the new current snapshot without conditioning
-    /// (e.g. after loading fresh data). Serialized with
-    /// [`assert_all`](ProbDbService::assert_all).
+    /// (e.g. after loading fresh data). If `db`'s world table extends the
+    /// published snapshot's (append-only growth), the decomposition cache
+    /// is inherited wholesale; otherwise the new snapshot starts cold.
+    /// Serialized with [`assert_all`](ProbDbService::assert_all); resets
+    /// the delta path's prior line.
     pub fn publish(&self, db: ProbDb) -> Arc<Snapshot> {
         let _writer = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
-        self.publish_snapshot(db)
+        let published = self.snapshot();
+        let (cache, _inherited) = if db.world_table().extends(published.db().world_table()) {
+            let identity: FxHashMap<VarId, VarId> = published
+                .db()
+                .world_table()
+                .iter()
+                .map(|(var, _)| (var, var))
+                .collect();
+            Self::inherited_cache(&published, db.world_table(), &identity, &[])
+        } else {
+            (SharedDecompositionCache::new(), InheritOutcome::default())
+        };
+        *self.prior.lock().unwrap_or_else(PoisonError::into_inner) = PriorLine::default();
+        self.publish_with_cache(db, cache)
     }
 
-    /// The swap: wraps `db`, replaces `current`, and prunes plan-cache
-    /// entries of retired snapshots (pinned-snapshot requests re-insert on
-    /// demand, so pruning is a space policy, never a correctness one).
-    fn publish_snapshot(&self, db: ProbDb) -> Arc<Snapshot> {
-        let next = Arc::new(Snapshot::new(db));
+    /// Builds the successor cache for a publish: every entry of `old`'s
+    /// cache that survives `remap` minus `touched` is carried forward by
+    /// [`SharedDecompositionCache::inherit_from`] — the single place the
+    /// descriptor-disjointness soundness check lives. Falls back to a cold
+    /// cache if the predecessor cache is bound to an unexpected table.
+    fn inherited_cache(
+        old: &Snapshot,
+        new_table: &WorldTable,
+        remap: &FxHashMap<VarId, VarId>,
+        touched: &[VarId],
+    ) -> (SharedDecompositionCache, InheritOutcome) {
+        let cache = SharedDecompositionCache::new();
+        match cache.inherit_from(
+            old.cache(),
+            old.db().world_table(),
+            new_table,
+            remap,
+            touched,
+        ) {
+            Ok(outcome) => (cache, outcome),
+            Err(_) => (SharedDecompositionCache::new(), InheritOutcome::default()),
+        }
+    }
+
+    /// The swap: wraps `db` around `cache`, replaces `current`, and prunes
+    /// plan-cache entries of retired snapshots (pinned-snapshot requests
+    /// re-insert on demand, so pruning is a space policy, never a
+    /// correctness one).
+    fn publish_with_cache(&self, db: ProbDb, cache: SharedDecompositionCache) -> Arc<Snapshot> {
+        let next = Arc::new(Snapshot::with_cache(db, cache));
         *self.current.write().unwrap_or_else(PoisonError::into_inner) = next.clone();
         let live = next.stamp();
         self.plans
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .retain(|(stamp, _), _| *stamp == live);
+            .retain_stamp(live);
         next
     }
 
@@ -435,20 +833,26 @@ impl ProbDbService {
             let plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(hit) = plans.get(key) {
                 self.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit.clone());
+                return Ok(hit);
             }
         }
         self.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
         let optimized = Arc::new(optimize_plan(plan, snapshot.db())?);
-        self.plans
+        let evicted = self
+            .plans
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(key.clone(), optimized.clone());
+        if evicted > 0 {
+            self.counters
+                .plan_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
         Ok(optimized)
     }
 
     fn query_on(&self, snapshot: &Snapshot, plan: &Plan) -> Result<URelation> {
-        let key = (snapshot.stamp(), format!("{plan:?}"));
+        let key = request_key(snapshot, plan);
         let optimized = self.optimized_plan(snapshot, plan, &key)?;
         Ok(execute_plan(snapshot.db(), &optimized)?)
     }
@@ -456,7 +860,7 @@ impl ProbDbService {
     /// The coalesced confidence fold: first requester per (snapshot, plan)
     /// computes, concurrent duplicates share the result.
     fn conf_coalesced(&self, snapshot: &Arc<Snapshot>, plan: &Plan) -> Result<AnswerConfidences> {
-        let key = (snapshot.stamp(), format!("{plan:?}"));
+        let key = request_key(snapshot, plan);
         let (entry, leader) = {
             let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
             match inflight.get(&key) {
@@ -530,7 +934,7 @@ impl ProbDbService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uprob_urel::{ColumnType, Predicate, Schema, Tuple, Value};
+    use uprob_urel::{ColumnType, Comparison, Expr, Predicate, Schema, Tuple, Value};
     use uprob_wsd::WsDescriptor;
 
     /// The SSN database of Figure 2.
@@ -706,6 +1110,314 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.contained_panics, 1);
         assert!(stats.requests >= 2);
+    }
+
+    /// The SSN database plus an independent relation T over its own
+    /// variable c — conditioning R-only constraints leaves c (and T's warm
+    /// cache entries) untouched.
+    fn db_with_extra_relation() -> ProbDb {
+        let mut db = ssn_db();
+        let c = db
+            .world_table_mut()
+            .add_variable("c", &[(1, 0.6), (2, 0.4)])
+            .unwrap();
+        let schema = Schema::new("T", &[("V", ColumnType::Int)]);
+        let mut t = db.create_relation(schema).unwrap();
+        {
+            let w = db.world_table();
+            t.push(
+                Tuple::new(vec![Value::Int(10)]),
+                WsDescriptor::from_pairs(w, &[(c, 1)]).unwrap(),
+            );
+            t.push(
+                Tuple::new(vec![Value::Int(20)]),
+                WsDescriptor::from_pairs(w, &[(c, 2)]).unwrap(),
+            );
+        }
+        db.insert_relation(t).unwrap();
+        db
+    }
+
+    fn t_plan() -> Plan {
+        Plan::scan("T").project(&["V"])
+    }
+
+    fn assert_conf_bits(served: &AnswerConfidences, reference: &AnswerConfidences) {
+        assert_eq!(served.tuples.len(), reference.tuples.len());
+        for ((t1, p1), (t2, p2)) in served.tuples.iter().zip(&reference.tuples) {
+            assert_eq!(t1, t2);
+            assert_eq!(p1.to_bits(), p2.to_bits());
+        }
+        assert_eq!(served.boolean.to_bits(), reference.boolean.to_bits());
+    }
+
+    fn reference_conf(db: &ProbDb, plan: &Plan) -> AnswerConfidences {
+        crate::planned::planned_answer_confidences_with_options(
+            db,
+            plan,
+            &DecompositionOptions::default(),
+            &ParallelOptions::sequential(),
+            &SharedDecompositionCache::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_cache_evicts_oldest_entries_at_capacity() {
+        let service = ProbDbService::with_options(
+            ssn_db(),
+            ServiceOptions {
+                plan_capacity: 2,
+                ..ServiceOptions::default()
+            },
+        );
+        let plans = [
+            Plan::scan("R").project(&["SSN"]),
+            Plan::scan("R").project(&["NAME"]),
+            Plan::scan("R").select(Predicate::col_eq("NAME", "Bill")),
+        ];
+        for plan in &plans {
+            service.query(plan).unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.plan_misses, 3);
+        assert_eq!(
+            stats.plan_evictions, 1,
+            "the third insert evicts the oldest"
+        );
+        // The newest plan is still memoized; the evicted one re-optimizes
+        // (bit-identically — eviction is a space policy only).
+        service.query(&plans[2]).unwrap();
+        assert_eq!(service.stats().plan_hits, 1);
+        let rows = service.query(&plans[0]).unwrap();
+        assert_eq!(service.stats().plan_misses, 4);
+        assert_eq!(rows, service.snapshot().db().query(&plans[0]).unwrap());
+    }
+
+    /// The id of the variable named `name` in `db`'s world table.
+    fn var_named(db: &ProbDb, name: &str) -> uprob_wsd::VarId {
+        db.world_table()
+            .iter()
+            .find(|(_, info)| info.name == name)
+            .unwrap()
+            .0
+    }
+
+    /// The Boolean ws-set of relation T (`c = 1 ∨ c = 2`) under whatever
+    /// id the variable named "c" has in `db`.
+    fn t_boolean_set(db: &ProbDb) -> uprob_wsd::WsSet {
+        let c = var_named(db, "c");
+        let w = db.world_table();
+        uprob_wsd::WsSet::from_descriptors(vec![
+            WsDescriptor::from_pairs(w, &[(c, 1)]).unwrap(),
+            WsDescriptor::from_pairs(w, &[(c, 2)]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn conditioning_publish_inherits_unmutated_relations_warm_entries() {
+        let db = db_with_extra_relation();
+        let service = ProbDbService::new(db.clone());
+        // Warm the cache with T's confidence fold, then condition on an
+        // R-only constraint: c is untouched, so T's entries must survive.
+        service.conf(&t_plan()).unwrap();
+        let before = service.snapshot();
+        assert!(before.cache_stats().entries > 0);
+        let warm = before
+            .cache()
+            .probe(&t_boolean_set(before.db()))
+            .expect("the Boolean T fold is in the cacheable band");
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let outcome = service.assert_all(std::slice::from_ref(&fd)).unwrap();
+        assert!(
+            outcome.inherited.inherited > 0,
+            "warm T entries must survive conditioning: {:?}",
+            outcome.inherited
+        );
+        assert!(service.snapshot().cache_stats().inherited_entries > 0);
+        // The inherited entry, re-keyed to the posterior's variable ids, is
+        // bit-identical to the prior value (c's marginal is untouched by
+        // an R-only condition).
+        let after = service.snapshot();
+        let inherited = after
+            .cache()
+            .probe(&t_boolean_set(after.db()))
+            .expect("the remapped T entry was carried forward");
+        assert_eq!(warm.to_bits(), inherited.to_bits());
+        // Served answers over T are bit-identical to the library call on
+        // the conditioned database.
+        let served = service.conf(&t_plan()).unwrap();
+        let conditioned = crate::constraints::assert_all(
+            &db,
+            std::slice::from_ref(&fd),
+            &ConditioningOptions::default(),
+        )
+        .unwrap();
+        assert_conf_bits(&served, &reference_conf(&conditioned.db, &t_plan()));
+    }
+
+    #[test]
+    fn delta_publish_inherits_the_whole_cache() {
+        let service = ProbDbService::new(db_with_extra_relation());
+        service.conf(&t_plan()).unwrap();
+        let warm = service.snapshot().cache_stats().entries;
+        assert!(warm > 0);
+        let outcome = service
+            .publish_delta(|delta| {
+                let v = delta.add_boolean("n1", 0.9)?;
+                let d = WsDescriptor::from_pairs(delta.world_table(), &[(v, 1)])?;
+                delta.append("R", Tuple::new(vec![Value::Int(3), Value::str("Ann")]), d)
+            })
+            .unwrap();
+        assert_eq!(outcome.report.touched_relations, vec!["R".to_string()]);
+        assert_eq!(outcome.report.appended_rows, 1);
+        assert_eq!(
+            outcome.inherited.inherited, warm,
+            "a pure append inherits every warm entry under the identity remap"
+        );
+        assert_eq!(outcome.inherited.dropped, 0);
+        // Reads over the unmutated relation hit inherited entries,
+        // bit-identical to a cold recomputation on the new database.
+        let served = service.conf(&t_plan()).unwrap();
+        assert_conf_bits(&served, &reference_conf(outcome.snapshot.db(), &t_plan()));
+        assert!(service.snapshot().cache_stats().inherited_hits > 0);
+    }
+
+    #[test]
+    fn delta_conditioning_reuses_violations_and_inherits_posterior_to_posterior() {
+        let db = db_with_extra_relation();
+        let service = ProbDbService::new(db.clone());
+        let fd = Constraint::functional_dependency("R", &["SSN"], &["NAME"]);
+        let t_check = Constraint::row_filter(
+            "T",
+            Predicate::cmp(Expr::col("V"), Comparison::Lt, Expr::val(100i64)),
+        );
+        let constraints = vec![fd.clone(), t_check.clone()];
+
+        // Round 1: everything is compiled; the posterior matches the full
+        // rebuild bit for bit.
+        let round1 = service.assert_all_delta(&constraints).unwrap();
+        assert_eq!(round1.reused_violations, 0);
+        let full1 = crate::constraints::assert_all(&db, &constraints, &Default::default()).unwrap();
+        assert_eq!(round1.confidence.to_bits(), full1.confidence.to_bits());
+        assert_conf_bits(
+            &service.conf(&t_plan()).unwrap(),
+            &reference_conf(&full1.db, &t_plan()),
+        );
+
+        // Ingest into the prior line without publishing: readers still see
+        // the round-1 posterior (bounded staleness).
+        let published_before = service.snapshot().stamp();
+        let mutate = |delta: &mut DeltaBuilder| {
+            let v = delta.add_boolean("n1", 0.9)?;
+            let d = WsDescriptor::from_pairs(delta.world_table(), &[(v, 1)])?;
+            delta.append("R", Tuple::new(vec![Value::Int(3), Value::str("Ann")]), d)
+        };
+        let report = service.ingest(mutate).unwrap();
+        assert_eq!(report.touched_relations, vec!["R".to_string()]);
+        assert_eq!(service.snapshot().stamp(), published_before);
+
+        // Round 2: only the FD (whose relation changed) recompiles; the T
+        // check is served from the memo. The posterior equals the full
+        // rebuild on the mutated prior, and the warm T entries of the
+        // round-1 posterior survive through the composed remap.
+        let round2 = service.assert_all_delta(&constraints).unwrap();
+        assert_eq!(
+            round2.reused_violations, 1,
+            "the unmutated T check is reused"
+        );
+        // The round-1 posterior's query entries mention round-1 fresh
+        // conditioning variables, which have no mapping into the round-2
+        // posterior: the disjointness check must drop them (conservative,
+        // no stale reads) rather than guess.
+        assert!(
+            round2.inherited.dropped > 0,
+            "entries over round-1 fresh variables must be dropped: {:?}",
+            round2.inherited
+        );
+        let mut builder = DeltaBuilder::new(&db);
+        mutate(&mut builder).unwrap();
+        let (mutated, _) = builder.finish();
+        let full2 =
+            crate::constraints::assert_all(&mutated, &constraints, &Default::default()).unwrap();
+        assert_eq!(round2.confidence.to_bits(), full2.confidence.to_bits());
+        let served = service.conf(&t_plan()).unwrap();
+        assert_conf_bits(&served, &reference_conf(&full2.db, &t_plan()));
+    }
+
+    #[test]
+    fn clean_delta_conditioning_inherits_posterior_to_posterior_with_hits() {
+        // Constraints that no world violates condition on the universal
+        // set: the posterior is content-identical to the prior and the
+        // composed posterior → posterior remap is the identity, so every
+        // warm entry survives across publishes and keeps getting hit.
+        let service = ProbDbService::new(db_with_extra_relation());
+        let t_check = Constraint::row_filter(
+            "T",
+            Predicate::cmp(Expr::col("V"), Comparison::Lt, Expr::val(100i64)),
+        );
+        let r_key = Constraint::key("R", &["SSN", "NAME"]);
+        let constraints = vec![t_check, r_key];
+        service.assert_all_delta(&constraints).unwrap();
+        service.conf(&t_plan()).unwrap();
+        assert!(service.snapshot().cache_stats().entries > 0);
+        // Clean ingest into R only; T's violation check is reused and T's
+        // warm entries survive into the next posterior.
+        service
+            .ingest(|delta| {
+                let v = delta.add_boolean("n2", 0.5)?;
+                let d = WsDescriptor::from_pairs(delta.world_table(), &[(v, 1)])?;
+                delta.append("R", Tuple::new(vec![Value::Int(8), Value::str("Eve")]), d)
+            })
+            .unwrap();
+        let round2 = service.assert_all_delta(&constraints).unwrap();
+        assert_eq!(round2.reused_violations, 1);
+        assert!(
+            round2.inherited.inherited > 0,
+            "clean conditioning must carry warm entries posterior to posterior: {:?}",
+            round2.inherited
+        );
+        let served = service.conf(&t_plan()).unwrap();
+        assert_conf_bits(&served, &reference_conf(round2.snapshot.db(), &t_plan()));
+        assert!(
+            service.snapshot().cache_stats().inherited_hits > 0,
+            "reads over the unmutated relation hit inherited entries"
+        );
+    }
+
+    #[test]
+    fn first_conditioning_publish_after_ingest_inherits_from_the_base_snapshot() {
+        // Ingest refreshes the prior line's stamp, but append-only deltas
+        // leave the published snapshot's variables as a bit-identical
+        // prefix of the prior table — the conditioning remap applies to
+        // them verbatim, so even the *first* publish carries the base
+        // snapshot's warm entries forward instead of starting cold.
+        let service = ProbDbService::new(db_with_extra_relation());
+        service.conf(&t_plan()).unwrap();
+        assert!(service.snapshot().cache_stats().entries > 0);
+        service
+            .ingest(|delta| {
+                let v = delta.add_boolean("n2", 0.5)?;
+                let d = WsDescriptor::from_pairs(delta.world_table(), &[(v, 1)])?;
+                delta.append("R", Tuple::new(vec![Value::Int(8), Value::str("Eve")]), d)
+            })
+            .unwrap();
+        let t_check = Constraint::row_filter(
+            "T",
+            Predicate::cmp(Expr::col("V"), Comparison::Lt, Expr::val(100i64)),
+        );
+        let outcome = service.assert_all_delta(&[t_check]).unwrap();
+        assert!(
+            outcome.inherited.inherited > 0,
+            "the first publish after ingest must inherit from the base snapshot: {:?}",
+            outcome.inherited
+        );
+        let served = service.conf(&t_plan()).unwrap();
+        assert_conf_bits(&served, &reference_conf(outcome.snapshot.db(), &t_plan()));
+        assert!(
+            service.snapshot().cache_stats().inherited_hits > 0,
+            "reads over the unmutated relation hit inherited entries"
+        );
     }
 
     #[test]

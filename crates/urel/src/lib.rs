@@ -59,6 +59,7 @@
 
 pub mod algebra;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod optimizer;
@@ -71,6 +72,7 @@ pub mod value;
 pub mod violations;
 
 pub use database::ProbDb;
+pub use delta::{DeltaBuilder, DeltaReport};
 pub use error::UrelError;
 pub use exec::execute_plan;
 pub use optimizer::optimize_plan;

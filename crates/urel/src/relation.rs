@@ -17,10 +17,31 @@ use crate::Result;
 /// `f` iff `f` extends the tuple's descriptor. The same tuple value may occur
 /// in several rows with different descriptors; the tuple is then present in
 /// the union of the corresponding world-sets.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct URelation {
     schema: Schema,
     rows: Vec<(Tuple, WsDescriptor)>,
+    /// Content stamp: refreshed on every mutation, shared by (unmutated)
+    /// clones. Equal stamps imply identical rows, which lets the delta
+    /// conditioning path prove in O(1) that a memoized per-constraint
+    /// violation ws-set is still valid for this relation.
+    stamp: u64,
+}
+
+/// Source of fresh relation stamps (0 is reserved for "unbound").
+static NEXT_RELATION_STAMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_relation_stamp() -> u64 {
+    NEXT_RELATION_STAMP.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Row equality only: the stamp is an identity witness, not content, so two
+/// independently built relations with the same rows still compare equal
+/// (query outputs are compared against hand-built expectations this way).
+impl PartialEq for URelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl URelation {
@@ -29,12 +50,22 @@ impl URelation {
         URelation {
             schema,
             rows: Vec::new(),
+            stamp: fresh_relation_stamp(),
         }
     }
 
     /// The schema of this relation.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The content stamp of this relation: refreshed on every mutation and
+    /// shared only with unmutated clones, so equal stamps imply identical
+    /// rows. Used by violation-memo delta consumers to detect unchanged
+    /// relations without comparing rows.
+    #[inline]
+    pub fn stamp(&self) -> u64 {
+        self.stamp
     }
 
     /// Number of rows (tuple/descriptor pairs).
@@ -51,6 +82,7 @@ impl URelation {
     /// [`URelation::try_insert`] or [`crate::ProbDb::insert_relation`]).
     pub fn push(&mut self, tuple: Tuple, descriptor: WsDescriptor) {
         self.rows.push((tuple, descriptor));
+        self.stamp = fresh_relation_stamp();
     }
 
     /// Appends a row, validating it against the schema.
@@ -62,6 +94,7 @@ impl URelation {
     pub fn try_insert(&mut self, tuple: Tuple, descriptor: WsDescriptor) -> Result<()> {
         self.validate_tuple(&tuple)?;
         self.rows.push((tuple, descriptor));
+        self.stamp = fresh_relation_stamp();
         Ok(())
     }
 
@@ -97,8 +130,11 @@ impl URelation {
     }
 
     /// Mutable access to the rows (used by conditioning to rewrite
-    /// descriptors in place).
+    /// descriptors in place). Conservatively refreshes the content stamp:
+    /// callers may mutate through the returned reference, so the old stamp
+    /// can no longer witness identical rows.
     pub fn rows_mut(&mut self) -> &mut Vec<(Tuple, WsDescriptor)> {
+        self.stamp = fresh_relation_stamp();
         &mut self.rows
     }
 
@@ -265,6 +301,28 @@ mod tests {
         let entry = distinct.iter().find(|(tuple, _)| tuple == &t).unwrap();
         assert_eq!(entry.1.len(), 2);
         let _ = w;
+    }
+
+    #[test]
+    fn stamps_track_row_identity_but_not_equality() {
+        let (_, r) = ssn_relation();
+        let clone = r.clone();
+        assert_eq!(r.stamp(), clone.stamp());
+        let mut mutated = r.clone();
+        mutated.push(
+            Tuple::new(vec![Value::Int(9), Value::str("Fred")]),
+            WsDescriptor::empty(),
+        );
+        assert_ne!(r.stamp(), mutated.stamp());
+        // rows_mut conservatively refreshes even without an actual write.
+        let mut touched = r.clone();
+        let _ = touched.rows_mut();
+        assert_ne!(r.stamp(), touched.stamp());
+        // Equality ignores the stamp: independently built relations with the
+        // same rows compare equal.
+        let (_, twin) = ssn_relation();
+        assert_ne!(r.stamp(), twin.stamp());
+        assert_eq!(r, twin);
     }
 
     #[test]

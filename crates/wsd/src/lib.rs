@@ -56,7 +56,7 @@ pub use fast_hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intern::{CanonicalSetKey, DescriptorId, DescriptorInterner};
 pub use numeric::NeumaierSum;
 pub use value::{DomainValue, ValueIndex, VarId};
-pub use world_table::{VariableInfo, WorldTable};
+pub use world_table::{VariableInfo, WorldTable, WorldTableDelta};
 pub use ws_set::{diff_descriptor_set, diff_single, try_diff_descriptor_set, WsSet};
 
 /// Result alias used throughout the crate.

@@ -9,8 +9,18 @@
 //! for the evidence, compares the prior and posterior zone distributions and
 //! shows that the posterior world weights sum to one.
 //!
+//! The second half turns the motivation into a *stream*: a fixed fleet of
+//! uncertain sensors receives batches of uncertain readings through the
+//! snapshot-isolated [`ProbDbService`] — `ingest()` accumulates deltas
+//! without publishing (readers keep a bounded-stale snapshot), and
+//! `assert_all_delta()` re-conditions incrementally and publishes a
+//! posterior whose decomposition cache *inherits* the warm entries over
+//! the never-mutated fleet relation, so the standing zone-coverage query
+//! keeps answering from cache across publishes.
+//!
 //! Run with `cargo run --example sensor_tracking`.
 
+use uprob::datagen::{SensorConfig, SensorWorkload};
 use uprob::prelude::*;
 
 const ZONES: [&str; 4] = ["dock", "aisle", "office", "yard"];
@@ -150,6 +160,74 @@ fn main() {
             t.get(1).expect("col")
         );
     }
+
+    // ----------------------------------------------------------------- //
+    // 4. Continuous ingest through the serving layer.                    //
+    // ----------------------------------------------------------------- //
+    // A fleet of uncertain sensors streams uncertain readings. Ingest
+    // batches accumulate on the writer's prior line without publishing;
+    // every second batch a delta conditioning pass re-checks the
+    // constraints (reusing memoized violation ws-sets for relations that
+    // did not change) and publishes a posterior snapshot that inherits
+    // the warm decomposition-cache entries over the never-mutated
+    // `sensors` relation.
+    println!("\n== Continuous ingest through the serving layer ==");
+    let workload = SensorWorkload::generate(&SensorConfig::default());
+    let service = ProbDbService::new(workload.db.clone());
+    // The standing query: which zones have an operational sensor.
+    let coverage = Plan::scan("sensors").project(&["ZONE"]);
+    let prior_answer = service.conf(&coverage).expect("coverage decomposes");
+    println!(
+        "P(some sensor operational) = {:.4} over {} zones",
+        prior_answer.boolean,
+        prior_answer.tuples.len()
+    );
+    let mut next_reading = 4usize; // after the seed readings
+    for (index, batch) in workload.batches.iter().enumerate() {
+        let report = service
+            .ingest(|delta| {
+                for reading in batch {
+                    let var =
+                        delta.add_boolean(&format!("r{next_reading}"), reading.reliability)?;
+                    next_reading += 1;
+                    let descriptor = WsDescriptor::from_pairs(delta.world_table(), &[(var, 1)])?;
+                    delta.append("readings", reading.tuple(), descriptor)?;
+                }
+                Ok(())
+            })
+            .expect("the generated batch applies cleanly");
+        println!(
+            "batch {}: ingested {} readings (stale until publish: {})",
+            index + 1,
+            batch.len(),
+            report.touched("readings"),
+        );
+        if (index + 1) % 2 == 0 {
+            let outcome = service
+                .assert_all_delta(&workload.constraints)
+                .expect("the stream satisfies the constraints");
+            let answer = service.conf(&coverage).expect("coverage decomposes");
+            let cache = service.snapshot().cache_stats();
+            println!(
+                "  publish: P(constraints) = {:.4}, reused violation sets = {}, \
+                 inherited cache entries = {} (hits {}), coverage = {:.4}",
+                outcome.confidence,
+                outcome.reused_violations,
+                cache.inherited_entries,
+                cache.inherited_hits,
+                answer.boolean,
+            );
+        }
+    }
+    let final_cache = service.snapshot().cache_stats();
+    assert!(
+        final_cache.inherited_hits > 0,
+        "the standing query must keep hitting inherited entries"
+    );
+    println!(
+        "final snapshot: {} cache entries, {} inherited, {} inherited hits",
+        final_cache.entries, final_cache.inherited_entries, final_cache.inherited_hits
+    );
 }
 
 /// Prints, for every object, the confidence of each zone.

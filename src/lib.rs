@@ -73,24 +73,24 @@ pub mod prelude {
         estimate_conditioned_confidence, estimate_conditioned_confidence_with_options,
         estimate_confidence, estimate_confidence_with_options, intersect_conditions, CacheStats,
         ConditioningMethod, ConditioningOptions, ConfidenceReport, ConfidenceStrategy,
-        DecompositionMethod, DecompositionOptions, ParallelOptions, ResolvedPath, SamplingStats,
-        SharedDecompositionCache, VariableHeuristic, WsTree,
+        DecompositionMethod, DecompositionOptions, InheritOutcome, ParallelOptions, ResolvedPath,
+        SamplingStats, SharedDecompositionCache, VariableHeuristic, WsTree,
     };
     pub use uprob_query::{
         answer_confidences, answer_confidences_with_cache, answer_confidences_with_options,
         answer_confidences_with_strategy, answer_confidences_with_strategy_options, assert_all,
-        assert_all_with_options, assert_all_with_strategy, assert_constraint,
+        assert_all_delta, assert_all_with_options, assert_all_with_strategy, assert_constraint,
         assert_constraint_with_strategy, boolean_confidence, certain_tuples,
         planned_answer_confidences, planned_answer_confidences_with_cache,
         planned_answer_confidences_with_options, planned_answer_confidences_with_strategy,
         planned_answer_confidences_with_strategy_options, planned_boolean_confidence,
         possible_tuples, tuple_confidences, tuple_confidences_sequential, AnswerConfidences,
-        AssertOutcome, Assertion, Constraint, EstimatedAssertion, ProbDbService, ServiceOptions,
-        ServiceStats, Snapshot, StrategyAnswerConfidences,
+        AssertOutcome, Assertion, Constraint, DeltaOutcome, EstimatedAssertion, ProbDbService,
+        ServiceOptions, ServiceStats, Snapshot, StrategyAnswerConfidences, ViolationMemo,
     };
     pub use uprob_urel::{
-        algebra, execute_plan, execute_plan_eager, optimize_plan, ColumnType, Comparison, Expr,
-        Plan, Predicate, ProbDb, Schema, Tuple, URelation, Value,
+        algebra, execute_plan, execute_plan_eager, optimize_plan, ColumnType, Comparison,
+        DeltaBuilder, DeltaReport, Expr, Plan, Predicate, ProbDb, Schema, Tuple, URelation, Value,
     };
     pub use uprob_wsd::{DomainValue, ValueIndex, VarId, WorldTable, WsDescriptor, WsSet};
 }
