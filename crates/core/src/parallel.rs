@@ -618,6 +618,7 @@ pub fn confidence_parallel(
             .map(|worker| {
                 let shared = &shared;
                 let nodes = &nodes;
+                // uprob-lint: allow(det-taint) -- workers fill pre-assigned combine-node slots; the fold over the arena is by slot index, so completion order cannot reach the result bits (pinned by the 1/2/4/8-worker bit-identity matrix)
                 scope.spawn(move || worker_loop(worker, shared, table, *options, nodes))
             })
             .collect();

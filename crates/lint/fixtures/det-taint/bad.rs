@@ -1,0 +1,20 @@
+//! Fixture: nondeterminism sources inside the bit-identity cone. The
+//! sink set is every function transitively reachable from the named
+//! surfaces (`confidence_parallel` here); the spawn sits one call hop
+//! below the surface, so the finding must carry the call path.
+
+pub fn confidence_parallel(table: &Table, scope: &Scope) -> f64 {
+    let env_workers = std::env::var("UPROB_WORKERS").ok(); //~ det-taint
+    fan_out(table, scope, env_workers)
+}
+
+fn fan_out(table: &Table, scope: &Scope, spec: Option<String>) -> f64 {
+    let handle = scope.spawn(|| table.len()); //~ det-taint
+    let _ = spec;
+    handle.join()
+}
+
+pub fn unreachable_helper(scope: &Scope) {
+    // Not reachable from any surface: sources here are outside the cone.
+    let _ = scope.spawn(|| 1);
+}

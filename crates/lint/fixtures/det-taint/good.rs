@@ -1,0 +1,27 @@
+//! Fixture: the bit-identity cone kept deterministic — sources live
+//! outside the cone, or carry an argued allow.
+
+pub fn confidence_parallel(table: &Table) -> u64 {
+    let mut count = 0u64;
+    // Deterministic: a Vec iterates in index order.
+    for row in table.rows() {
+        count += row.id();
+    }
+    count
+}
+
+pub fn bench_harness(table: &Table, scope: &Scope) -> u64 {
+    // Not reachable from any bit-identity surface: spawning here is fine.
+    scope.spawn(|| table.len()).join()
+}
+
+fn merge_by_index(parts: &[u64], scope: &Scope) -> u64 {
+    // uprob-lint: allow(det-taint) -- results land in pre-assigned slots and the fold below is by slot index, so completion order cannot reach the bits
+    let handle = scope.spawn(|| parts.len());
+    let _ = handle.join();
+    parts.first().copied().unwrap_or(0)
+}
+
+pub fn assert_all_worlds(table: &Table, scope: &Scope) -> u64 {
+    merge_by_index(table.parts(), scope)
+}

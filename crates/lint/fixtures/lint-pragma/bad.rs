@@ -23,3 +23,8 @@ pub fn unknown_rule() -> u64 {
 pub fn malformed(values: &[u64]) -> u64 {
     *values.first().unwrap() //~ panic-unwrap
 }
+
+/// uprob-lint: allow(panic-unwrap) -- doc comments are rendered prose, not pragmas //~ lint-pragma
+pub fn doc_comment_pragma_is_inert(values: &[u64]) -> u64 {
+    *values.first().unwrap() //~ panic-unwrap
+}

@@ -13,3 +13,16 @@ pub fn root(index: &FxHashMap<String, u64>) -> u64 {
 pub fn trailing(values: &[u64]) -> u64 {
     values[0] // uprob-lint: allow(panic-index) -- fixture invariant: validated non-empty
 }
+
+pub fn pragma_text_in_a_string_is_data() -> &'static str {
+    // A pragma spelled inside a string literal is never parsed — it
+    // neither suppresses anything nor counts as stale.
+    "uprob-lint: allow(panic-unwrap) -- not a pragma, just bytes"
+}
+
+/// Doc prose may *mention* `uprob-lint: allow(rule-id) -- reason` syntax
+/// without being flagged: only well-formed pragmas naming registered
+/// rules are treated as misplaced when they appear in doc comments.
+pub fn doc_prose_about_pragmas() -> u64 {
+    7
+}

@@ -1,0 +1,46 @@
+//! Fixture: lock-order inversions that only exist *across* functions —
+//! each body is locally clean, so the lexical rule sees nothing, and
+//! only the call-graph analysis connects the guard to the acquisition.
+//!
+//! Checked under the scheduler's virtual path, declared order
+//! `queues` before `arena` before `root` before `error`.
+//!
+//! The two-lock deadlock cycle: `forward_path` holds `queues` while its
+//! callee takes `arena` (legal, forward through the order), and
+//! `backward_path` holds `arena` while its callee takes `queues`
+//! (flagged — two threads running these concurrently deadlock).
+
+impl Shared {
+    pub fn forward_path(&self) {
+        let queues = self.queues.lock();
+        self.take_arena();
+        drop(queues);
+    }
+
+    pub fn backward_path(&self) {
+        let arena = self.arena.lock();
+        self.take_queues(); //~ lock-order-graph
+        drop(arena);
+    }
+
+    pub fn reentrant_path(&self) {
+        let root = self.root.lock();
+        self.take_root_again(); //~ lock-order-graph
+        drop(root);
+    }
+
+    pub fn take_arena(&self) {
+        let arena = self.arena.lock();
+        drop(arena);
+    }
+
+    pub fn take_queues(&self) {
+        let queues = self.queues.lock();
+        drop(queues);
+    }
+
+    pub fn take_root_again(&self) {
+        let root = self.root.lock();
+        drop(root);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: cross-function lock usage that respects the declared order
+//! `queues` before `arena` before `root` before `error`, or drops the
+//! outer guard before calling down.
+
+impl Shared {
+    pub fn forward_path(&self) {
+        let queues = self.queues.lock();
+        self.take_arena();
+        drop(queues);
+    }
+
+    pub fn drop_before_call(&self) {
+        {
+            let arena = self.arena.lock();
+            drop(arena);
+        }
+        self.take_queues();
+    }
+
+    pub fn sequential_not_nested(&self) {
+        self.take_arena();
+        self.take_queues();
+    }
+
+    pub fn take_arena(&self) {
+        let arena = self.arena.lock();
+        drop(arena);
+    }
+
+    pub fn take_queues(&self) {
+        let queues = self.queues.lock();
+        drop(queues);
+    }
+}

@@ -35,10 +35,21 @@ impl Registry {
         self.stamp
     }
 
+    // Delegation through a *free function* is credited too: the refresh
+    // analysis runs on the crate call graph, not just `self.` calls.
+    pub fn rebuild_all(&mut self) {
+        rebuild_impl(self);
+    }
+
     // uprob-lint: allow(stamp-refresh) -- reserving capacity cannot change observable contents, so the old stamp stays truthful
     pub fn reserve(&mut self, additional: usize) {
         self.entries.reserve(additional);
     }
+}
+
+fn rebuild_impl(registry: &mut Registry) {
+    registry.entries.clear();
+    registry.stamp = fresh();
 }
 
 pub struct Unstamped {

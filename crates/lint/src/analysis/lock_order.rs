@@ -1,0 +1,328 @@
+//! Lock-order analysis on the call graph.
+//!
+//! The lexical `lock-order` rule sees one function at a time; this
+//! analysis builds the crate-wide *acquisition graph*: an edge A → B
+//! means some function acquires lock B — directly or through any chain
+//! of calls — while a guard on lock A is still live. Guard lifetimes use
+//! the same model as the lexical rule (`let` guard to end of block,
+//! temporary to end of statement with the Rust 2021 scrutinee
+//! extension); lock identity comes from the per-file manifests in the
+//! lint config, with `.lock()`, and RwLock's `.read()` / `.write()`
+//! (empty-argument calls only, which distinguishes them from
+//! `io::Read`/`io::Write`), all counting as acquisitions.
+//!
+//! Findings: an edge that runs *backward* through a declared manifest
+//! order (or re-acquires the same lock) across at least one call hop is
+//! reported with its full call path — zero-hop inversions are the
+//! lexical rule's job. Pairs of locks from different manifests that are
+//! mutually reachable form a cycle no declared order rules out; those
+//! are reported once per pair.
+
+// uprob-lint: allow-file(panic-index) -- every index is a call-graph node id or call index bounded by the vectors built over graph.nodes; offsets come from scans of the same text
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::check::{brace_pairs, emit, guard_scope_of, method_calls, receiver_name, Finding};
+use crate::config::Family;
+
+use super::CrateView;
+
+/// One direct lock acquisition inside a function body.
+struct Acq {
+    /// Manifest lock name.
+    lock: String,
+    /// Byte offset of the `.lock`/`.read`/`.write` call's dot.
+    offset: usize,
+    /// Offset past which the guard is provably dropped.
+    scope_end: usize,
+}
+
+/// How a function's summary came to contain a lock.
+#[derive(Clone)]
+enum Step {
+    /// Acquired directly in this function's body.
+    Direct,
+    /// Acquired by the callee node.
+    Via(usize),
+}
+
+/// One acquisition-graph edge's provenance.
+struct EdgeInfo {
+    /// Node holding the outer lock when the inner acquisition happens.
+    holder: usize,
+    /// Anchor offset in the holder's file (the call site, for multi-hop).
+    anchor: usize,
+    /// Call chain from the holder's callee down to the acquiring node.
+    chain: Vec<usize>,
+}
+
+/// Checks the crate's acquisition graph against the declared manifests.
+pub fn check(view: &CrateView<'_>, findings: &mut Vec<Finding>) {
+    let graph = view.graph;
+    let direct = direct_acquisitions(view, findings);
+    if direct.iter().all(Vec::is_empty) {
+        return;
+    }
+    // Transitive lock summaries: which locks can a call to node n take?
+    let mut summary: Vec<BTreeMap<String, Step>> = direct
+        .iter()
+        .map(|acqs| {
+            acqs.iter()
+                .map(|a| (a.lock.clone(), Step::Direct))
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for n in 0..graph.nodes.len() {
+            for ci in 0..graph.calls[n].len() {
+                let callee = graph.calls[n][ci].callee;
+                let inherited: Vec<String> = summary[callee].keys().cloned().collect();
+                for lock in inherited {
+                    if let Entry::Vacant(slot) = summary[n].entry(lock) {
+                        slot.insert(Step::Via(callee));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Acquisition-graph edges with provenance; first (shortest-discovered)
+    // provenance wins, zero-hop edges are kept for cycle detection only.
+    let mut edges: BTreeMap<(String, String), EdgeInfo> = BTreeMap::new();
+    for (n, acqs) in direct.iter().enumerate() {
+        for outer in acqs {
+            for inner in acqs {
+                if inner.offset > outer.offset && inner.offset < outer.scope_end {
+                    edges
+                        .entry((outer.lock.clone(), inner.lock.clone()))
+                        .or_insert(EdgeInfo {
+                            holder: n,
+                            anchor: inner.offset,
+                            chain: Vec::new(),
+                        });
+                }
+            }
+            for call in &graph.calls[n] {
+                if call.offset <= outer.offset || call.offset >= outer.scope_end {
+                    continue;
+                }
+                let locks: Vec<String> = summary[call.callee].keys().cloned().collect();
+                for lock in locks {
+                    let chain = resolve_chain(&summary, call.callee, &lock);
+                    edges.entry((outer.lock.clone(), lock)).or_insert(EdgeInfo {
+                        holder: n,
+                        anchor: call.offset,
+                        chain,
+                    });
+                }
+            }
+        }
+    }
+    // Backward and re-entrant edges within one declared order.
+    for ((outer, inner), info) in &edges {
+        if info.chain.is_empty() {
+            continue; // zero call hops: the lexical lock-order rule's job
+        }
+        let manifest = view
+            .config
+            .lock_manifests
+            .iter()
+            .find(|m| m.order.contains(&outer.as_str()) && m.order.contains(&inner.as_str()));
+        let Some(manifest) = manifest else {
+            continue;
+        };
+        let full_path = view.path_display(&path_nodes(info));
+        if outer == inner {
+            report(
+                view,
+                findings,
+                info,
+                format!(
+                    "`{inner}` re-acquired while already held (self-deadlock with std Mutex); call path {full_path}"
+                ),
+            );
+        } else if position(manifest.order, inner) < position(manifest.order, outer) {
+            report(
+                view,
+                findings,
+                info,
+                format!(
+                    "`{inner}` acquired while `{outer}` is held, violating the declared order {:?}; call path {full_path}",
+                    manifest.order
+                ),
+            );
+        }
+    }
+    // Cross-manifest cycles: mutually reachable lock pairs no single
+    // declared order constrains.
+    let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (outer, inner) in edges.keys() {
+        adjacency.entry(outer).or_default().insert(inner);
+    }
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for ((outer, inner), info) in &edges {
+        if outer == inner || info.chain.is_empty() {
+            continue;
+        }
+        let shared = view
+            .config
+            .lock_manifests
+            .iter()
+            .any(|m| m.order.contains(&outer.as_str()) && m.order.contains(&inner.as_str()));
+        if shared || !reaches(&adjacency, inner, outer) {
+            continue;
+        }
+        let key = if outer < inner {
+            (outer.clone(), inner.clone())
+        } else {
+            (inner.clone(), outer.clone())
+        };
+        if !reported.insert(key) {
+            continue;
+        }
+        let full_path = view.path_display(&path_nodes(info));
+        report(
+            view,
+            findings,
+            info,
+            format!(
+                "lock acquisition cycle between `{outer}` and `{inner}` (no shared declared order constrains them); `{inner}` taken under `{outer}` via call path {full_path}"
+            ),
+        );
+    }
+}
+
+/// Emits one lock-order-graph finding anchored in the holder's file.
+fn report(view: &CrateView<'_>, findings: &mut Vec<Finding>, info: &EdgeInfo, message: String) {
+    let (file, _) = view.item(info.holder);
+    if !view
+        .config
+        .families(&file.rel_path)
+        .any(|f| f == Family::Locks)
+    {
+        return;
+    }
+    emit(
+        file,
+        findings,
+        "lock-order-graph",
+        info.anchor,
+        message,
+        "acquire locks in declared order along every call path, or drop the outer guard before the call",
+    );
+}
+
+/// Holder-first node chain for display.
+fn path_nodes(info: &EdgeInfo) -> Vec<usize> {
+    let mut nodes = vec![info.holder];
+    nodes.extend(&info.chain);
+    nodes
+}
+
+/// The callee chain from `node` down to the function that directly
+/// acquires `lock`, per the summary provenance.
+fn resolve_chain(summary: &[BTreeMap<String, Step>], node: usize, lock: &str) -> Vec<usize> {
+    let mut chain = vec![node];
+    let mut cur = node;
+    while let Some(Step::Via(next)) = summary[cur].get(lock) {
+        if chain.contains(next) {
+            break; // recursive cycle in the call graph: chain is complete enough
+        }
+        chain.push(*next);
+        cur = *next;
+    }
+    chain
+}
+
+/// Index of `lock` in a declared order (present by construction).
+fn position(order: &[&str], lock: &str) -> usize {
+    order.iter().position(|&n| n == lock).unwrap_or(usize::MAX)
+}
+
+/// Whether `from` reaches `to` in the lock adjacency graph.
+fn reaches(adjacency: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(cur) = stack.pop() {
+        if cur == to {
+            return true;
+        }
+        if !seen.insert(cur) {
+            continue;
+        }
+        if let Some(nexts) = adjacency.get(cur) {
+            stack.extend(nexts.iter().copied());
+        }
+    }
+    false
+}
+
+/// Collects every direct acquisition, attributed to its innermost
+/// function, with lock names resolved against the file's manifest.
+/// RwLock `.read()`/`.write()` receivers missing from the manifest are
+/// reported as `lock-undeclared` here (the lexical rule only sees
+/// `.lock()`).
+fn direct_acquisitions(view: &CrateView<'_>, findings: &mut Vec<Finding>) -> Vec<Vec<Acq>> {
+    let graph = view.graph;
+    let mut direct: Vec<Vec<Acq>> = (0..graph.nodes.len()).map(|_| Vec::new()).collect();
+    for (fi, file) in view.files.iter().enumerate() {
+        let Some(manifest) = view.config.lock_manifest(&file.rel_path) else {
+            continue; // undeclared `.lock()` files are flagged lexically
+        };
+        let text = &file.text;
+        let blocks = brace_pairs(text.as_bytes());
+        for (method, require_empty) in [(".lock", false), (".read", true), (".write", true)] {
+            for offset in method_calls(text, &method[1..]) {
+                if file.in_test_code(offset) {
+                    continue;
+                }
+                if require_empty && !text[offset..].starts_with(&format!("{method}()")) {
+                    continue; // `.read(buf)` etc.: an io trait, not a lock
+                }
+                let Some(raw) = receiver_name(text, offset) else {
+                    continue;
+                };
+                let lock = if manifest.order.contains(&raw.as_str()) {
+                    raw
+                } else {
+                    let plural = format!("{raw}s");
+                    if manifest.order.contains(&plural.as_str()) {
+                        plural
+                    } else {
+                        if require_empty {
+                            emit(
+                                file,
+                                findings,
+                                "lock-undeclared",
+                                offset,
+                                format!(
+                                    "RwLock `{raw}` is not in the declared order {:?} for this file",
+                                    manifest.order
+                                ),
+                                "add the lock to this file's order in crates/lint/src/config.rs",
+                            );
+                        }
+                        continue;
+                    }
+                };
+                let (scope_end, _) = guard_scope_of(text, offset, method, &blocks);
+                if let Some(node) = graph.innermost(view.asts, fi, offset) {
+                    direct[node].push(Acq {
+                        lock,
+                        offset,
+                        scope_end,
+                    });
+                }
+            }
+        }
+        for acqs in &mut direct {
+            acqs.sort_by_key(|a| a.offset);
+        }
+    }
+    direct
+}

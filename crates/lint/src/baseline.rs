@@ -1,0 +1,391 @@
+//! JSON output and the findings baseline — dependency-free like the rest
+//! of the crate.
+//!
+//! `uprob-lint check --format json` emits a stable machine-readable
+//! report (uploaded as a CI artifact), and `--baseline <path>` filters
+//! findings against a committed `lint-baseline.json`: CI fails only on
+//! findings *not* in the baseline, so a new rule can land with a
+//! non-empty burn-down queue without blocking every other PR. Baseline
+//! entries match on `(file, rule, message)` — line and column are
+//! deliberately ignored so unrelated edits shifting a finding up or down
+//! a file do not un-baseline it.
+//!
+//! The serializer and parser below cover exactly the JSON this crate
+//! writes (objects, arrays, strings, integers); the parser additionally
+//! accepts the standard escapes so a hand-edited baseline stays
+//! readable.
+
+use crate::check::Finding;
+
+/// One baseline entry: the identity of a known finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Exact finding message.
+    pub message: String,
+}
+
+/// Serializes findings as the JSON report / baseline format.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\n      \"file\": {},", quote(&f.file)));
+        out.push_str(&format!("\n      \"line\": {},", f.line));
+        out.push_str(&format!("\n      \"col\": {},", f.col));
+        out.push_str(&format!("\n      \"rule\": {},", quote(f.rule)));
+        out.push_str(&format!("\n      \"message\": {},", quote(&f.message)));
+        out.push_str(&format!("\n      \"hint\": {}", quote(f.hint)));
+        out.push_str("\n    }");
+    }
+    if findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Parses a baseline file: the same shape `to_json` writes (line/col and
+/// hint optional, extra keys ignored).
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing input at byte {}", parser.pos));
+    }
+    let Value::Object(top) = value else {
+        return Err("baseline root must be an object".to_string());
+    };
+    let findings = top
+        .iter()
+        .find(|(k, _)| k == "findings")
+        .map(|(_, v)| v)
+        .ok_or_else(|| "baseline has no \"findings\" key".to_string())?;
+    let Value::Array(entries) = findings else {
+        return Err("\"findings\" must be an array".to_string());
+    };
+    let mut out = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let Value::Object(fields) = entry else {
+            return Err(format!("finding #{i} is not an object"));
+        };
+        let field = |name: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == name) {
+                Some((_, Value::String(s))) => Ok(s.clone()),
+                Some(_) => Err(format!("finding #{i}: \"{name}\" is not a string")),
+                None => Err(format!("finding #{i} lacks \"{name}\"")),
+            }
+        };
+        out.push(BaselineEntry {
+            file: field("file")?,
+            rule: field("rule")?,
+            message: field("message")?,
+        });
+    }
+    Ok(out)
+}
+
+/// The findings not covered by the baseline.
+pub fn unbaselined(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !baseline
+                .iter()
+                .any(|b| b.file == f.file && b.rule == f.rule && b.message == f.message)
+        })
+        .collect()
+}
+
+/// JSON string quoting.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The JSON value tree (objects as ordered pairs: no hash maps here).
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    String(String),
+    /// Validated but never read back: baselines only carry line/col
+    /// numbers and booleans as ignorable extras.
+    Number,
+    Bool,
+    Null,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool),
+            Some(b'f') => self.literal("false", Value::Bool),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("dangling escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ascii \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| (0x80..0xC0).contains(&b))
+                    {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) =
+                        std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or(&[]))
+                    {
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(self.bytes.get(start..self.pos).unwrap_or(&[]))
+            .map_err(|_| "bad number".to_string())?;
+        text.parse::<i64>()
+            .map(|_| Value::Number)
+            .map_err(|_| format!("bad number `{text}`"))
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self
+            .bytes
+            .get(self.pos..self.pos + word.len())
+            .is_some_and(|s| s == word.as_bytes())
+        {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("unexpected literal at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &'static str, message: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 3,
+            col: 7,
+            rule,
+            message: message.to_string(),
+            hint: "do the \"right\" thing",
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let findings = vec![
+            finding("a.rs", "panic-unwrap", "`.unwrap()` in library code"),
+            finding("b/c.rs", "det-taint", "path `a` → `b`\nwith newline"),
+        ];
+        let json = to_json(&findings);
+        let parsed = parse(&json).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].file, "a.rs");
+        assert_eq!(parsed[1].message, "path `a` → `b`\nwith newline");
+    }
+
+    #[test]
+    fn empty_baseline_serializes_and_parses() {
+        let json = to_json(&[]);
+        assert_eq!(parse(&json).expect("parse"), Vec::new());
+    }
+
+    #[test]
+    fn unbaselined_filters_by_identity_not_position() {
+        let baseline = vec![BaselineEntry {
+            file: "a.rs".to_string(),
+            rule: "panic-unwrap".to_string(),
+            message: "`.unwrap()` in library code".to_string(),
+        }];
+        let mut shifted = finding("a.rs", "panic-unwrap", "`.unwrap()` in library code");
+        shifted.line = 99; // moved by an unrelated edit
+        let fresh = finding("a.rs", "panic-expect", "`.expect(..)` in library code");
+        let left = unbaselined(vec![shifted, fresh], &baseline);
+        assert_eq!(left.len(), 1);
+        assert_eq!(left.first().map(|f| f.rule), Some("panic-expect"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_baselines() {
+        assert!(parse("[]").is_err());
+        assert!(parse("{\"findings\": {}}").is_err());
+        assert!(parse("{\"findings\": [{\"file\": \"a\"}]}").is_err());
+        assert!(parse("{\"findings\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn escapes_cover_quotes_backslashes_and_controls() {
+        let f = finding("weird \\ \"path\".rs", "panic-unwrap", "tab\there");
+        let parsed = parse(&to_json(&[f])).expect("parse");
+        assert_eq!(
+            parsed.first().map(|e| e.file.as_str()),
+            Some("weird \\ \"path\".rs")
+        );
+        assert_eq!(
+            parsed.first().map(|e| e.message.as_str()),
+            Some("tab\there")
+        );
+    }
+}

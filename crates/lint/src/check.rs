@@ -1,7 +1,12 @@
-//! The rule implementations: pattern analyses over sanitized sources.
+//! The lexical rule implementations: pattern analyses over sanitized
+//! sources.
 //!
-//! Every analysis here is deliberately lexical. The sanitizer guarantees
-//! that matches can never come from comments or string literals, test
+//! Every analysis here is deliberately lexical — single-file, position
+//! based, anchored on the sanitized text the lexer-backed sanitizer
+//! produces (so matches can never come from comments or string
+//! literals). The cross-function analyses (lock-order-graph, det-taint,
+//! stamp-refresh) live in `crate::analysis` on top of the call graph;
+//! this module keeps the shared low-level helpers they borrow. Test
 //! regions are excluded up front, and each heuristic errs on the side of
 //! flagging — the inline allow pragma (with a mandatory reason) is the
 //! designed pressure valve, and `lint-pragma` keeps the allowlist honest
@@ -40,26 +45,29 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Runs every configured family over one file.
-pub fn check_file(file: &SourceFile, config: &LintConfig) -> Vec<Finding> {
-    let mut findings = Vec::new();
+/// Runs every configured lexical family over one file. The structural
+/// analyses and the pragma meta-rule are layered on by
+/// [`crate::check_sources`], which owns the ordering (pragma `used`
+/// flags must account for structural suppressions too).
+pub(crate) fn check_file_lexical(
+    file: &SourceFile,
+    config: &LintConfig,
+    findings: &mut Vec<Finding>,
+) {
     let families: Vec<Family> = config.families(&file.rel_path).collect();
     for family in &families {
         match family {
-            Family::Determinism => check_determinism(file, &mut findings),
-            Family::Numeric => check_numeric(file, &mut findings),
-            Family::Panic => check_panic(file, &mut findings),
-            Family::Locks => check_locks(file, config.lock_manifest(&file.rel_path), &mut findings),
-            Family::Cache => check_cache(file, &mut findings),
+            Family::Determinism => check_determinism(file, findings),
+            Family::Numeric => check_numeric(file, findings),
+            Family::Panic => check_panic(file, findings),
+            Family::Locks => check_locks(file, config.lock_manifest(&file.rel_path), findings),
+            Family::Cache => check_cache(file, findings),
         }
     }
-    check_pragmas(file, &mut findings);
-    findings.sort_by_key(|f| (f.line, f.col));
-    findings
 }
 
 /// Emits a finding unless the site is test code or allowed by a pragma.
-fn emit(
+pub(crate) fn emit(
     file: &SourceFile,
     findings: &mut Vec<Finding>,
     rule: &'static str,
@@ -86,7 +94,7 @@ fn emit(
 // ---------------------------------------------------------------------------
 
 /// Offsets of word-boundary occurrences of `word`.
-fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     let mut from = 0usize;
@@ -104,7 +112,7 @@ fn word_occurrences(text: &str, word: &str) -> Vec<usize> {
 }
 
 /// Offsets of `.method(` call sites (method matched exactly).
-fn method_calls(text: &str, method: &str) -> Vec<usize> {
+pub(crate) fn method_calls(text: &str, method: &str) -> Vec<usize> {
     let pattern = format!(".{method}(");
     let mut out = Vec::new();
     let mut from = 0usize;
@@ -316,7 +324,6 @@ const AMBIENT_SOURCES: [(&str, &str); 6] = [
 fn check_determinism(file: &SourceFile, findings: &mut Vec<Finding>) {
     check_default_hasher(file, findings);
     check_hash_iteration(file, findings);
-    check_stamp_refresh(file, findings);
     for (pattern, what) in AMBIENT_SOURCES {
         let head = pattern.split(':').next().unwrap_or(pattern);
         for offset in word_occurrences(&file.text, head) {
@@ -398,10 +405,24 @@ fn top_level_commas(bytes: &[u8], open: usize) -> Option<usize> {
 }
 
 fn check_hash_iteration(file: &SourceFile, findings: &mut Vec<Finding>) {
-    let names = hash_typed_names(file);
-    if names.is_empty() {
-        return;
+    for (offset, name) in hash_iteration_sites(file) {
+        emit(
+            file,
+            findings,
+            "det-hash-iter",
+            offset,
+            format!("iteration over hash-ordered `{name}`"),
+            "use a BTree container, sort before use, or allow(det-hash-iter) with why order cannot leak",
+        );
     }
+}
+
+/// The `(offset, binding name)` of every non-canonicalized hash-table
+/// iteration in the file — shared between the lexical det-hash-iter rule
+/// and the structural determinism-taint analysis.
+pub(crate) fn hash_iteration_sites(file: &SourceFile) -> Vec<(usize, String)> {
+    let names = hash_typed_names(file);
+    let mut sites = Vec::new();
     let text = &file.text;
     for name in &names {
         for offset in word_occurrences(text, name) {
@@ -426,16 +447,10 @@ fn check_hash_iteration(file: &SourceFile, findings: &mut Vec<Finding>) {
             {
                 continue;
             }
-            emit(
-                file,
-                findings,
-                "det-hash-iter",
-                offset,
-                format!("iteration over hash-ordered `{name}`"),
-                "use a BTree container, sort before use, or allow(det-hash-iter) with why order cannot leak",
-            );
+            sites.push((offset, name.clone()));
         }
     }
+    sites
 }
 
 /// True when the identifier at `offset` is preceded (over `&`/`mut`) by the
@@ -518,7 +533,7 @@ fn hash_typed_names(file: &SourceFile) -> Vec<String> {
 }
 
 /// True when `word` occurs with identifier boundaries.
-fn contains_word(text: &str, word: &str) -> bool {
+pub(crate) fn contains_word(text: &str, word: &str) -> bool {
     !word_occurrences(text, word).is_empty()
 }
 
@@ -541,216 +556,6 @@ fn let_binding_name(text: &str, offset: usize) -> Option<(&str, usize)> {
         i += 1;
     }
     (i > start && !bytes[start].is_ascii_digit()).then(|| (&text[start..i], i))
-}
-
-// ---------------------------------------------------------------------------
-// Stamp refresh (determinism family)
-// ---------------------------------------------------------------------------
-
-/// One `&mut self` method of a stamped type.
-struct Mutator {
-    /// Method name (used to resolve `self.name(..)` delegation).
-    name: String,
-    /// Offset of the `fn` keyword (diagnostic anchor).
-    offset: usize,
-    /// Body range (between the braces, exclusive).
-    body: (usize, usize),
-}
-
-/// Flags `&mut self` methods on stamp-carrying types that neither touch
-/// `stamp` themselves nor delegate (transitively) to a method that does —
-/// the invariant behind stamp-bound caches: equal stamps imply identical
-/// contents.
-fn check_stamp_refresh(file: &SourceFile, findings: &mut Vec<Finding>) {
-    let text = &file.text;
-    let bytes = text.as_bytes();
-    let blocks = brace_pairs(bytes);
-    let stamped = stamped_type_names(text, &blocks);
-    if stamped.is_empty() {
-        return;
-    }
-    let mut mutators: Vec<Mutator> = Vec::new();
-    for offset in word_occurrences(text, "impl") {
-        let Some(open) = text[offset..].find('{').map(|p| offset + p) else {
-            continue;
-        };
-        let header = &text[offset..open];
-        if !stamped.iter().any(|n| contains_word(header, n)) {
-            continue;
-        }
-        let close = blocks
-            .iter()
-            .find(|&&(o, _)| o == open)
-            .map_or(text.len(), |&(_, c)| c);
-        collect_mut_self_fns(text, &blocks, open + 1, close, &mut mutators);
-    }
-    // Fixpoint: a mutator refreshes if its body mentions `stamp` or calls a
-    // refreshing mutator through `self.`.
-    let mut refreshes: Vec<bool> = mutators
-        .iter()
-        .map(|m| contains_word(&text[m.body.0..m.body.1], "stamp"))
-        .collect();
-    loop {
-        let mut changed = false;
-        for i in 0..mutators.len() {
-            if refreshes.get(i).copied().unwrap_or(true) {
-                continue;
-            }
-            let body = &text[mutators[i].body.0..mutators[i].body.1];
-            let delegates = mutators
-                .iter()
-                .enumerate()
-                .any(|(j, m)| refreshes[j] && body.contains(&format!("self.{}(", m.name)));
-            if delegates {
-                refreshes[i] = true;
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    for (i, mutator) in mutators.iter().enumerate() {
-        if refreshes[i] {
-            continue;
-        }
-        emit(
-            file,
-            findings,
-            "stamp-refresh",
-            mutator.offset,
-            format!(
-                "`&mut self` method `{}` on a stamped type never refreshes `stamp`",
-                mutator.name
-            ),
-            "refresh the stamp (directly or via a refreshing mutator), or allow(stamp-refresh) with why contents are unchanged",
-        );
-    }
-}
-
-/// Names of struct types declaring a field named exactly `stamp`.
-fn stamped_type_names(text: &str, blocks: &[(usize, usize)]) -> Vec<String> {
-    let bytes = text.as_bytes();
-    let mut names = Vec::new();
-    for offset in word_occurrences(text, "struct") {
-        let mut i = offset + "struct".len();
-        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        let start = i;
-        while i < bytes.len() && is_ident_byte(bytes[i]) {
-            i += 1;
-        }
-        if i == start {
-            continue;
-        }
-        let name = &text[start..i];
-        // The record body: the first brace outside the generic list. Unit
-        // and tuple structs (`;` / `(` first) carry no named fields.
-        let mut angle = 0i32;
-        let mut open = None;
-        for (j, &b) in bytes.iter().enumerate().skip(i) {
-            match b {
-                b'<' => angle += 1,
-                b'>' => angle -= 1,
-                b'{' if angle <= 0 => {
-                    open = Some(j);
-                    break;
-                }
-                b';' | b'(' if angle <= 0 => break,
-                _ => {}
-            }
-        }
-        let Some(open) = open else {
-            continue;
-        };
-        let close = blocks
-            .iter()
-            .find(|&&(o, _)| o == open)
-            .map_or(text.len(), |&(_, c)| c);
-        let body = &text[open + 1..close];
-        let has_stamp_field = word_occurrences(body, "stamp")
-            .iter()
-            .any(|&p| matches!(next_nonspace(body, p + "stamp".len()), Some((_, b':'))));
-        if has_stamp_field {
-            names.push(name.to_string());
-        }
-    }
-    names.sort();
-    names.dedup();
-    names
-}
-
-/// Collects the `&mut self` methods declared in `from..to` (an impl body).
-fn collect_mut_self_fns(
-    text: &str,
-    blocks: &[(usize, usize)],
-    from: usize,
-    to: usize,
-    out: &mut Vec<Mutator>,
-) {
-    let bytes = text.as_bytes();
-    for offset in word_occurrences(text, "fn") {
-        if offset < from || offset >= to {
-            continue;
-        }
-        let mut i = offset + 2;
-        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
-            i += 1;
-        }
-        let start = i;
-        while i < bytes.len() && is_ident_byte(bytes[i]) {
-            i += 1;
-        }
-        if i == start {
-            continue;
-        }
-        let name = &text[start..i];
-        let Some(popen) = text[i..to].find('(').map(|p| i + p) else {
-            continue;
-        };
-        let pclose = skip_parens(bytes, popen);
-        let first_param = text[popen + 1..pclose.saturating_sub(1).max(popen + 1)]
-            .split(',')
-            .next()
-            .unwrap_or("");
-        let is_mut_self = first_param.contains('&')
-            && contains_word(first_param, "mut")
-            && contains_word(first_param, "self");
-        if !is_mut_self {
-            continue;
-        }
-        // The body opener: the first `{` before a `;` (a `;` first means a
-        // bodyless trait-method declaration).
-        let mut open = None;
-        for (j, &b) in bytes
-            .iter()
-            .enumerate()
-            .skip(pclose)
-            .take(to - pclose.min(to))
-        {
-            match b {
-                b'{' => {
-                    open = Some(j);
-                    break;
-                }
-                b';' => break,
-                _ => {}
-            }
-        }
-        let Some(open) = open else {
-            continue;
-        };
-        let close = blocks
-            .iter()
-            .find(|&&(o, _)| o == open)
-            .map_or(to, |&(_, c)| c);
-        out.push(Mutator {
-            name: name.to_string(),
-            offset,
-            body: (open + 1, close),
-        });
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -985,7 +790,7 @@ pub fn collect_acquisitions(
 
 /// The field/binding name the `.lock()` at `call` is invoked on, skipping
 /// one trailing index chain (`shards[i].lock()` resolves to `shards`).
-fn receiver_name(text: &str, call: usize) -> Option<String> {
+pub(crate) fn receiver_name(text: &str, call: usize) -> Option<String> {
     let bytes = text.as_bytes();
     let mut end = call; // points at the `.` of `.lock(`
     if let Some((pos, b)) = prev_nonspace(text, end) {
@@ -1015,7 +820,7 @@ fn receiver_name(text: &str, call: usize) -> Option<String> {
 }
 
 /// All `{`..`}` pairs of the file.
-fn brace_pairs(bytes: &[u8]) -> Vec<(usize, usize)> {
+pub(crate) fn brace_pairs(bytes: &[u8]) -> Vec<(usize, usize)> {
     let mut stack = Vec::new();
     let mut pairs = Vec::new();
     for (i, &b) in bytes.iter().enumerate() {
@@ -1038,13 +843,24 @@ fn brace_pairs(bytes: &[u8]) -> Vec<(usize, usize)> {
 ///   when the statement flows into a block before reaching `;` (if-let /
 ///   while-let / match scrutinees), to the end of that block (the Rust
 ///   2021 temporary-scope extension).
-fn guard_scope(text: &str, call: usize, blocks: &[(usize, usize)]) -> (usize, bool) {
+pub(crate) fn guard_scope(text: &str, call: usize, blocks: &[(usize, usize)]) -> (usize, bool) {
+    guard_scope_of(text, call, ".lock", blocks)
+}
+
+/// [`guard_scope`] for an arbitrary acquisition method (`.lock`, `.read`,
+/// `.write`), so the structural analysis can model RwLock guards too.
+pub(crate) fn guard_scope_of(
+    text: &str,
+    call: usize,
+    method: &str,
+    blocks: &[(usize, usize)],
+) -> (usize, bool) {
     let bytes = text.as_bytes();
     // Where does the lock expression's chain end? Skip `.expect(..)` and
     // `.unwrap()` which forward the guard.
     let mut i = call;
-    // step past `.lock(...)`
-    i += ".lock".len();
+    // step past `.lock(...)` / `.read(...)` / `.write(...)`
+    i += method.len();
     i = skip_parens(bytes, i);
     loop {
         // rustfmt splits long chains across lines: skip whitespace before
@@ -1130,7 +946,22 @@ fn check_cache(file: &SourceFile, findings: &mut Vec<Finding>) {
 // Pragma meta-rule
 // ---------------------------------------------------------------------------
 
-fn check_pragmas(file: &SourceFile, findings: &mut Vec<Finding>) {
+pub(crate) fn check_pragmas(file: &SourceFile, findings: &mut Vec<Finding>) {
+    // A live-looking pragma inside a doc comment suppresses nothing: the
+    // sanitizer only harvests pragmas from plain comment tokens. Surface
+    // it rather than letting it silently rot.
+    for &line in &file.inert_doc_pragmas {
+        findings.push(Finding {
+            file: file.rel_path.clone(),
+            line,
+            col: 1,
+            rule: "lint-pragma",
+            message:
+                "allow pragma inside a doc comment is inert — pragmas only work in plain comments"
+                    .to_string(),
+            hint: "move it to a plain `//` comment on the guarded line, or reword the doc text",
+        });
+    }
     for pragma in &file.pragmas {
         let (line, col) = (pragma.line, 1);
         let mut report = |message: String| {

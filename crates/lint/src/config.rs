@@ -16,7 +16,10 @@
 //!   must not crash on the workspace it gates. Its `fixtures/` corpus is
 //!   excluded wholesale — fixtures are deliberate violations.
 //! * `vendor/`, `target/`, `tests/`, `benches/` and `examples/` are out
-//!   of scope everywhere.
+//!   of scope everywhere. Unlike the rule scope, these *exclusions* live
+//!   in the checked-in `uprob-lint.toml` at the workspace root (so CI
+//!   and local runs agree, and the list is reviewable without a rebuild)
+//!   with the defaults below as fallback when no file is present.
 
 /// Rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +58,12 @@ pub struct LintConfig {
     pub numeric_exempt: &'static [&'static str],
     /// Declared lock orders.
     pub lock_manifests: &'static [LockManifest],
+    /// Directory names pruned during the workspace walk.
+    pub exclude_dirs: Vec<String>,
+    /// Workspace-relative path prefixes out of scope.
+    pub exclude_prefixes: Vec<String>,
+    /// Path segments marking out-of-scope files anywhere in the tree.
+    pub exclude_segments: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -81,31 +90,77 @@ impl Default for LintConfig {
                 },
                 LockManifest {
                     file: "crates/query/src/service.rs",
-                    order: &["writer", "prior", "plans", "inflight", "slot"],
+                    order: &["writer", "prior", "plans", "inflight", "slot", "current"],
                 },
             ],
+            exclude_dirs: to_owned(&[".git", "target", "vendor", "fixtures", "node_modules"]),
+            exclude_prefixes: to_owned(&[
+                "vendor/",
+                "target/",
+                "tests/",
+                "examples/",
+                "crates/lint/fixtures/",
+            ]),
+            exclude_segments: to_owned(&["/tests/", "/benches/", "/examples/", "/bin/"]),
         }
     }
 }
 
+fn to_owned(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
 impl LintConfig {
+    /// The config for a workspace checkout: defaults with the exclusion
+    /// lists overridden by `uprob-lint.toml` at `root` when present.
+    pub fn load(root: &std::path::Path) -> Self {
+        let mut config = LintConfig::default();
+        if let Ok(text) = std::fs::read_to_string(root.join("uprob-lint.toml")) {
+            config.apply_toml(&text);
+        }
+        config
+    }
+
+    /// Applies the `[scope]` keys of an `uprob-lint.toml` text. The
+    /// format is deliberately tiny: single-line string arrays,
+    /// full-line `#` comments, one `[scope]` table. Unknown keys are
+    /// ignored so the file can grow without lockstep releases.
+    pub fn apply_toml(&mut self, text: &str) {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with('[') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let items = parse_string_array(value.trim());
+            match key.trim() {
+                "exclude-dirs" => self.exclude_dirs = items,
+                "exclude-prefixes" => self.exclude_prefixes = items,
+                "exclude-segments" => self.exclude_segments = items,
+                _ => {}
+            }
+        }
+    }
+
     /// Whether a workspace-relative path is scanned at all.
     pub fn scans(&self, rel_path: &str) -> bool {
         if !rel_path.ends_with(".rs") {
             return false;
         }
-        let skip_prefixes = [
-            "vendor/",
-            "target/",
-            "tests/",
-            "examples/",
-            "crates/lint/fixtures/",
-        ];
-        if skip_prefixes.iter().any(|p| rel_path.starts_with(p)) {
+        if self
+            .exclude_prefixes
+            .iter()
+            .any(|p| rel_path.starts_with(p.as_str()))
+        {
             return false;
         }
-        let skip_segments = ["/tests/", "/benches/", "/examples/", "/bin/"];
-        if skip_segments.iter().any(|s| rel_path.contains(s)) {
+        if self
+            .exclude_segments
+            .iter()
+            .any(|s| rel_path.contains(s.as_str()))
+        {
             return false;
         }
         self.families(rel_path).next().is_some() || self.lock_manifest(rel_path).is_some()
@@ -137,6 +192,24 @@ impl LintConfig {
     pub fn lock_manifest(&self, rel_path: &str) -> Option<&LockManifest> {
         self.lock_manifests.iter().find(|m| m.file == rel_path)
     }
+}
+
+/// Parses a single-line TOML string array: `["a", "b"]`.
+fn parse_string_array(value: &str) -> Vec<String> {
+    let inner = value
+        .trim()
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .unwrap_or("");
+    inner
+        .split(',')
+        .filter_map(|item| {
+            let item = item.trim();
+            item.strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .map(str::to_string)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -191,6 +264,23 @@ mod tests {
     }
 
     #[test]
+    fn toml_scope_overrides_the_exclusion_lists() {
+        let mut config = LintConfig::default();
+        config.apply_toml(
+            "# comment\n[scope]\nexclude-dirs = [\".git\", \"generated\"]\n\
+             exclude-prefixes = [\"gen/\"]\nunknown-key = [\"x\"]\n",
+        );
+        assert_eq!(
+            config.exclude_dirs,
+            [".git".to_string(), "generated".to_string()]
+        );
+        assert_eq!(config.exclude_prefixes, ["gen/".to_string()]);
+        // Untouched key keeps its default.
+        assert!(config.exclude_segments.iter().any(|s| s == "/tests/"));
+        assert!(!config.scans("gen/lib.rs"));
+    }
+
+    #[test]
     fn lock_manifests_cover_the_scheduler_and_the_cache() {
         let config = LintConfig::default();
         let scheduler = config.lock_manifest("crates/core/src/parallel.rs").unwrap();
@@ -200,7 +290,7 @@ mod tests {
         let service = config.lock_manifest("crates/query/src/service.rs").unwrap();
         assert_eq!(
             service.order,
-            ["writer", "prior", "plans", "inflight", "slot"]
+            ["writer", "prior", "plans", "inflight", "slot", "current"]
         );
     }
 }

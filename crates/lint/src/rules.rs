@@ -102,12 +102,14 @@ longer exist — silently wrong confidences, the worst failure mode this \
 workspace has. The serving layer compounds the blast radius: a snapshot's \
 plan cache and admission table key on stamps too.
 
-The rule finds struct declarations carrying a `stamp` field, then scans \
+The rule finds struct declarations carrying a `stamp` field, then checks \
 every `&mut self` method in impl blocks of those types: a mutator must \
-either mention `stamp` in its body (a direct refresh) or call another \
-mutator of the same type that does (transitive refresh, resolved to a \
-fixpoint). A mutator that genuinely cannot change observable contents \
-(e.g. reserving capacity) may be allowed inline:
+either mention `stamp` in its body (a direct refresh) or transitively \
+call something that does — resolved as a fixpoint over the intra-crate \
+call graph, so delegation through free functions, associated functions \
+and cross-file helpers is credited. A mutator that genuinely cannot \
+change observable contents (e.g. reserving capacity) may be allowed \
+inline:
 
     // uprob-lint: allow(stamp-refresh) -- <why contents are unchanged>",
     },
@@ -228,17 +230,72 @@ different worker deques during a steal — which the current code never \
 nests).",
     },
     Rule {
+        id: "lock-order-graph",
+        family: "locks",
+        summary: "lock acquisition reachable through calls that inverts a declared order",
+        explanation: "\
+The lexical lock-order rule sees one function at a time; this analysis \
+propagates lock acquisitions through the intra-crate call graph. Each \
+function gets a transitive summary (which locks can a call to it take), \
+and every call made while a manifest lock's guard is live contributes \
+acquisition-graph edges outer → inner. Three shapes are flagged, each \
+with the full call path from the guard-holding function down to the \
+acquiring one: an edge that runs backward through a declared order, a \
+re-acquisition of the held lock itself (self-deadlock with std Mutex), \
+and a pair of locks from different manifests that are mutually reachable \
+— a cycle no single declared order rules out. Zero-hop inversions inside \
+one body stay with the lexical rule.
+
+Fix by acquiring in declared order along every call path, or by dropping \
+the outer guard before the call (clone what you need out of the guard). \
+The analysis is intra-crate and does not resolve trait dispatch, so a \
+missing edge can hide a deadlock but never invent one; allows are \
+reserved for paths proven unreachable:
+
+    // uprob-lint: allow(lock-order-graph) -- <why this path cannot run>",
+    },
+    Rule {
         id: "lock-undeclared",
         family: "locks",
-        summary: ".lock() on a mutex missing from the declared acquisition order",
+        summary: "lock acquisition on a field missing from the declared order",
         explanation: "\
-Every mutex in product code must appear in the lint config's per-file \
-lock order before it can be acquired: an undeclared lock is invisible to \
-the lock-order analysis, so nesting it cannot be checked. When adding a \
-mutex (or a whole new locking file, e.g. the serving layer), add its \
-field name to the declared order in crates/lint/src/config.rs at the \
-position that reflects where it may be acquired relative to the existing \
-locks — the lint then enforces that position everywhere.",
+Every lock in product code must appear in the lint config's per-file \
+acquisition order before it can be taken: an undeclared lock is \
+invisible to the lock-order analyses, so nesting it cannot be checked. \
+The lexical pass flags undeclared `.lock()` receivers; the call-graph \
+pass additionally flags RwLock `.read()`/`.write()` receivers (empty \
+argument lists only, which distinguishes them from `io::Read`/`io::Write` \
+calls). When adding a lock (or a whole new locking file, e.g. the \
+serving layer), add its field name to the declared order in \
+crates/lint/src/config.rs at the position that reflects where it may be \
+acquired relative to the existing locks — the lint then enforces that \
+position everywhere.",
+    },
+    Rule {
+        id: "det-taint",
+        family: "determinism",
+        summary: "nondeterminism source inside code reachable from a bit-identity surface",
+        explanation: "\
+The bit-identity contracts have named surfaces: `confidence_parallel` \
+(parallel ≡ sequential at every worker count), the `assert_all*` \
+constraint entry points, and `ProbDbService`'s `conf*` methods (served ≡ \
+direct). This analysis computes the set of functions transitively \
+reachable from those surfaces over the intra-crate call graph — the \
+*cone* — and flags every nondeterminism source inside it: iteration over \
+hash-ordered containers, thread spawns (completion order is \
+scheduler-dependent), and environment reads (`env::var*`, ambient input \
+no stamp covers). Each finding carries the call path from the surface to \
+the tainted function, so review starts from the contract at risk rather \
+than the line.
+
+Fix by making the site deterministic: sorted or indexed iteration, \
+merging worker results by index rather than completion order, threading \
+ambient input in as a stamped parameter. A source whose nondeterminism \
+provably cannot reach the result bits is allowed inline with the \
+argument spelled out (an existing allow(det-hash-iter) on the same site \
+is honoured — one argued exemption covers both views):
+
+    // uprob-lint: allow(det-taint) -- <why the nondeterminism cannot reach result bits>",
     },
     Rule {
         id: "cache-inherit",
@@ -272,9 +329,12 @@ The allowlist is only auditable if every entry is well-formed and true. \
 This meta-rule flags: pragmas that do not parse \
 (`uprob-lint: allow(rule) -- reason` / `allow-file(rule) -- reason`), \
 pragmas without a `-- reason`, pragmas naming a rule id that is not \
-registered, and pragmas that suppress nothing (stale allows must be \
-deleted as the burn-down progresses, not accumulate). A pragma finding \
-cannot itself be allowed.",
+registered, pragmas that suppress nothing (stale allows must be deleted \
+as the burn-down progresses, not accumulate), and well-formed pragmas \
+written inside doc comments — pragmas are only read from plain `//` and \
+`/* */` comment tokens, so a doc-comment pragma is inert and almost \
+certainly a mistake. Pragma-looking text inside string literals is never \
+parsed. A pragma finding cannot itself be allowed.",
     },
 ];
 

@@ -1,23 +1,31 @@
-//! Source model for the lint pass: a hand-rolled lexical sanitizer.
+//! Source model for the lint pass, built on the hand-written lexer.
 //!
-//! `uprob-lint` deliberately ships no parser dependency (the workspace
-//! vendors every dependency, and a full Rust grammar is far more machinery
-//! than the rules need). Instead, each file is *sanitized*: comments and
-//! the contents of string/char literals are replaced by spaces, byte for
-//! byte, so the sanitized text has exactly the raw text's length, line
-//! structure and token positions — and every rule can match code patterns
-//! by position without ever being fooled by a string literal or a doc
-//! comment. Comments are captured before blanking so the `uprob-lint:`
-//! allow pragmas can be read out of them, and `#[cfg(test)]` / `#[test]`
-//! regions are bracketed so rules can skip test code.
+//! Each file is lexed (`crate::lexer`) and then *sanitized* from the
+//! token stream: comment tokens and the interiors of string/char literals
+//! are replaced by spaces, byte for byte, so the sanitized text has
+//! exactly the raw text's length, line structure and token positions —
+//! and every rule can match code patterns by position without ever being
+//! fooled by a string literal or a doc comment. Because the delimiters
+//! come from real tokens (not scans), raw strings, nested block comments
+//! and the lifetime/char ambiguity are handled exactly.
+//!
+//! Allow pragmas are recognised **only inside plain (non-doc) comment
+//! tokens**: a pragma spelled inside a string literal is code, and one
+//! inside a doc comment is documentation — neither suppresses anything.
+//! A doc-comment pragma that *looks* live (well-formed, every rule
+//! registered) is reported by the `lint-pragma` meta-rule so it cannot
+//! silently rot. `#[cfg(test)]` / `#[test]` regions are bracketed so
+//! rules can skip test code.
 
 // uprob-lint: allow-file(panic-index) -- every index and slice offset in this file derives from a scan over the very buffer being indexed; the sanitizer's byte-for-byte contract keeps raw and sanitized offsets interchangeable
 
 use std::cell::Cell;
 
-/// A lint-allow pragma extracted from a comment.
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lint-allow pragma extracted from a comment token.
 ///
-/// Grammar (inside any `//` or `/* */` comment):
+/// Grammar (inside any plain `//` or `/* */` comment):
 ///
 /// ```text
 /// uprob-lint: allow(rule-a, rule-b) -- <reason>
@@ -56,30 +64,44 @@ pub struct SourceFile {
     /// Sanitized text: comments and literal contents blanked, same length
     /// and line structure as the raw file.
     pub text: String,
+    /// The token stream the sanitized text was derived from (spans are
+    /// valid in both the raw and the sanitized text).
+    pub tokens: Vec<Token>,
     /// Byte offset of the start of each (1-based) line.
     line_starts: Vec<usize>,
-    /// Allow pragmas harvested from comments.
+    /// Allow pragmas harvested from plain comment tokens.
     pub pragmas: Vec<Pragma>,
+    /// 1-based lines of doc-comment pragmas that parse as live pragmas
+    /// (well-formed, all rules registered) but are inert by position.
+    pub inert_doc_pragmas: Vec<usize>,
     /// Byte ranges covered by `#[cfg(test)]` items or `#[test]` functions.
     test_regions: Vec<(usize, usize)>,
 }
 
 impl SourceFile {
-    /// Sanitizes `raw` and computes pragmas, line table and test regions.
+    /// Lexes and sanitizes `raw`, then computes pragmas, line table and
+    /// test regions.
     pub fn parse(rel_path: &str, raw: &str) -> SourceFile {
-        let (text, comments) = sanitize(raw);
+        let tokens = lex(raw);
+        let (text, comments) = sanitize(raw, &tokens);
         let line_starts = index_lines(&text);
         let mut file = SourceFile {
             rel_path: rel_path.to_string(),
             text,
+            tokens,
             line_starts,
             pragmas: Vec::new(),
+            inert_doc_pragmas: Vec::new(),
             test_regions: Vec::new(),
         };
-        file.pragmas = comments
-            .iter()
-            .filter_map(|c| parse_pragma(c, &file))
-            .collect();
+        for comment in &comments {
+            if comment.doc {
+                file.inert_doc_pragmas
+                    .extend(live_doc_pragma_lines(comment));
+            } else if let Some(pragma) = parse_pragma(comment, &file) {
+                file.pragmas.push(pragma);
+            }
+        }
         file.test_regions = find_test_regions(&file.text);
         file
     }
@@ -151,213 +173,130 @@ struct Comment {
     line: usize,
     /// Whether any code precedes the comment on its first line.
     trailing: bool,
-    /// The comment text.
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    doc: bool,
+    /// The comment text (delimiters stripped).
     content: String,
 }
 
-/// Blanks comments and literal contents. Returns the sanitized text (same
-/// byte length as `raw`) and the captured comments.
-fn sanitize(raw: &str) -> (String, Vec<Comment>) {
-    let bytes = raw.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
+/// Builds the sanitized text from the token stream: comments fully
+/// blanked, literal interiors blanked with delimiters kept, everything
+/// else copied verbatim. Returns the sanitized text (same byte length as
+/// `raw`) and the captured comments.
+fn sanitize(raw: &str, tokens: &[Token]) -> (String, Vec<Comment>) {
+    let mut out = Vec::with_capacity(raw.len());
     let mut comments = Vec::new();
     let mut line = 1usize;
     let mut line_had_code = false;
-    let mut i = 0usize;
 
-    // Pushes `n` source bytes as blanks, preserving newlines.
-    fn blank(out: &mut Vec<u8>, bytes: &[u8], from: usize, to: usize, line: &mut usize) {
-        for &b in &bytes[from..to] {
-            if b == b'\n' {
-                out.push(b'\n');
-                *line += 1;
-            } else {
-                out.push(b' ');
-            }
+    // Pushes a byte span as blanks, newlines preserved.
+    fn blank(out: &mut Vec<u8>, text: &str) {
+        for &b in text.as_bytes() {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
         }
     }
 
-    while i < bytes.len() {
-        let b = bytes[i];
-        match b {
-            b'/' if bytes.get(i + 1) == Some(&b'/') => {
-                let start = i;
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
-                }
+    for token in tokens {
+        let text = token.text(raw);
+        match token.kind {
+            TokenKind::Whitespace => out.extend_from_slice(text.as_bytes()),
+            TokenKind::LineComment { doc } => {
                 comments.push(Comment {
                     line,
                     trailing: line_had_code,
-                    content: raw[start + 2..i].to_string(),
-                });
-                blank(&mut out, bytes, start, i, &mut line);
-            }
-            b'/' if bytes.get(i + 1) == Some(&b'*') => {
-                let start = i;
-                let start_line = line;
-                let trailing = line_had_code;
-                let mut depth = 1usize;
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                comments.push(Comment {
-                    line: start_line,
-                    trailing,
-                    content: raw[(start + 2).min(i)..i.saturating_sub(2).max(start + 2)]
+                    doc,
+                    content: text
+                        .strip_prefix("//")
+                        .map(|t| if doc { t.get(1..).unwrap_or("") } else { t })
+                        .unwrap_or("")
                         .to_string(),
                 });
-                blank(&mut out, bytes, start, i, &mut line);
+                blank(&mut out, text);
             }
-            b'"' => {
-                // String literal (including the body of b"...").
-                out.push(b'"');
-                i += 1;
-                let start = i;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => break,
-                        _ => i += 1,
-                    }
-                }
-                let end = i.min(bytes.len());
-                blank(&mut out, bytes, start, end, &mut line);
-                if i < bytes.len() {
-                    out.push(b'"');
-                    i += 1;
-                }
-                line_had_code = true;
-                continue;
-            }
-            b'r' | b'b' if is_raw_string_start(bytes, i) => {
-                // r"...", r#"..."#, br"...", etc.
-                let mut j = i + 1;
-                if bytes.get(j) == Some(&b'r') {
-                    j += 1;
-                }
-                let mut hashes = 0usize;
-                while bytes.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                // Copy the prefix (r, optional b, hashes, opening quote).
-                out.extend_from_slice(&bytes[i..=j]);
-                i = j + 1;
-                let start = i;
-                let closer: Vec<u8> = std::iter::once(b'"')
-                    .chain(std::iter::repeat_n(b'#', hashes))
-                    .collect();
-                while i < bytes.len() && !bytes[i..].starts_with(&closer) {
-                    i += 1;
-                }
-                blank(&mut out, bytes, start, i, &mut line);
-                if i < bytes.len() {
-                    out.extend_from_slice(&closer);
-                    i += closer.len();
-                }
-                line_had_code = true;
-                continue;
-            }
-            b'\'' => {
-                // Char literal or lifetime. A lifetime is a quote followed
-                // by an identifier that is *not* itself closed by a quote.
-                if is_lifetime(bytes, i) {
-                    out.push(b'\'');
-                    i += 1;
+            TokenKind::BlockComment { doc, terminated } => {
+                let inner = text.strip_prefix("/*").unwrap_or(text);
+                let inner = if terminated {
+                    inner.strip_suffix("*/").unwrap_or(inner)
                 } else {
-                    out.push(b'\'');
-                    i += 1;
-                    let start = i;
-                    while i < bytes.len() {
-                        match bytes[i] {
-                            b'\\' => i += 2,
-                            b'\'' => break,
-                            _ => i += 1,
-                        }
-                    }
-                    let end = i.min(bytes.len());
-                    blank(&mut out, bytes, start, end, &mut line);
-                    if i < bytes.len() {
-                        out.push(b'\'');
-                        i += 1;
-                    }
+                    inner
+                };
+                let inner = if doc {
+                    inner.get(1..).unwrap_or("")
+                } else {
+                    inner
+                };
+                comments.push(Comment {
+                    line,
+                    trailing: line_had_code,
+                    doc,
+                    content: inner.to_string(),
+                });
+                blank(&mut out, text);
+            }
+            TokenKind::Str { terminated } => {
+                // Keep the prefix up to and including the opening quote and
+                // (when present) the closing quote; blank the interior.
+                let open = text.find('"').map_or(text.len(), |p| p + 1);
+                out.extend_from_slice(&text.as_bytes()[..open]);
+                let close = if terminated {
+                    text.len() - 1
+                } else {
+                    text.len()
+                };
+                blank(&mut out, &text[open..close]);
+                if terminated {
+                    out.push(b'"');
                 }
                 line_had_code = true;
-                continue;
             }
-            b'\n' => {
-                out.push(b'\n');
-                line += 1;
-                line_had_code = false;
-                i += 1;
-                continue;
-            }
-            _ => {
-                if !b.is_ascii_whitespace() {
-                    line_had_code = true;
+            TokenKind::RawStr { hashes, terminated } => {
+                let open = text.find('"').map_or(text.len(), |p| p + 1);
+                out.extend_from_slice(&text.as_bytes()[..open]);
+                let close = if terminated {
+                    text.len() - (1 + hashes)
+                } else {
+                    text.len()
+                };
+                blank(&mut out, &text[open..close.max(open)]);
+                if terminated {
+                    out.extend_from_slice(&text.as_bytes()[close.max(open)..]);
                 }
-                out.push(b);
-                i += 1;
-                continue;
+                line_had_code = true;
+            }
+            TokenKind::Char => {
+                let open = text.find('\'').map_or(text.len(), |p| p + 1);
+                out.extend_from_slice(&text.as_bytes()[..open]);
+                let terminated = text.len() > open && text.ends_with('\'');
+                let close = if terminated {
+                    text.len() - 1
+                } else {
+                    text.len()
+                };
+                blank(&mut out, &text[open..close.max(open)]);
+                if terminated {
+                    out.push(b'\'');
+                }
+                line_had_code = true;
+            }
+            TokenKind::Ident | TokenKind::Lifetime | TokenKind::Number | TokenKind::Punct => {
+                out.extend_from_slice(text.as_bytes());
+                line_had_code = true;
+            }
+        }
+        // Advance the line counter and reset the had-code flag per line.
+        let newlines = text.bytes().filter(|&b| b == b'\n').count();
+        if newlines > 0 {
+            line += newlines;
+            line_had_code = false;
+            if token.kind != TokenKind::Whitespace && !text.ends_with('\n') && !token.is_comment() {
+                // A multi-line literal continues as code on its last line.
+                line_had_code = true;
             }
         }
     }
-    // uprob-lint: allow(panic-expect) -- blanking only ever replaces whole characters with ASCII spaces
+    // uprob-lint: allow(panic-expect) -- blanking only ever replaces whole characters with ASCII spaces, and delimiters are copied from the original UTF-8 text
     let text = String::from_utf8(out).expect("sanitizer preserves UTF-8 structure");
     (text, comments)
-}
-
-/// True at the start of a raw (or raw byte) string literal.
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    // Must not be the tail of a longer identifier (e.g. `for r in ...`).
-    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-        return false;
-    }
-    let mut j = i;
-    if bytes[j] == b'b' {
-        j += 1;
-        if bytes.get(j) != Some(&b'r') {
-            // b"..." is handled by the plain string arm via its quote.
-            return false;
-        }
-    }
-    if bytes.get(j) != Some(&b'r') {
-        return false;
-    }
-    j += 1;
-    while bytes.get(j) == Some(&b'#') {
-        j += 1;
-    }
-    bytes.get(j) == Some(&b'"')
-}
-
-/// True when the quote at `i` opens a lifetime rather than a char literal.
-fn is_lifetime(bytes: &[u8], i: usize) -> bool {
-    let Some(&first) = bytes.get(i + 1) else {
-        return true;
-    };
-    if first == b'\\' {
-        return false;
-    }
-    if !(first.is_ascii_alphabetic() || first == b'_') {
-        return false;
-    }
-    // 'x' is a char literal; 'x on its own (no closing quote right after
-    // the identifier) is a lifetime.
-    let mut j = i + 2;
-    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
-        j += 1;
-    }
-    bytes.get(j) != Some(&b'\'')
 }
 
 fn index_lines(text: &str) -> Vec<usize> {
@@ -370,24 +309,38 @@ fn index_lines(text: &str) -> Vec<usize> {
     starts
 }
 
-/// Parses a `uprob-lint:` pragma out of one comment, if present.
+/// Parses a `uprob-lint:` pragma out of one plain comment, if present.
 fn parse_pragma(comment: &Comment, file: &SourceFile) -> Option<Pragma> {
-    let content = comment.content.trim();
+    let (file_level, rules, reason, well_formed) = parse_pragma_text(&comment.content)?;
+    let target_line = if file_level {
+        None
+    } else if comment.trailing {
+        Some(comment.line)
+    } else {
+        file.next_code_line(comment.line + 1)
+    };
+    Some(Pragma {
+        line: comment.line,
+        target_line,
+        rules,
+        reason,
+        file_level,
+        used: Cell::new(false),
+        well_formed,
+    })
+}
+
+/// The pragma grammar, shared between live-comment parsing and inert
+/// doc-comment detection: `(file_level, rules, reason, well_formed)`.
+fn parse_pragma_text(content: &str) -> Option<(bool, Vec<String>, String, bool)> {
+    let content = content.trim();
     let rest = content.strip_prefix("uprob-lint:")?.trim_start();
     let (file_level, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
         (true, r)
     } else if let Some(r) = rest.strip_prefix("allow") {
         (false, r)
     } else {
-        return Some(Pragma {
-            line: comment.line,
-            target_line: None,
-            rules: Vec::new(),
-            reason: String::new(),
-            file_level: false,
-            used: Cell::new(false),
-            well_formed: false,
-        });
+        return Some((false, Vec::new(), String::new(), false));
     };
     let rest = rest.trim_start();
     let mut well_formed = true;
@@ -412,22 +365,30 @@ fn parse_pragma(comment: &Comment, file: &SourceFile) -> Option<Pragma> {
         Some(r) => r.trim().to_string(),
         None => String::new(),
     };
-    let target_line = if file_level {
-        None
-    } else if comment.trailing {
-        Some(comment.line)
-    } else {
-        file.next_code_line(comment.line + 1)
-    };
-    Some(Pragma {
-        line: comment.line,
-        target_line,
-        rules,
-        reason,
-        file_level,
-        used: Cell::new(false),
-        well_formed,
-    })
+    Some((file_level, rules, reason, well_formed))
+}
+
+/// For a doc comment: the 1-based lines of content lines that parse as a
+/// live pragma (well-formed, nonempty reason, every rule registered).
+/// Those are inert by position and must be surfaced, not silently
+/// ignored; doc prose *mentioning* the grammar (unregistered example ids)
+/// stays unreported.
+fn live_doc_pragma_lines(comment: &Comment) -> Vec<usize> {
+    let mut lines = Vec::new();
+    for (i, content_line) in comment.content.lines().enumerate() {
+        // Multi-line block docs often prefix lines with `*`.
+        let content_line = content_line.trim_start().trim_start_matches('*');
+        if let Some((_, rules, reason, well_formed)) = parse_pragma_text(content_line) {
+            if well_formed
+                && !reason.is_empty()
+                && !rules.is_empty()
+                && rules.iter().all(|r| crate::rules::is_registered(r))
+            {
+                lines.push(comment.line + i);
+            }
+        }
+    }
+    lines
 }
 
 /// Finds the byte ranges of test-only code: any item annotated
@@ -598,6 +559,39 @@ let b = 2;
     }
 
     #[test]
+    fn pragma_inside_a_string_literal_is_inert() {
+        let raw =
+            "let s = \"uprob-lint: allow(panic-unwrap) -- smuggled\";\nlet x = opt.unwrap();\n";
+        let file = SourceFile::parse("f.rs", raw);
+        assert!(file.pragmas.is_empty());
+        assert!(!file.allowed("panic-unwrap", 0));
+        let line2 = file.line_span(2).0;
+        assert!(!file.allowed("panic-unwrap", line2));
+    }
+
+    #[test]
+    fn pragma_inside_a_doc_comment_is_inert_and_reported() {
+        let raw = "\
+/// uprob-lint: allow(panic-unwrap) -- smuggled via doc
+fn f() {}
+";
+        let file = SourceFile::parse("f.rs", raw);
+        assert!(file.pragmas.is_empty());
+        assert!(!file.allowed("panic-unwrap", 0));
+        assert_eq!(file.inert_doc_pragmas, vec![1]);
+    }
+
+    #[test]
+    fn doc_prose_with_unregistered_example_ids_is_not_reported() {
+        let raw = "\
+/// uprob-lint: allow(rule-a, rule-b) -- <reason>
+fn f() {}
+";
+        let file = SourceFile::parse("f.rs", raw);
+        assert!(file.inert_doc_pragmas.is_empty());
+    }
+
+    #[test]
     fn test_regions_cover_cfg_test_mods_and_test_fns() {
         let raw = "\
 fn live() {}
@@ -633,5 +627,13 @@ fn live_again() {}
         assert_eq!(file.position(0), (1, 1));
         assert_eq!(file.position(3), (2, 1));
         assert_eq!(file.position(4), (2, 2));
+    }
+
+    #[test]
+    fn block_comment_pragma_still_works() {
+        let raw = "let a = x.unwrap(); /* uprob-lint: allow(panic-unwrap) -- block form */\n";
+        let file = SourceFile::parse("f.rs", raw);
+        assert_eq!(file.pragmas.len(), 1);
+        assert!(file.allowed("panic-unwrap", 0));
     }
 }
